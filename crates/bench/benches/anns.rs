@@ -1,0 +1,33 @@
+//! Figure 5 bench: time to compute the ANNS (and the radius-6
+//! generalization) of each curve at a 128×128 resolution. The `fig5` binary
+//! prints the metric values; this bench tracks the cost of producing them.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sfc_core::anns::anns_radius;
+use sfc_curves::point::Norm;
+use sfc_curves::CurveKind;
+
+const ORDER: u32 = 7;
+
+fn bench_anns(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5a_anns_r1");
+    group.sample_size(20);
+    for kind in CurveKind::PAPER {
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, &kind| {
+            b.iter(|| anns_radius(kind, ORDER, 1, Norm::Manhattan))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fig5b_anns_r6");
+    group.sample_size(10);
+    for kind in CurveKind::PAPER {
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, &kind| {
+            b.iter(|| anns_radius(kind, ORDER, 6, Norm::Manhattan))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_anns);
+criterion_main!(benches);

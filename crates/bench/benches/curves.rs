@@ -1,0 +1,99 @@
+//! Ablation bench for the curve transforms (DESIGN.md item: bit-twiddled
+//! Hilbert vs. the state-machine LUT vs. a materialized permutation table),
+//! plus throughput of every curve's forward/inverse transform.
+//!
+//! The paper (Section II-A) notes that computing curve indices "directly
+//! with bit operations" beats recursive construction; this bench quantifies
+//! the remaining differences among the direct implementations.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sfc_curves::hilbert::HilbertLut;
+use sfc_curves::{Curve2d, CurveKind, CurveTable, HilbertCurve, Point2};
+
+const ORDER: u32 = 10;
+
+fn probe_points(n: usize) -> Vec<Point2> {
+    // Deterministic pseudo-random in-grid points.
+    let side = 1u32 << ORDER;
+    let mut state = 0x2545F491_4F6CDD1Du64;
+    (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            Point2::new((state as u32) % side, ((state >> 32) as u32) % side)
+        })
+        .collect()
+}
+
+fn bench_hilbert_variants(c: &mut Criterion) {
+    let points = probe_points(4096);
+    let mut group = c.benchmark_group("hilbert_index_variants");
+    let bit = HilbertCurve::new(ORDER);
+    group.bench_function("bit_twiddled", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &p in &points {
+                acc = acc.wrapping_add(bit.index(black_box(p)));
+            }
+            acc
+        })
+    });
+    let lut = HilbertLut::new(ORDER);
+    group.bench_function("state_machine_lut", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &p in &points {
+                acc = acc.wrapping_add(lut.index(black_box(p)));
+            }
+            acc
+        })
+    });
+    let table = CurveTable::new(CurveKind::Hilbert, ORDER);
+    group.bench_function("materialized_table", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &p in &points {
+                acc = acc.wrapping_add(table.index(black_box(p)));
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn bench_all_curve_transforms(c: &mut Criterion) {
+    let points = probe_points(4096);
+    let mut group = c.benchmark_group("curve_index");
+    for kind in CurveKind::PAPER {
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, &kind| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for &p in &points {
+                    acc = acc.wrapping_add(kind.index_of(ORDER, black_box(p)));
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("curve_point");
+    let len = 1u64 << (2 * ORDER);
+    let indices: Vec<u64> = (0..4096u64).map(|i| (i * 2654435761) % len).collect();
+    for kind in CurveKind::PAPER {
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, &kind| {
+            b.iter(|| {
+                let mut acc = 0u32;
+                for &i in &indices {
+                    acc = acc.wrapping_add(kind.point_of(ORDER, black_box(i)).x);
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hilbert_variants, bench_all_curve_transforms);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Figure 6 bench: per-topology cost of the ACD evaluation at a scaled-down
+//! Figure 6 configuration (Hilbert curve tied for both orderings, radius-4
+//! near field, all six topologies).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sfc_bench::figures::FIG6_RADIUS;
+use sfc_core::ffi::{ffi_acd_with_tree, OwnerTree};
+use sfc_core::nfi::nfi_acd;
+use sfc_core::{Assignment, Machine};
+use sfc_curves::point::Norm;
+use sfc_curves::CurveKind;
+use sfc_particles::Workload;
+use sfc_topology::TopologyKind;
+
+const SCALE: u32 = 4; // 256×256 grid, ~3.9k particles, 256 processors
+
+fn bench_fig6(c: &mut Criterion) {
+    let workload = Workload::figure6(1).scaled_down(SCALE);
+    let procs = 65_536u64 >> (2 * SCALE);
+    let particles = workload.particles(0);
+    let asg = Assignment::new(&particles, workload.grid_order, CurveKind::Hilbert, procs);
+    let tree = OwnerTree::build(&asg);
+
+    let mut nfi = c.benchmark_group("fig6a_nfi_by_topology");
+    nfi.sample_size(15);
+    for topo in TopologyKind::PAPER {
+        let machine = Machine::new(topo, procs, CurveKind::Hilbert);
+        nfi.bench_with_input(BenchmarkId::from_parameter(topo), &(), |b, _| {
+            b.iter(|| nfi_acd(&asg, &machine, FIG6_RADIUS, Norm::Chebyshev))
+        });
+    }
+    nfi.finish();
+
+    let mut ffi = c.benchmark_group("fig6b_ffi_by_topology");
+    ffi.sample_size(15);
+    for topo in TopologyKind::PAPER {
+        let machine = Machine::new(topo, procs, CurveKind::Hilbert);
+        ffi.bench_with_input(BenchmarkId::from_parameter(topo), &(), |b, _| {
+            b.iter(|| ffi_acd_with_tree(&asg, &machine, &tree))
+        });
+    }
+    ffi.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Figure 7 bench: ACD evaluation cost as the processor count scales
+//! (torus, Hilbert curve) — the assignment/chunking step is re-done per
+//! processor count, exactly as the figure's sweep does.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sfc_core::ffi::ffi_acd;
+use sfc_core::nfi::nfi_acd;
+use sfc_core::{Assignment, Machine};
+use sfc_curves::point::Norm;
+use sfc_curves::CurveKind;
+use sfc_particles::Workload;
+use sfc_topology::TopologyKind;
+
+const SCALE: u32 = 4;
+
+fn bench_fig7(c: &mut Criterion) {
+    let workload = Workload::figure7(1).scaled_down(SCALE);
+    let particles = workload.particles(0);
+
+    let mut group = c.benchmark_group("fig7_acd_vs_processors");
+    group.sample_size(15);
+    for procs in [16u64, 64, 256] {
+        let asg = Assignment::new(&particles, workload.grid_order, CurveKind::Hilbert, procs);
+        let machine = Machine::new(TopologyKind::Torus, procs, CurveKind::Hilbert);
+        group.bench_with_input(BenchmarkId::new("nfi", procs), &(), |b, _| {
+            b.iter(|| nfi_acd(&asg, &machine, 1, Norm::Chebyshev))
+        });
+        group.bench_with_input(BenchmarkId::new("ffi", procs), &(), |b, _| {
+            b.iter(|| ffi_acd(&asg, &machine))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

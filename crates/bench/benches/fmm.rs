@@ -1,0 +1,88 @@
+//! FMM substrate bench: the fast multipole solver against the O(n²) direct
+//! baseline, over the input sizes where the crossover appears.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sfc_fmm::{direct, AdaptiveFmm, BarnesHut, Fmm, Source};
+
+fn sources(n: usize) -> Vec<Source> {
+    let mut state = 0x9E3779B97F4A7C15u64;
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    (0..n).map(|_| Source::new(next(), next(), 1.0)).collect()
+}
+
+fn bench_fmm_vs_direct(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fmm_vs_direct");
+    group.sample_size(10);
+    for n in [500usize, 2_000, 8_000] {
+        let s = sources(n);
+        group.bench_with_input(BenchmarkId::new("direct", n), &(), |b, _| {
+            b.iter(|| direct::potentials(&s))
+        });
+        let solver = Fmm::new(12);
+        group.bench_with_input(BenchmarkId::new("fmm_p12", n), &(), |b, _| {
+            b.iter(|| solver.potentials(&s))
+        });
+        let bh = BarnesHut::new(0.5);
+        group.bench_with_input(BenchmarkId::new("barnes_hut_0.5", n), &(), |b, _| {
+            b.iter(|| bh.potentials(&s))
+        });
+    }
+    group.finish();
+}
+
+fn clustered_sources(n: usize) -> Vec<Source> {
+    // A tight cluster plus background: where adaptivity pays.
+    let mut state = 0xDEADBEEFu64;
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    (0..n)
+        .map(|i| {
+            if i % 4 == 0 {
+                Source::new(0.2 + 0.6 * next(), 0.2 + 0.6 * next(), 1.0)
+            } else {
+                Source::new(0.1 + 0.005 * next(), 0.1 + 0.005 * next(), 1.0)
+            }
+        })
+        .collect()
+}
+
+fn bench_adaptive_vs_uniform(c: &mut Criterion) {
+    let s = clustered_sources(6_000);
+    let mut group = c.benchmark_group("fmm_adaptive_ablation");
+    group.sample_size(10);
+    let uniform = Fmm::new(12);
+    group.bench_function("uniform_tree", |b| b.iter(|| uniform.potentials(&s)));
+    let adaptive = AdaptiveFmm::new(12);
+    group.bench_function("adaptive_tree", |b| b.iter(|| adaptive.potentials(&s)));
+    group.finish();
+}
+
+fn bench_expansion_order(c: &mut Criterion) {
+    let s = sources(4_000);
+    let mut group = c.benchmark_group("fmm_expansion_order");
+    group.sample_size(10);
+    for p in [6usize, 12, 24] {
+        let solver = Fmm::new(p);
+        group.bench_with_input(BenchmarkId::from_parameter(p), &(), |b, _| {
+            b.iter(|| solver.potentials(&s))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fmm_vs_direct,
+    bench_expansion_order,
+    bench_adaptive_vs_uniform
+);
+criterion_main!(benches);

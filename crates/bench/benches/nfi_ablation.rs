@@ -1,0 +1,65 @@
+//! Ablation bench (DESIGN.md): the open-addressing [`CellMap`] cell index
+//! against `std::collections::HashMap` on the near-field probe workload —
+//! the lookup pattern that dominates Table I and Figure 6 runtimes.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sfc_particles::cellmap::{pack_cell, CellMap};
+use sfc_particles::{sample, Distribution};
+use std::collections::HashMap;
+
+fn bench_cell_lookup(c: &mut Criterion) {
+    let order = 9u32; // 512×512
+    let particles = sample(Distribution::uniform(), order, 30_000, 7);
+    let mut cellmap = CellMap::with_capacity(particles.len());
+    let mut stdmap: HashMap<u64, u32> = HashMap::with_capacity(particles.len());
+    for (i, p) in particles.iter().enumerate() {
+        cellmap.insert_first(pack_cell(p.x, p.y), i as u32);
+        stdmap.insert(pack_cell(p.x, p.y), i as u32);
+    }
+    // The NFI probe pattern: every particle's radius-1 Chebyshev ball.
+    let side = 1i64 << order;
+    let mut probes: Vec<u64> = Vec::with_capacity(particles.len() * 8);
+    for p in &particles {
+        for dy in -1i64..=1 {
+            for dx in -1i64..=1 {
+                if dx == 0 && dy == 0 {
+                    continue;
+                }
+                let nx = p.x as i64 + dx;
+                let ny = p.y as i64 + dy;
+                if nx >= 0 && ny >= 0 && nx < side && ny < side {
+                    probes.push(pack_cell(nx as u32, ny as u32));
+                }
+            }
+        }
+    }
+
+    let mut group = c.benchmark_group("nfi_cell_lookup");
+    group.sample_size(20);
+    group.bench_function("cellmap_open_addressing", |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            for &key in &probes {
+                if cellmap.get(black_box(key)).is_some() {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+    group.bench_function("std_hashmap_siphash", |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            for &key in &probes {
+                if stdmap.contains_key(&black_box(key)) {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cell_lookup);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Ablation bench (DESIGN.md): rayon-parallel vs single-threaded evaluation
+//! of the same ACD computation, by pinning rayon to one worker. The sums are
+//! order-independent, so both configurations produce identical results —
+//! only the wall clock differs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sfc_core::nfi::nfi_acd;
+use sfc_core::{Assignment, Machine};
+use sfc_curves::point::Norm;
+use sfc_curves::CurveKind;
+use sfc_particles::Workload;
+use sfc_topology::TopologyKind;
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    let workload = Workload::figure6(1).scaled_down(4);
+    let procs = 256u64;
+    let particles = workload.particles(0);
+    let asg = Assignment::new(&particles, workload.grid_order, CurveKind::Hilbert, procs);
+    let machine = Machine::new(TopologyKind::Torus, procs, CurveKind::Hilbert);
+
+    let mut group = c.benchmark_group("nfi_thread_scaling");
+    group.sample_size(15);
+    let available = std::thread::available_parallelism().map_or(4, |n| n.get());
+    for threads in [1usize, 2, available] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("thread pool");
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &(), |b, _| {
+            b.iter(|| pool.install(|| nfi_acd(&asg, &machine, 4, Norm::Chebyshev)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_thread_scaling);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Table I bench: cost of one near-field ACD evaluation at a scaled-down
+//! Table I configuration, for the best (Hilbert/Hilbert) and worst
+//! (RowMajor/RowMajor) curve pairs and each distribution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sfc_core::nfi::nfi_acd;
+use sfc_core::{Assignment, Machine};
+use sfc_curves::point::Norm;
+use sfc_curves::CurveKind;
+use sfc_particles::{DistributionKind, Workload};
+use sfc_topology::TopologyKind;
+
+const SCALE: u32 = 3; // 128×128 grid, ~3.9k particles, 1024 processors
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_nfi_acd");
+    group.sample_size(20);
+    for dist in DistributionKind::ALL {
+        let workload = Workload::tables_1_2(dist, 1).scaled_down(SCALE);
+        let procs = 65_536u64 >> (2 * SCALE);
+        let particles = workload.particles(0);
+        for curve in [CurveKind::Hilbert, CurveKind::RowMajor] {
+            let asg = Assignment::new(&particles, workload.grid_order, curve, procs);
+            let machine = Machine::new(TopologyKind::Torus, procs, curve);
+            let id = format!("{}/{}", dist.name(), curve.short_name());
+            group.bench_with_input(BenchmarkId::from_parameter(id), &(), |b, _| {
+                b.iter(|| nfi_acd(&asg, &machine, 1, Norm::Chebyshev))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

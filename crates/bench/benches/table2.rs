@@ -1,0 +1,38 @@
+//! Table II bench: cost of one far-field ACD evaluation (owner-tree build
+//! plus the three communication families) at a scaled-down Table II
+//! configuration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sfc_core::ffi::{ffi_acd_with_tree, OwnerTree};
+use sfc_core::{Assignment, Machine};
+use sfc_curves::CurveKind;
+use sfc_particles::{DistributionKind, Workload};
+use sfc_topology::TopologyKind;
+
+const SCALE: u32 = 3;
+
+fn bench_table2(c: &mut Criterion) {
+    let workload = Workload::tables_1_2(DistributionKind::Uniform, 1).scaled_down(SCALE);
+    let procs = 65_536u64 >> (2 * SCALE);
+    let particles = workload.particles(0);
+
+    let mut group = c.benchmark_group("table2_ffi_acd");
+    group.sample_size(20);
+    for curve in CurveKind::PAPER {
+        let asg = Assignment::new(&particles, workload.grid_order, curve, procs);
+        let machine = Machine::new(TopologyKind::Torus, procs, curve);
+        group.bench_with_input(
+            BenchmarkId::new("owner_tree_build", curve),
+            &(),
+            |b, _| b.iter(|| OwnerTree::build(&asg)),
+        );
+        let tree = OwnerTree::build(&asg);
+        group.bench_with_input(BenchmarkId::new("ffi_walk", curve), &(), |b, _| {
+            b.iter(|| ffi_acd_with_tree(&asg, &machine, &tree))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

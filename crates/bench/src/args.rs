@@ -1,0 +1,142 @@
+//! Minimal command-line flag parsing for the regeneration binaries.
+//!
+//! Hand-rolled on purpose: the binaries take three numeric flags and
+//! `--markdown`, which does not justify an argument-parsing dependency.
+
+/// Parsed command-line options shared by all regeneration binaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Args {
+    /// Scale-down exponent: workloads shrink by `4^scale` (0 = paper size).
+    pub scale: u32,
+    /// Number of independent trials to average.
+    pub trials: u64,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Emit Markdown tables instead of aligned text.
+    pub markdown: bool,
+    /// Also write the artifact as a JSON document to this path.
+    pub json: Option<String>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            scale: 2,
+            trials: 3,
+            seed: 20130701, // ICPP 2013, for flavor; any constant works.
+            markdown: false,
+            json: None,
+        }
+    }
+}
+
+impl Args {
+    /// Parse from an iterator of arguments (excluding the program name).
+    /// Returns an error message on malformed input.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Args, String> {
+        let mut out = Args::default();
+        let mut it = args.into_iter();
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--scale" => out.scale = next_num(&mut it, "--scale")? as u32,
+                "--trials" => {
+                    out.trials = next_num(&mut it, "--trials")?;
+                    if out.trials == 0 {
+                        return Err("--trials must be at least 1".into());
+                    }
+                }
+                "--seed" => out.seed = next_num(&mut it, "--seed")?,
+                "--markdown" => out.markdown = true,
+                "--json" => {
+                    out.json = Some(
+                        it.next().ok_or_else(|| "--json needs a path".to_string())?,
+                    )
+                }
+                "--help" | "-h" => return Err(usage()),
+                other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parse from the process environment, exiting with a message on error.
+    pub fn from_env() -> Args {
+        match Args::parse(std::env::args().skip(1)) {
+            Ok(a) => a,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Render a one-line description of the effective configuration.
+    pub fn banner(&self, what: &str) -> String {
+        format!(
+            "# {what} | scale={} (paper sizes / 4^{}), trials={}, seed={}",
+            self.scale, self.scale, self.trials, self.seed
+        )
+    }
+}
+
+fn next_num<I: Iterator<Item = String>>(it: &mut I, flag: &str) -> Result<u64, String> {
+    let v = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
+    v.parse::<u64>()
+        .map_err(|_| format!("{flag}: `{v}` is not a non-negative integer"))
+}
+
+fn usage() -> String {
+    "usage: <bin> [--scale S] [--trials T] [--seed X] [--markdown]\n\
+     --scale S    shrink the paper workload by 4^S (default 2; 0 = full size)\n\
+     --trials T   independent trials to average (default 3)\n\
+     --seed X     base RNG seed (default 20130701)\n\
+     --markdown   print Markdown tables\n\
+     --json PATH  also write the artifact as JSON"
+        .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(v: &[&str]) -> Result<Args, String> {
+        Args::parse(v.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a, Args::default());
+        assert_eq!(a.scale, 2);
+        assert_eq!(a.trials, 3);
+        assert!(!a.markdown);
+    }
+
+    #[test]
+    fn all_flags() {
+        let a = parse(&[
+            "--scale", "0", "--trials", "5", "--seed", "42", "--markdown", "--json", "/tmp/x.json",
+        ])
+        .unwrap();
+        assert_eq!(a.scale, 0);
+        assert_eq!(a.trials, 5);
+        assert_eq!(a.seed, 42);
+        assert!(a.markdown);
+        assert_eq!(a.json.as_deref(), Some("/tmp/x.json"));
+    }
+
+    #[test]
+    fn rejects_unknown_and_malformed() {
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["--scale"]).is_err());
+        assert!(parse(&["--scale", "x"]).is_err());
+        assert!(parse(&["--trials", "0"]).is_err());
+        assert!(parse(&["--json"]).is_err());
+    }
+
+    #[test]
+    fn help_returns_usage() {
+        let err = parse(&["--help"]).unwrap_err();
+        assert!(err.contains("usage:"));
+    }
+}

@@ -1,0 +1,146 @@
+//! Extension studies beyond the paper's published evaluation, covering its
+//! future-work list (Section VIII):
+//!
+//! 1. **Link congestion** (future work i): route every near-field message
+//!    deterministically and report the maximum and mean link load per curve —
+//!    does the ACD winner also spread traffic evenly?
+//! 2. **3-D ANNS** (future work ii): does the Figure 5 inversion (Z and
+//!    row-major beating Hilbert and Gray) persist in three dimensions?
+//! 3. **3-D ACD** (future work ii): the full communication model on an
+//!    octree with 3-D interconnects.
+//! 4. **Clustering metric** (related-work baseline): the database metric on
+//!    which the Hilbert curve famously *wins*, shown side by side with the
+//!    ANNS on which it loses.
+//! 5. **Closed curves**: the Moore curve (closed Hilbert) against the open
+//!    Hilbert curve on a torus, plus the cyclic stretch metric.
+
+use sfc_bench::Args;
+use sfc_core::anns::anns_cyclic;
+use sfc_core::anns3d::anns3d;
+use sfc_core::ffi::ffi_acd;
+use sfc_core::nfi::nfi_acd;
+use sfc_core::model3d::{ffi_acd_3d, nfi_acd_3d, Assignment3, Machine3, Topology3Kind};
+use sfc_core::clustering::average_clusters;
+use sfc_core::load::nfi_link_load;
+use sfc_core::report::Table;
+use sfc_core::{anns::anns, Assignment, Machine};
+use sfc_curves::curve3d::Curve3dKind;
+use sfc_curves::point::Norm;
+use sfc_curves::CurveKind;
+use sfc_particles::sampler3d::sample3d;
+use sfc_particles::{Distribution, DistributionKind, Workload};
+use sfc_topology::TopologyKind;
+
+fn main() {
+    let args = Args::from_env();
+    println!("{}", args.banner("Extension studies (paper Section VIII future work)"));
+
+    // 1. Link congestion on the torus at a scaled Table I configuration.
+    let scale = args.scale.max(2); // routing every message is heavy
+    let workload = Workload::tables_1_2(DistributionKind::Uniform, args.seed).scaled_down(scale);
+    let procs = (65_536u64 >> (2 * scale)).max(4);
+    let mut congestion = Table::new(
+        format!(
+            "NFI link congestion — torus, {} particles, {procs} processors",
+            workload.n
+        ),
+        &["Curve", "ACD", "max link load", "mean link load", "imbalance"],
+    );
+    let particles = workload.particles(0);
+    for curve in CurveKind::PAPER {
+        let asg = Assignment::new(&particles, workload.grid_order, curve, procs);
+        let machine = Machine::grid(TopologyKind::Torus, procs, curve);
+        let load = nfi_link_load(&asg, &machine, 1, Norm::Chebyshev);
+        let acd = if load.messages == 0 {
+            0.0
+        } else {
+            load.crossings as f64 / load.messages as f64
+        };
+        congestion.push_row(vec![
+            curve.short_name().to_string(),
+            format!("{acd:.3}"),
+            load.max_load().to_string(),
+            format!("{:.2}", load.mean_load()),
+            format!("{:.2}", load.imbalance()),
+        ]);
+    }
+    print!("\n{}", congestion.render());
+
+    // 2. 3-D ANNS.
+    let mut table3d = Table::new(
+        "3-D ANNS (radius-1 Manhattan) — future work item ii",
+        &["Cube", "Hilbert", "Z", "Gray", "RowMajor"],
+    );
+    for order in 2..=5u32 {
+        let row: Vec<f64> = Curve3dKind::ALL
+            .iter()
+            .map(|&k| anns3d(k, order).average())
+            .collect();
+        let side = 1u64 << order;
+        table3d.push_numeric_row(&format!("{side}^3"), &row);
+    }
+    print!("\n{}", table3d.render());
+
+    // 3. The full 3-D ACD model: the 2-D findings replayed on an octree
+    // with 3-D interconnects (future work item ii).
+    let cube_order = 6u32; // 64^3 cells
+    let n3 = 20_000usize;
+    let procs3 = 4096u64; // 16^3 torus / 2^12 hypercube
+    let particles3 = sample3d(Distribution::uniform(), cube_order, n3, args.seed);
+    let mut acd3 = Table::new(
+        format!("3-D ACD — {n3} uniform particles in a 64^3 cube, {procs3} processors"),
+        &["Curve", "NFI mesh3d", "NFI torus3d", "NFI hypercube", "FFI torus3d"],
+    );
+    for curve in Curve3dKind::ALL {
+        let asg = Assignment3::new(&particles3, cube_order, curve, procs3);
+        let mut row = Vec::new();
+        for topo in Topology3Kind::ALL {
+            let machine = Machine3::new(topo, procs3, curve);
+            row.push(nfi_acd_3d(&asg, &machine, 1).acd());
+        }
+        // Reorder: ALL = [Mesh3d, Torus3d, Hypercube] matches headers.
+        let torus = Machine3::new(Topology3Kind::Torus3d, procs3, curve);
+        row.push(ffi_acd_3d(&asg, &torus).acd());
+        acd3.push_numeric_row(curve.short_name(), &row);
+    }
+    print!("\n{}", acd3.render());
+
+    // 4. Clustering vs ANNS, side by side.
+    let mut metrics = Table::new(
+        "Clustering (4x4 queries) vs ANNS at 64x64 — the metric inversion",
+        &["Curve", "avg clusters (lower=better)", "ANNS (lower=better)"],
+    );
+    for curve in CurveKind::PAPER {
+        metrics.push_row(vec![
+            curve.short_name().to_string(),
+            format!("{:.3}", average_clusters(curve, 6, 4)),
+            format!("{:.3}", anns(curve, 6).average()),
+        ]);
+    }
+    print!("\n{}", metrics.render());
+
+    // 5. Closed curves: does closing the Hilbert loop (Moore curve) help on
+    // a torus, whose links also wrap?
+    let mut moore = Table::new(
+        "Closed-curve study — Hilbert vs Moore on a torus",
+        &["Curve", "NFI ACD", "FFI ACD", "cyclic max stretch (64x64)"],
+    );
+    let particles = workload.particles(1);
+    for curve in [CurveKind::Hilbert, CurveKind::Moore] {
+        let asg = Assignment::new(&particles, workload.grid_order, curve, procs);
+        let machine = Machine::grid(TopologyKind::Torus, procs, curve);
+        moore.push_row(vec![
+            curve.short_name().to_string(),
+            format!("{:.3}", nfi_acd(&asg, &machine, 1, Norm::Chebyshev).acd()),
+            format!("{:.3}", ffi_acd(&asg, &machine).acd()),
+            format!("{:.0}", anns_cyclic(curve, 6, 1, Norm::Manhattan).max_stretch),
+        ]);
+    }
+    print!("\n{}", moore.render());
+
+    println!(
+        "\nNote how the Hilbert curve wins the clustering metric and the ACD\n\
+         metrics but loses the ANNS — the apparent contradiction the paper\n\
+         resolves by arguing metrics must model the target application."
+    );
+}

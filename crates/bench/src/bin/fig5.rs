@@ -1,0 +1,38 @@
+//! Regenerates **Figure 5** of the paper: Average Nearest Neighbor Stretch
+//! for the four SFCs as the spatial resolution grows from 2×2 to 512×512 —
+//! (a) the classic radius-1 ANNS and (b) the paper's radius-6
+//! generalization.
+//!
+//! This experiment is resolution-exact at every scale (it sweeps *all* grid
+//! cells, no sampling), so `--scale`/`--trials`/`--seed` are accepted but
+//! ignored.
+
+use sfc_bench::figures::{render_anns, run_anns_sweep};
+use sfc_bench::results::{anns_json, write_json};
+use sfc_bench::Args;
+
+/// The paper's largest resolution: 512×512.
+const MAX_ORDER: u32 = 9;
+
+fn main() {
+    let args = Args::from_env();
+    println!("{}", args.banner("Figure 5 — ANNS vs spatial resolution"));
+    let sweeps: Vec<_> = [1u32, 6]
+        .iter()
+        .map(|&radius| run_anns_sweep(radius, MAX_ORDER))
+        .collect();
+    if let Some(path) = &args.json {
+        write_json(path, &anns_json(&sweeps, &args)).expect("write JSON");
+    }
+    for sweep in &sweeps {
+        let table = render_anns(sweep);
+        print!(
+            "\n{}",
+            if args.markdown {
+                table.render_markdown()
+            } else {
+                table.render()
+            }
+        );
+    }
+}

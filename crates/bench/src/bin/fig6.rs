@@ -1,0 +1,36 @@
+//! Regenerates **Figure 6** of the paper: ACD across network topologies for
+//! (a) near-field interactions at radius 4 and (b) far-field interactions.
+//! 1,000,000 uniform particles on a 4096×4096 resolution at `--scale 0`,
+//! with the same SFC used for particle and processor ordering.
+//!
+//! The paper's chart omits bus and ring (and the row-major near-field
+//! entries) as off-scale; this binary prints them all so the omission is
+//! verifiable.
+
+use sfc_bench::figures::{render_topology, run_topology_sweep};
+use sfc_bench::results::{topology_json, write_json};
+use sfc_bench::Args;
+
+fn main() {
+    let args = Args::from_env();
+    println!("{}", args.banner("Figure 6 — ACD by network topology"));
+    let sweep = run_topology_sweep(&args);
+    if let Some(path) = &args.json {
+        write_json(path, &topology_json(&sweep, &args)).expect("write JSON");
+    }
+    for near_field in [true, false] {
+        let table = render_topology(&sweep, near_field);
+        print!(
+            "\n{}",
+            if args.markdown {
+                table.render_markdown()
+            } else {
+                table.render()
+            }
+        );
+    }
+    println!(
+        "\n(The paper plots mesh/torus/quadtree/hypercube only; bus, ring and the \
+         row-major NFI entries are off its scale.)"
+    );
+}

@@ -1,0 +1,27 @@
+//! Regenerates **Figure 7** of the paper: ACD as a function of the number
+//! of processors for each SFC, on a torus with 1,000,000 uniform particles
+//! (`--scale 0`), for (a) near-field and (b) far-field interactions.
+
+use sfc_bench::figures::{render_processors, run_processor_sweep};
+use sfc_bench::results::{processors_json, write_json};
+use sfc_bench::Args;
+
+fn main() {
+    let args = Args::from_env();
+    println!("{}", args.banner("Figure 7 — ACD vs processor count (torus)"));
+    let sweep = run_processor_sweep(&args);
+    if let Some(path) = &args.json {
+        write_json(path, &processors_json(&sweep, &args)).expect("write JSON");
+    }
+    for near_field in [true, false] {
+        let table = render_processors(&sweep, near_field);
+        print!(
+            "\n{}",
+            if args.markdown {
+                table.render_markdown()
+            } else {
+                table.render()
+            }
+        );
+    }
+}

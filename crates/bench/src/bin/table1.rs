@@ -1,0 +1,29 @@
+//! Regenerates **Table I** of the paper: near-field ACD for every
+//! particle/processor SFC pair under the uniform, normal and exponential
+//! distributions (250,000 particles, 1024×1024 resolution, 65,536-processor
+//! torus at `--scale 0`).
+
+use sfc_bench::results::{grid_json, write_json};
+use sfc_bench::tables::{render_grid, run_tables, Interaction};
+use sfc_bench::Args;
+
+fn main() {
+    let args = Args::from_env();
+    println!("{}", args.banner("Table I — NFI ACD, particle/processor SFC combinations"));
+    let grids = run_tables(&args);
+    if let Some(path) = &args.json {
+        write_json(path, &grid_json(&grids, &args, "table1")).expect("write JSON");
+    }
+    for grid in grids {
+        let table = render_grid(&grid, Interaction::NearField);
+        print!(
+            "\n{}",
+            if args.markdown {
+                table.render_markdown()
+            } else {
+                table.render()
+            }
+        );
+    }
+    println!("\n(* lowest in row — paper's boldface; † lowest in column — paper's italics)");
+}

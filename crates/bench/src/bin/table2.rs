@@ -1,0 +1,28 @@
+//! Regenerates **Table II** of the paper: far-field ACD (interpolation,
+//! anterpolation and interaction-list communication) for every
+//! particle/processor SFC pair under the three input distributions.
+
+use sfc_bench::results::{grid_json, write_json};
+use sfc_bench::tables::{render_grid, run_tables, Interaction};
+use sfc_bench::Args;
+
+fn main() {
+    let args = Args::from_env();
+    println!("{}", args.banner("Table II — FFI ACD, particle/processor SFC combinations"));
+    let grids = run_tables(&args);
+    if let Some(path) = &args.json {
+        write_json(path, &grid_json(&grids, &args, "table2")).expect("write JSON");
+    }
+    for grid in grids {
+        let table = render_grid(&grid, Interaction::FarField);
+        print!(
+            "\n{}",
+            if args.markdown {
+                table.render_markdown()
+            } else {
+                table.render()
+            }
+        );
+    }
+    println!("\n(* lowest in row — paper's boldface; † lowest in column — paper's italics)");
+}

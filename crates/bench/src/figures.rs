@@ -1,0 +1,412 @@
+//! Drivers for Figures 5, 6 and 7 and the Section VI-C parametric studies.
+
+use crate::args::Args;
+use sfc_core::anns::anns_radius;
+use sfc_core::ffi::{ffi_acd_with_tree, OwnerTree};
+use sfc_core::nfi::nfi_acd;
+use sfc_core::report::Table;
+use sfc_core::{Assignment, Machine, Stats};
+use sfc_curves::point::Norm;
+use sfc_curves::CurveKind;
+use sfc_particles::{DistributionKind, Workload};
+use sfc_topology::TopologyKind;
+
+// ---------------------------------------------------------------------------
+// Figure 5: ANNS vs spatial resolution
+// ---------------------------------------------------------------------------
+
+/// One data series of Figure 5: per curve, the average stretch at each grid
+/// order.
+#[derive(Debug, Clone)]
+pub struct AnnsSweep {
+    /// Neighborhood radius (1 for Figure 5(a), 6 for 5(b)).
+    pub radius: u32,
+    /// Grid orders measured (resolution = `2^order` per side).
+    pub orders: Vec<u32>,
+    /// `values[curve][order_index]` = average stretch.
+    pub values: Vec<Vec<f64>>,
+}
+
+/// Run the Figure 5 sweep for a given radius over grid orders
+/// `1 ..= max_order` (the paper's Figure 5 spans 2×2 through 512×512,
+/// i.e. `max_order = 9`).
+pub fn run_anns_sweep(radius: u32, max_order: u32) -> AnnsSweep {
+    let orders: Vec<u32> = (1..=max_order).collect();
+    let values = CurveKind::PAPER
+        .iter()
+        .map(|&curve| {
+            orders
+                .iter()
+                .map(|&order| anns_radius(curve, order, radius, Norm::Manhattan).average())
+                .collect()
+        })
+        .collect();
+    AnnsSweep {
+        radius,
+        orders,
+        values,
+    }
+}
+
+/// Render an ANNS sweep as a table: rows = resolution, columns = curves.
+pub fn render_anns(sweep: &AnnsSweep) -> Table {
+    let title = format!(
+        "Figure 5({}) — Average Nearest Neighbor Stretch, radius {}",
+        if sweep.radius == 1 { "a" } else { "b" },
+        sweep.radius
+    );
+    let mut header = vec!["Resolution"];
+    header.extend(CurveKind::PAPER.iter().map(|c| c.name()));
+    let mut table = Table::new(title, &header);
+    for (i, &order) in sweep.orders.iter().enumerate() {
+        let side = 1u64 << order;
+        let label = format!("{side}x{side}");
+        let row: Vec<f64> = (0..4).map(|c| sweep.values[c][i]).collect();
+        table.push_numeric_row(&label, &row);
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// Figure 6: topology comparison
+// ---------------------------------------------------------------------------
+
+/// Results of the Figure 6 sweep: `nfi[topology][curve]`, `ffi` likewise.
+#[derive(Debug, Clone)]
+pub struct TopologySweep {
+    /// Topologies measured, in display order.
+    pub topologies: Vec<TopologyKind>,
+    /// Near-field ACD per (topology, curve).
+    pub nfi: Vec<Vec<Stats>>,
+    /// Far-field ACD per (topology, curve).
+    pub ffi: Vec<Vec<Stats>>,
+}
+
+/// Near-field radius of the Figure 6 experiment ("a radius of 4 was used").
+pub const FIG6_RADIUS: u32 = 4;
+
+/// Run the Figure 6 experiment: 1,000,000 uniform particles on a 4096×4096
+/// resolution (scaled by `args.scale`), the same SFC for particle and
+/// processor order, across all six topologies (the paper plots four and
+/// notes bus/ring are off the scale).
+pub fn run_topology_sweep(args: &Args) -> TopologySweep {
+    let workload = Workload::figure6(args.seed).scaled_down(args.scale);
+    let num_procs = (65_536u64 >> (2 * args.scale)).max(4);
+    let topologies: Vec<TopologyKind> = TopologyKind::PAPER.to_vec();
+
+    let mut nfi = vec![vec![Vec::new(); 4]; topologies.len()];
+    let mut ffi = vec![vec![Vec::new(); 4]; topologies.len()];
+    for t in 0..args.trials {
+        let particles = workload.particles(t);
+        for (ci, &curve) in CurveKind::PAPER.iter().enumerate() {
+            let asg = Assignment::new(&particles, workload.grid_order, curve, num_procs);
+            let tree = OwnerTree::build(&asg);
+            for (ti, &topo) in topologies.iter().enumerate() {
+                let machine = Machine::new(topo, num_procs, curve);
+                nfi[ti][ci].push(nfi_acd(&asg, &machine, FIG6_RADIUS, Norm::Chebyshev).acd());
+                ffi[ti][ci].push(ffi_acd_with_tree(&asg, &machine, &tree).acd());
+            }
+        }
+    }
+    TopologySweep {
+        topologies,
+        nfi: nfi
+            .into_iter()
+            .map(|row| row.iter().map(|s| Stats::from_samples(s)).collect())
+            .collect(),
+        ffi: ffi
+            .into_iter()
+            .map(|row| row.iter().map(|s| Stats::from_samples(s)).collect())
+            .collect(),
+    }
+}
+
+/// Render one interaction model of the Figure 6 sweep: rows = curve,
+/// columns = topology.
+pub fn render_topology(sweep: &TopologySweep, near_field: bool) -> Table {
+    let (tag, data) = if near_field {
+        ("a: Near-Field", &sweep.nfi)
+    } else {
+        ("b: Far-Field", &sweep.ffi)
+    };
+    let mut header = vec!["Curve"];
+    let names: Vec<&str> = sweep.topologies.iter().map(|t| t.name()).collect();
+    header.extend(names.iter());
+    let mut table = Table::new(format!("Figure 6({tag}) — ACD by topology"), &header);
+    for (ci, &curve) in CurveKind::PAPER.iter().enumerate() {
+        let row: Vec<f64> = (0..sweep.topologies.len())
+            .map(|ti| data[ti][ci].mean)
+            .collect();
+        table.push_numeric_row(curve.name(), &row);
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7: ACD vs processor count
+// ---------------------------------------------------------------------------
+
+/// Results of the Figure 7 sweep: `nfi[proc_index][curve]`, `ffi` likewise.
+#[derive(Debug, Clone)]
+pub struct ProcessorSweep {
+    /// Processor counts measured.
+    pub processors: Vec<u64>,
+    /// Near-field ACD per (processor count, curve).
+    pub nfi: Vec<Vec<Stats>>,
+    /// Far-field ACD per (processor count, curve).
+    pub ffi: Vec<Vec<Stats>>,
+}
+
+/// Run the Figure 7 experiment: 1,000,000 uniform particles (scaled), torus
+/// topology, same SFC for both orderings, with the processor count swept
+/// over powers of four.
+pub fn run_processor_sweep(args: &Args) -> ProcessorSweep {
+    let workload = Workload::figure7(args.seed).scaled_down(args.scale);
+    // Paper scale: 256 .. 65,536 processors; shift the whole range down
+    // with the workload.
+    let max_procs = (65_536u64 >> (2 * args.scale)).max(16);
+    let mut processors = Vec::new();
+    let mut p = max_procs;
+    for _ in 0..5 {
+        processors.push(p);
+        if p <= 16 {
+            break;
+        }
+        p >>= 2;
+    }
+    processors.reverse();
+
+    let mut nfi = vec![vec![Vec::new(); 4]; processors.len()];
+    let mut ffi = vec![vec![Vec::new(); 4]; processors.len()];
+    for t in 0..args.trials {
+        let particles = workload.particles(t);
+        for (ci, &curve) in CurveKind::PAPER.iter().enumerate() {
+            for (pi, &procs) in processors.iter().enumerate() {
+                let asg = Assignment::new(&particles, workload.grid_order, curve, procs);
+                let tree = OwnerTree::build(&asg);
+                let machine = Machine::new(TopologyKind::Torus, procs, curve);
+                nfi[pi][ci].push(nfi_acd(&asg, &machine, 1, Norm::Chebyshev).acd());
+                ffi[pi][ci].push(ffi_acd_with_tree(&asg, &machine, &tree).acd());
+            }
+        }
+    }
+    ProcessorSweep {
+        processors,
+        nfi: nfi
+            .into_iter()
+            .map(|row| row.iter().map(|s| Stats::from_samples(s)).collect())
+            .collect(),
+        ffi: ffi
+            .into_iter()
+            .map(|row| row.iter().map(|s| Stats::from_samples(s)).collect())
+            .collect(),
+    }
+}
+
+/// Render one interaction model of the Figure 7 sweep: rows = processor
+/// count, columns = curves.
+pub fn render_processors(sweep: &ProcessorSweep, near_field: bool) -> Table {
+    let (tag, data) = if near_field {
+        ("a: Near-Field", &sweep.nfi)
+    } else {
+        ("b: Far-Field", &sweep.ffi)
+    };
+    let mut header = vec!["Processors"];
+    header.extend(CurveKind::PAPER.iter().map(|c| c.name()));
+    let mut table = Table::new(format!("Figure 7({tag}) — ACD vs processors (torus)"), &header);
+    for (pi, &procs) in sweep.processors.iter().enumerate() {
+        let row: Vec<f64> = (0..4).map(|ci| data[pi][ci].mean).collect();
+        table.push_numeric_row(&procs.to_string(), &row);
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// Section VI-C parametric studies
+// ---------------------------------------------------------------------------
+
+/// NFI ACD as the neighborhood radius varies (torus, tied curves).
+pub fn run_radius_sweep(args: &Args, radii: &[u32]) -> Table {
+    let workload = Workload::tables_1_2(DistributionKind::Uniform, args.seed)
+        .scaled_down(args.scale);
+    let num_procs = (65_536u64 >> (2 * args.scale)).max(4);
+    let mut header = vec!["Radius"];
+    header.extend(CurveKind::PAPER.iter().map(|c| c.name()));
+    let mut table = Table::new("Section VI-C — NFI ACD vs neighborhood radius", &header);
+    for &radius in radii {
+        let mut row = Vec::with_capacity(4);
+        for &curve in &CurveKind::PAPER {
+            let mut acds = Vec::new();
+            for t in 0..args.trials {
+                let particles = workload.particles(t);
+                let asg = Assignment::new(&particles, workload.grid_order, curve, num_procs);
+                let machine = Machine::new(TopologyKind::Torus, num_procs, curve);
+                acds.push(nfi_acd(&asg, &machine, radius, Norm::Chebyshev).acd());
+            }
+            row.push(Stats::from_samples(&acds).mean);
+        }
+        table.push_numeric_row(&radius.to_string(), &row);
+    }
+    table
+}
+
+/// ACD as the input size varies at a fixed processor count (torus, tied
+/// curves); near- and far-field rendered as two column groups.
+pub fn run_input_size_sweep(args: &Args, sizes: &[usize]) -> Table {
+    let base = Workload::tables_1_2(DistributionKind::Uniform, args.seed)
+        .scaled_down(args.scale);
+    let num_procs = (65_536u64 >> (2 * args.scale)).max(4);
+    let mut header = vec!["Particles"];
+    for c in &CurveKind::PAPER {
+        header.push(c.short_name());
+    }
+    let mut owned_headers: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    for c in &CurveKind::PAPER {
+        owned_headers.push(format!("{} (FFI)", c.short_name()));
+    }
+    let header_refs: Vec<&str> = owned_headers.iter().map(|s| s.as_str()).collect();
+    let mut table = Table::new(
+        "Section VI-C — ACD vs input size (NFI columns then FFI columns)",
+        &header_refs,
+    );
+    for &n in sizes {
+        let workload = Workload::new(base.grid_order, n, base.dist, base.seed);
+        let mut row = Vec::with_capacity(8);
+        let mut ffi_cols = Vec::with_capacity(4);
+        for &curve in &CurveKind::PAPER {
+            let mut nfi_s = Vec::new();
+            let mut ffi_s = Vec::new();
+            for t in 0..args.trials {
+                let particles = workload.particles(t);
+                let asg = Assignment::new(&particles, workload.grid_order, curve, num_procs);
+                let tree = OwnerTree::build(&asg);
+                let machine = Machine::new(TopologyKind::Torus, num_procs, curve);
+                nfi_s.push(nfi_acd(&asg, &machine, 1, Norm::Chebyshev).acd());
+                ffi_s.push(ffi_acd_with_tree(&asg, &machine, &tree).acd());
+            }
+            row.push(Stats::from_samples(&nfi_s).mean);
+            ffi_cols.push(Stats::from_samples(&ffi_s).mean);
+        }
+        row.extend(ffi_cols);
+        table.push_numeric_row(&n.to_string(), &row);
+    }
+    table
+}
+
+/// ACD per distribution at the Table I/II configuration with tied curves —
+/// the Section VI-C observation that NFI is best under uniform inputs while
+/// FFI barely distinguishes the distributions.
+pub fn run_distribution_comparison(args: &Args) -> Table {
+    let num_procs = (65_536u64 >> (2 * args.scale)).max(4);
+    let mut owned: Vec<String> = vec!["Distribution".into()];
+    for c in &CurveKind::PAPER {
+        owned.push(format!("{} (NFI)", c.short_name()));
+    }
+    for c in &CurveKind::PAPER {
+        owned.push(format!("{} (FFI)", c.short_name()));
+    }
+    let header: Vec<&str> = owned.iter().map(|s| s.as_str()).collect();
+    let mut table = Table::new("Section VI-C — ACD by input distribution (tied curves)", &header);
+    for dist in DistributionKind::ALL {
+        let workload = Workload::tables_1_2(dist, args.seed).scaled_down(args.scale);
+        let mut nfi_row = Vec::with_capacity(4);
+        let mut ffi_row = Vec::with_capacity(4);
+        for &curve in &CurveKind::PAPER {
+            let mut nfi_s = Vec::new();
+            let mut ffi_s = Vec::new();
+            for t in 0..args.trials {
+                let particles = workload.particles(t);
+                let asg = Assignment::new(&particles, workload.grid_order, curve, num_procs);
+                let tree = OwnerTree::build(&asg);
+                let machine = Machine::new(TopologyKind::Torus, num_procs, curve);
+                nfi_s.push(nfi_acd(&asg, &machine, 1, Norm::Chebyshev).acd());
+                ffi_s.push(ffi_acd_with_tree(&asg, &machine, &tree).acd());
+            }
+            nfi_row.push(Stats::from_samples(&nfi_s).mean);
+            ffi_row.push(Stats::from_samples(&ffi_s).mean);
+        }
+        nfi_row.extend(ffi_row);
+        table.push_numeric_row(dist.name(), &nfi_row);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_args() -> Args {
+        Args {
+            scale: 5, // 128x128 fig6 grid, ~976 particles, 64 processors
+            trials: 1,
+            seed: 3,
+            markdown: false,
+            json: None,
+        }
+    }
+
+    #[test]
+    fn anns_sweep_shape() {
+        let sweep = run_anns_sweep(1, 5);
+        assert_eq!(sweep.orders, vec![1, 2, 3, 4, 5]);
+        assert_eq!(sweep.values.len(), 4);
+        assert_eq!(sweep.values[0].len(), 5);
+        let table = render_anns(&sweep);
+        assert_eq!(table.num_rows(), 5);
+        assert!(table.render().contains("32x32"));
+    }
+
+    #[test]
+    fn anns_values_grow_with_resolution() {
+        let sweep = run_anns_sweep(1, 6);
+        for series in &sweep.values {
+            assert!(series.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn topology_sweep_runs_all_six() {
+        let sweep = run_topology_sweep(&tiny_args());
+        assert_eq!(sweep.topologies.len(), 6);
+        let t = render_topology(&sweep, true);
+        assert_eq!(t.num_rows(), 4);
+        assert!(t.render().contains("Hypercube"));
+        let f = render_topology(&sweep, false);
+        assert!(f.render().contains("Far-Field"));
+    }
+
+    #[test]
+    fn processor_sweep_is_monotone_in_p_for_row_major_nfi() {
+        // More processors spread neighbors further apart; ACD should not
+        // shrink as p grows (fixed workload).
+        let sweep = run_processor_sweep(&tiny_args());
+        assert!(sweep.processors.len() >= 2);
+        let row_major_series: Vec<f64> =
+            (0..sweep.processors.len()).map(|pi| sweep.nfi[pi][3].mean).collect();
+        let first = row_major_series.first().unwrap();
+        let last = row_major_series.last().unwrap();
+        assert!(last >= first);
+        let t = render_processors(&sweep, true);
+        assert_eq!(t.num_rows(), sweep.processors.len());
+    }
+
+    #[test]
+    fn radius_sweep_radii_increase_acd_weakly() {
+        let table = run_radius_sweep(&tiny_args(), &[1, 2]);
+        assert_eq!(table.num_rows(), 2);
+    }
+
+    #[test]
+    fn distribution_comparison_rows() {
+        let table = run_distribution_comparison(&tiny_args());
+        assert_eq!(table.num_rows(), 3);
+        let text = table.render();
+        assert!(text.contains("Uniform") && text.contains("Exponential"));
+    }
+
+    #[test]
+    fn input_size_sweep_rows() {
+        let table = run_input_size_sweep(&tiny_args(), &[200, 400]);
+        assert_eq!(table.num_rows(), 2);
+    }
+}

@@ -1,0 +1,264 @@
+//! Machine-readable export of regeneration results.
+//!
+//! Every binary accepts `--json <path>` and writes its artifact as one JSON
+//! document with a common envelope (`artifact`, `config`, `data`), so runs
+//! can be diffed, archived, or fed to plotting scripts without scraping the
+//! text tables.
+
+use crate::args::Args;
+use crate::figures::{AnnsSweep, ProcessorSweep, TopologySweep};
+use crate::tables::CurvePairGrid;
+use serde_json::{json, Value};
+use sfc_core::Stats;
+use sfc_curves::CurveKind;
+
+fn stats_json(s: &Stats) -> Value {
+    json!({
+        "mean": s.mean,
+        "std_dev": s.std_dev,
+        "min": s.min,
+        "max": s.max,
+        "trials": s.n,
+    })
+}
+
+fn config_json(args: &Args) -> Value {
+    json!({
+        "scale": args.scale,
+        "trials": args.trials,
+        "seed": args.seed,
+    })
+}
+
+/// Common envelope for one exported artifact.
+pub fn envelope(artifact: &str, args: &Args, data: Value) -> Value {
+    json!({
+        "artifact": artifact,
+        "paper": "DeFord & Kalyanaraman, ICPP 2013",
+        "config": config_json(args),
+        "data": data,
+    })
+}
+
+/// Export a Table I/II curve-pair grid.
+pub fn grid_json(grids: &[CurvePairGrid], args: &Args, artifact: &str) -> Value {
+    let data: Vec<Value> = grids
+        .iter()
+        .map(|g| {
+            let block = |values: &[[Stats; 4]; 4]| -> Value {
+                let rows: Vec<Value> = CurveKind::PAPER
+                    .iter()
+                    .enumerate()
+                    .map(|(r, proc_curve)| {
+                        let cols: Vec<Value> = CurveKind::PAPER
+                            .iter()
+                            .enumerate()
+                            .map(|(p, part_curve)| {
+                                json!({
+                                    "particle_curve": part_curve.short_name(),
+                                    "acd": stats_json(&values[r][p]),
+                                })
+                            })
+                            .collect();
+                        json!({
+                            "processor_curve": proc_curve.short_name(),
+                            "cells": cols,
+                        })
+                    })
+                    .collect();
+                json!(rows)
+            };
+            json!({
+                "distribution": g.distribution.name(),
+                "nfi": block(&g.nfi),
+                "ffi": block(&g.ffi),
+            })
+        })
+        .collect();
+    envelope(artifact, args, json!(data))
+}
+
+/// Export a Figure 5 ANNS sweep.
+pub fn anns_json(sweeps: &[AnnsSweep], args: &Args) -> Value {
+    let data: Vec<Value> = sweeps
+        .iter()
+        .map(|s| {
+            let series: Vec<Value> = CurveKind::PAPER
+                .iter()
+                .enumerate()
+                .map(|(c, curve)| {
+                    json!({
+                        "curve": curve.short_name(),
+                        "values": s.values[c],
+                    })
+                })
+                .collect();
+            json!({
+                "radius": s.radius,
+                "orders": s.orders,
+                "series": series,
+            })
+        })
+        .collect();
+    envelope("figure5", args, json!(data))
+}
+
+/// Export a Figure 6 topology sweep.
+pub fn topology_json(sweep: &TopologySweep, args: &Args) -> Value {
+    let block = |data: &Vec<Vec<Stats>>| -> Value {
+        let rows: Vec<Value> = sweep
+            .topologies
+            .iter()
+            .enumerate()
+            .map(|(t, topo)| {
+                let by_curve: Vec<Value> = CurveKind::PAPER
+                    .iter()
+                    .enumerate()
+                    .map(|(c, curve)| {
+                        json!({
+                            "curve": curve.short_name(),
+                            "acd": stats_json(&data[t][c]),
+                        })
+                    })
+                    .collect();
+                json!({ "topology": topo.name(), "series": by_curve })
+            })
+            .collect();
+        json!(rows)
+    };
+    envelope(
+        "figure6",
+        args,
+        json!({ "nfi": block(&sweep.nfi), "ffi": block(&sweep.ffi) }),
+    )
+}
+
+/// Export a Figure 7 processor sweep.
+pub fn processors_json(sweep: &ProcessorSweep, args: &Args) -> Value {
+    let block = |data: &Vec<Vec<Stats>>| -> Value {
+        let rows: Vec<Value> = sweep
+            .processors
+            .iter()
+            .enumerate()
+            .map(|(p, procs)| {
+                let by_curve: Vec<Value> = CurveKind::PAPER
+                    .iter()
+                    .enumerate()
+                    .map(|(c, curve)| {
+                        json!({
+                            "curve": curve.short_name(),
+                            "acd": stats_json(&data[p][c]),
+                        })
+                    })
+                    .collect();
+                json!({ "processors": procs, "series": by_curve })
+            })
+            .collect();
+        json!(rows)
+    };
+    envelope(
+        "figure7",
+        args,
+        json!({ "nfi": block(&sweep.nfi), "ffi": block(&sweep.ffi) }),
+    )
+}
+
+/// Export any rendered [`sfc_core::report::Table`] generically (used by the
+/// `parametric` and `extensions` binaries, whose artifacts are plain
+/// tables).
+pub fn tables_json(tables: &[sfc_core::report::Table], args: &Args, artifact: &str) -> Value {
+    let data: Vec<Value> = tables
+        .iter()
+        .map(|t| {
+            json!({
+                "title": t.title(),
+                "header": t.header(),
+                "rows": t.rows(),
+            })
+        })
+        .collect();
+    envelope(artifact, args, json!(data))
+}
+
+/// Write a JSON document to `path` (pretty-printed).
+pub fn write_json(path: &str, value: &Value) -> std::io::Result<()> {
+    std::fs::write(path, serde_json::to_string_pretty(value)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::run_anns_sweep;
+    use crate::tables::run_distribution;
+    use sfc_particles::DistributionKind;
+
+    fn tiny_args() -> Args {
+        Args {
+            scale: 4,
+            trials: 1,
+            seed: 5,
+            markdown: false,
+            json: None,
+        }
+    }
+
+    #[test]
+    fn grid_export_shape() {
+        let args = tiny_args();
+        let grid = run_distribution(DistributionKind::Uniform, &args);
+        let v = grid_json(&[grid], &args, "table1");
+        assert_eq!(v["artifact"], "table1");
+        assert_eq!(v["config"]["scale"], 4);
+        let rows = v["data"][0]["nfi"].as_array().unwrap();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0]["cells"].as_array().unwrap().len(), 4);
+        let acd = &rows[0]["cells"][0]["acd"];
+        assert!(acd["mean"].as_f64().unwrap() >= 0.0);
+        assert_eq!(acd["trials"], 1);
+    }
+
+    #[test]
+    fn anns_export_shape() {
+        let args = tiny_args();
+        let sweep = run_anns_sweep(1, 4);
+        let v = anns_json(&[sweep], &args);
+        let series = v["data"][0]["series"].as_array().unwrap();
+        assert_eq!(series.len(), 4);
+        assert_eq!(series[0]["values"].as_array().unwrap().len(), 4);
+        assert_eq!(series[0]["curve"], "Hilbert");
+    }
+
+    #[test]
+    fn export_round_trips_through_parser() {
+        let args = tiny_args();
+        let sweep = run_anns_sweep(1, 3);
+        let v = anns_json(&[sweep], &args);
+        let text = serde_json::to_string(&v).unwrap();
+        let back: Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn generic_table_export() {
+        let args = tiny_args();
+        let mut t = sfc_core::report::Table::new("Demo", &["A", "B"]);
+        t.push_numeric_row("x", &[1.5]);
+        let v = tables_json(&[t], &args, "parametric");
+        assert_eq!(v["artifact"], "parametric");
+        assert_eq!(v["data"][0]["title"], "Demo");
+        assert_eq!(v["data"][0]["rows"][0][1], "1.500");
+    }
+
+    #[test]
+    fn write_json_creates_file() {
+        let args = tiny_args();
+        let sweep = run_anns_sweep(1, 2);
+        let v = anns_json(&[sweep], &args);
+        let path = std::env::temp_dir().join("sfc_bench_results_test.json");
+        write_json(path.to_str().unwrap(), &v).unwrap();
+        let read: Value =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(read["artifact"], "figure5");
+        std::fs::remove_file(path).ok();
+    }
+}

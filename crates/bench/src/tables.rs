@@ -1,0 +1,184 @@
+//! Drivers for Tables I and II: the 4 × 4 particle/processor curve grid
+//! under each input distribution.
+//!
+//! Paper setup (Section VI-A): 250,000 particles on a 1024 × 1024
+//! resolution, 65,536 processors on a torus, each of
+//! {Hilbert, Z, Gray, Row-major}² as the (particle, processor) curve pair,
+//! for the uniform, normal and exponential distributions. Table I reports
+//! the near-field ACD (radius-1 Chebyshev neighborhoods), Table II the
+//! far-field ACD.
+//!
+//! The driver shares work across the grid: per trial it builds the four
+//! particle-order assignments (and their owner trees) once and evaluates
+//! them against the four processor-order machines.
+
+use crate::args::Args;
+use sfc_core::ffi::{ffi_acd_with_tree, OwnerTree};
+use sfc_core::nfi::nfi_acd;
+use sfc_core::report::Table;
+use sfc_core::{Assignment, Machine, Stats};
+use sfc_curves::point::Norm;
+use sfc_curves::CurveKind;
+use sfc_particles::{DistributionKind, Workload};
+use sfc_topology::TopologyKind;
+
+/// Results of the 4 × 4 curve-pair grid for one distribution:
+/// `values[processor_curve][particle_curve]`.
+#[derive(Debug, Clone)]
+pub struct CurvePairGrid {
+    /// The input distribution the grid was measured under.
+    pub distribution: DistributionKind,
+    /// Near-field ACD (Table I).
+    pub nfi: [[Stats; 4]; 4],
+    /// Far-field ACD (Table II).
+    pub ffi: [[Stats; 4]; 4],
+}
+
+/// Run the Table I/II experiment for every distribution.
+pub fn run_tables(args: &Args) -> Vec<CurvePairGrid> {
+    DistributionKind::ALL
+        .iter()
+        .map(|&dist| run_distribution(dist, args))
+        .collect()
+}
+
+/// Run the 4 × 4 grid for one distribution.
+pub fn run_distribution(dist: DistributionKind, args: &Args) -> CurvePairGrid {
+    let workload = Workload::tables_1_2(dist, args.seed).scaled_down(args.scale);
+    let num_procs = (65_536u64 >> (2 * args.scale)).max(4);
+    let machines: Vec<Machine> = CurveKind::PAPER
+        .iter()
+        .map(|&proc_curve| Machine::new(TopologyKind::Torus, num_procs, proc_curve))
+        .collect();
+
+    let mut nfi_samples = vec![vec![Vec::new(); 4]; 4];
+    let mut ffi_samples = vec![vec![Vec::new(); 4]; 4];
+    for t in 0..args.trials {
+        let particles = workload.particles(t);
+        for (pi, &particle_curve) in CurveKind::PAPER.iter().enumerate() {
+            let asg = Assignment::new(&particles, workload.grid_order, particle_curve, num_procs);
+            let tree = OwnerTree::build(&asg);
+            for (ri, machine) in machines.iter().enumerate() {
+                let nfi = nfi_acd(&asg, machine, 1, Norm::Chebyshev);
+                let ffi = ffi_acd_with_tree(&asg, machine, &tree);
+                nfi_samples[ri][pi].push(nfi.acd());
+                ffi_samples[ri][pi].push(ffi.acd());
+            }
+        }
+    }
+
+    let collect = |samples: &Vec<Vec<Vec<f64>>>| -> [[Stats; 4]; 4] {
+        std::array::from_fn(|ri| std::array::from_fn(|pi| Stats::from_samples(&samples[ri][pi])))
+    };
+    CurvePairGrid {
+        distribution: dist,
+        nfi: collect(&nfi_samples),
+        ffi: collect(&ffi_samples),
+    }
+}
+
+/// Which of the two tables to render from a grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Interaction {
+    /// Table I: near-field.
+    NearField,
+    /// Table II: far-field.
+    FarField,
+}
+
+/// Render one distribution's grid in the paper's layout (rows = processor
+/// order, columns = particle order). The lowest value in each row is marked
+/// `*` and the lowest in each column `†`, mirroring the paper's boldface and
+/// italics.
+pub fn render_grid(grid: &CurvePairGrid, which: Interaction) -> Table {
+    let (name, values) = match which {
+        Interaction::NearField => ("Table I (NFI)", &grid.nfi),
+        Interaction::FarField => ("Table II (FFI)", &grid.ffi),
+    };
+    let title = format!("{name} — {} Distribution", grid.distribution);
+    let mut header = vec!["Processor Order \\ Particle Order"];
+    header.extend(CurveKind::PAPER.iter().map(|c| c.name()));
+    let mut table = Table::new(title, &header);
+
+    let means: Vec<Vec<f64>> = (0..4)
+        .map(|r| (0..4).map(|p| values[r][p].mean).collect())
+        .collect();
+    let row_min: Vec<f64> = means
+        .iter()
+        .map(|row| row.iter().copied().fold(f64::INFINITY, f64::min))
+        .collect();
+    let col_min: Vec<f64> = (0..4)
+        .map(|p| means.iter().map(|row| row[p]).fold(f64::INFINITY, f64::min))
+        .collect();
+
+    for (r, &proc_curve) in CurveKind::PAPER.iter().enumerate() {
+        let mut cells = vec![proc_curve.name().to_string()];
+        for p in 0..4 {
+            let v = means[r][p];
+            let mut s = format!("{v:.3}");
+            if v == row_min[r] {
+                s.push('*');
+            }
+            if v == col_min[p] {
+                s.push('†');
+            }
+            cells.push(s);
+        }
+        table.push_row(cells);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_args() -> Args {
+        Args {
+            scale: 4, // 64x64 grid, ~976 particles, 256 processors
+            trials: 2,
+            seed: 99,
+            markdown: false,
+            json: None,
+        }
+    }
+
+    #[test]
+    fn grid_has_full_shape_and_sane_values() {
+        let grid = run_distribution(DistributionKind::Uniform, &tiny_args());
+        for r in 0..4 {
+            for p in 0..4 {
+                assert_eq!(grid.nfi[r][p].n, 2);
+                assert!(grid.nfi[r][p].mean >= 0.0);
+                assert!(grid.ffi[r][p].mean > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn hilbert_pair_beats_row_major_pair() {
+        // The diagonal comparison the paper's conclusions rest on.
+        let grid = run_distribution(DistributionKind::Uniform, &tiny_args());
+        assert!(grid.nfi[0][0].mean < grid.nfi[3][3].mean);
+        assert!(grid.ffi[0][0].mean < grid.ffi[3][3].mean);
+    }
+
+    #[test]
+    fn render_marks_minima() {
+        let grid = run_distribution(DistributionKind::Exponential, &tiny_args());
+        let text = render_grid(&grid, Interaction::NearField).render();
+        assert!(text.contains('*'));
+        assert!(text.contains('†'));
+        assert!(text.contains("Exponential"));
+        let ffi_text = render_grid(&grid, Interaction::FarField).render();
+        assert!(ffi_text.contains("Table II"));
+    }
+
+    #[test]
+    fn results_reproducible_across_runs() {
+        let a = run_distribution(DistributionKind::Normal, &tiny_args());
+        let b = run_distribution(DistributionKind::Normal, &tiny_args());
+        assert_eq!(a.nfi[2][1].mean, b.nfi[2][1].mean);
+        assert_eq!(a.ffi[1][3].mean, b.ffi[1][3].mean);
+    }
+}

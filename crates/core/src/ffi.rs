@@ -1,0 +1,322 @@
+//! Far-field interaction (FFI) ACD — Sections III–IV of the paper.
+//!
+//! The far field of one FMM time step induces three communication families:
+//!
+//! - **Interpolation**: upward accumulation. For every occupied cell at
+//!   every level, the cell's owner sends its accumulated value to the owner
+//!   of the parent cell. Following the paper's convention, the *owner* of a
+//!   cell (quadrant) is the lowest-ranked processor holding a particle in it
+//!   — with SFC-contiguous chunks this is also the processor of the lowest
+//!   indexed particle.
+//! - **Anterpolation**: downward accumulation — the same parent↔child pairs
+//!   traversed in the opposite direction.
+//! - **Interaction lists**: at every level, every occupied cell exchanges
+//!   with every *occupied* cell of its interaction list (children of the
+//!   parent's neighbors that are not adjacent to the cell; see
+//!   [`sfc_quadtree::interaction`]).
+//!
+//! The ACD over the far field is the mean hop distance across all three
+//! families; the per-family sums are reported separately so experiments can
+//! break the total down.
+
+use crate::assignment::Assignment;
+use crate::machine::Machine;
+use rayon::prelude::*;
+use sfc_curves::morton;
+use sfc_particles::CellMap;
+use sfc_quadtree::{interaction_list, Cell};
+
+/// Outcome of a far-field ACD computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FfiResult {
+    /// Hop-distance sum of interpolation (upward) messages.
+    pub interp_distance: u64,
+    /// Number of interpolation messages.
+    pub interp_comms: u64,
+    /// Hop-distance sum of anterpolation (downward) messages.
+    pub anterp_distance: u64,
+    /// Number of anterpolation messages.
+    pub anterp_comms: u64,
+    /// Hop-distance sum of interaction-list exchanges (directed).
+    pub ilist_distance: u64,
+    /// Number of interaction-list exchanges (directed).
+    pub ilist_comms: u64,
+}
+
+impl FfiResult {
+    /// Total hop distance over all far-field communications.
+    pub fn total_distance(&self) -> u64 {
+        self.interp_distance + self.anterp_distance + self.ilist_distance
+    }
+
+    /// Total number of far-field communications.
+    pub fn num_comms(&self) -> u64 {
+        self.interp_comms + self.anterp_comms + self.ilist_comms
+    }
+
+    /// The far-field Average Communicated Distance.
+    pub fn acd(&self) -> f64 {
+        let n = self.num_comms();
+        if n == 0 {
+            0.0
+        } else {
+            self.total_distance() as f64 / n as f64
+        }
+    }
+
+    /// ACD of the tree (interpolation + anterpolation) component alone.
+    pub fn tree_acd(&self) -> f64 {
+        let n = self.interp_comms + self.anterp_comms;
+        if n == 0 {
+            0.0
+        } else {
+            (self.interp_distance + self.anterp_distance) as f64 / n as f64
+        }
+    }
+
+    /// ACD of the interaction-list component alone.
+    pub fn ilist_acd(&self) -> f64 {
+        if self.ilist_comms == 0 {
+            0.0
+        } else {
+            self.ilist_distance as f64 / self.ilist_comms as f64
+        }
+    }
+}
+
+/// The per-level occupancy/ownership index the far-field model walks: for
+/// each level `0 ..= k`, the occupied cells (by Morton code) and the lowest
+/// rank holding a particle in each.
+pub struct OwnerTree {
+    /// `levels[l]` maps level-`l` Morton codes to owner ranks.
+    levels: Vec<CellMap>,
+}
+
+impl OwnerTree {
+    /// Build the tree for an assignment.
+    pub fn build(asg: &Assignment) -> Self {
+        let k = asg.grid_order() as usize;
+        let n = asg.particles().len();
+        let mut levels: Vec<CellMap> = Vec::with_capacity(k + 1);
+        // Finest level.
+        let mut finest = CellMap::with_capacity(n);
+        for (i, p) in asg.particles().iter().enumerate() {
+            finest.insert_min(morton::encode(p.x, p.y), asg.rank_of_index(i));
+        }
+        levels.push(finest);
+        // Coarser levels, reducing by parent code.
+        for _ in 0..k {
+            let prev = levels.last().unwrap();
+            let mut coarser = CellMap::with_capacity(prev.len());
+            for (code, rank) in prev.iter() {
+                coarser.insert_min(code >> 2, rank);
+            }
+            levels.push(coarser);
+        }
+        levels.reverse(); // levels[l] now holds level l (0 = root).
+        OwnerTree { levels }
+    }
+
+    /// Number of levels (grid order + 1).
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Owner of the given cell, or `None` if it holds no particle.
+    pub fn owner(&self, cell: Cell) -> Option<u32> {
+        self.levels[cell.level as usize].get(cell.code())
+    }
+
+    /// Occupied cells at a level, as `(morton code, owner rank)` pairs.
+    pub fn level_entries(&self, level: u32) -> Vec<(u64, u32)> {
+        self.levels[level as usize].iter().collect()
+    }
+
+    /// Number of occupied cells at a level.
+    pub fn level_len(&self, level: u32) -> usize {
+        self.levels[level as usize].len()
+    }
+}
+
+/// Compute the far-field ACD for an assignment on a machine.
+pub fn ffi_acd(asg: &Assignment, machine: &Machine) -> FfiResult {
+    let tree = OwnerTree::build(asg);
+    ffi_acd_with_tree(asg, machine, &tree)
+}
+
+/// Compute the far-field ACD with a prebuilt [`OwnerTree`] (for callers that
+/// evaluate several machines against one assignment).
+pub fn ffi_acd_with_tree(asg: &Assignment, machine: &Machine, tree: &OwnerTree) -> FfiResult {
+    assert!(
+        machine.num_ranks() >= asg.num_ranks(),
+        "machine has {} ranks but assignment targets {}",
+        machine.num_ranks(),
+        asg.num_ranks()
+    );
+    let k = asg.grid_order();
+    let mut result = FfiResult::default();
+
+    // Interpolation / anterpolation: every occupied cell below the root
+    // exchanges with its parent's owner.
+    for level in 1..=k {
+        let entries = tree.level_entries(level);
+        let (dist, count): (u64, u64) = entries
+            .par_iter()
+            .map(|&(code, rank)| {
+                let parent_owner = tree.levels[(level - 1) as usize]
+                    .get(code >> 2)
+                    .expect("parent of an occupied cell is occupied");
+                (machine.distance(rank, parent_owner), 1u64)
+            })
+            .reduce(|| (0, 0), |a, b| (a.0 + b.0, a.1 + b.1));
+        result.interp_distance += dist;
+        result.interp_comms += count;
+    }
+    // Downward accumulation retraces the same edges.
+    result.anterp_distance = result.interp_distance;
+    result.anterp_comms = result.interp_comms;
+
+    // Interaction lists: levels 2 ..= k (level 1 lists are empty).
+    for level in 2..=k {
+        let entries = tree.level_entries(level);
+        let level_map = &tree.levels[level as usize];
+        let (dist, count): (u64, u64) = entries
+            .par_iter()
+            .map(|&(code, rank)| {
+                let cell = Cell::from_code(level, code);
+                let mut d = 0u64;
+                let mut c = 0u64;
+                for other_cell in interaction_list(cell) {
+                    if let Some(other) = level_map.get(other_cell.code()) {
+                        d += machine.distance(rank, other);
+                        c += 1;
+                    }
+                }
+                (d, c)
+            })
+            .reduce(|| (0, 0), |a, b| (a.0 + b.0, a.1 + b.1));
+        result.ilist_distance += dist;
+        result.ilist_comms += count;
+    }
+
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfc_curves::{CurveKind, Point2};
+    use sfc_topology::TopologyKind;
+
+    fn pts(coords: &[(u32, u32)]) -> Vec<Point2> {
+        coords.iter().map(|&(x, y)| Point2::new(x, y)).collect()
+    }
+
+    #[test]
+    fn owner_tree_propagates_minimum_rank() {
+        // Four particles on a 4x4 grid, one per rank, Z-ordered.
+        let particles = pts(&[(0, 0), (3, 0), (0, 3), (3, 3)]);
+        let asg = Assignment::new(&particles, 2, CurveKind::ZCurve, 4);
+        let tree = OwnerTree::build(&asg);
+        assert_eq!(tree.num_levels(), 3);
+        // Root owned by rank 0.
+        assert_eq!(tree.owner(Cell::ROOT), Some(0));
+        // Each level-1 quadrant owned by its single particle's rank
+        // (Z order: LL=0, LR=1, UL=2, UR=3).
+        assert_eq!(tree.owner(Cell::new(1, 0, 0)), Some(0));
+        assert_eq!(tree.owner(Cell::new(1, 1, 0)), Some(1));
+        assert_eq!(tree.owner(Cell::new(1, 0, 1)), Some(2));
+        assert_eq!(tree.owner(Cell::new(1, 1, 1)), Some(3));
+        // Empty cells have no owner.
+        assert_eq!(tree.owner(Cell::new(2, 1, 1)), None);
+    }
+
+    #[test]
+    fn single_particle_has_tree_only_traffic_at_zero_distance() {
+        let particles = pts(&[(2, 2)]);
+        let asg = Assignment::new(&particles, 3, CurveKind::Hilbert, 1);
+        let machine = Machine::grid(TopologyKind::Torus, 64, CurveKind::Hilbert);
+        let res = ffi_acd(&asg, &machine);
+        // One occupied cell per level 1..=3: 3 interpolation + 3
+        // anterpolation messages, all rank-local.
+        assert_eq!(res.interp_comms, 3);
+        assert_eq!(res.anterp_comms, 3);
+        assert_eq!(res.total_distance(), 0);
+        assert_eq!(res.ilist_comms, 0);
+        assert_eq!(res.acd(), 0.0);
+    }
+
+    #[test]
+    fn interpolation_counts_match_occupied_cells() {
+        let particles = pts(&[(0, 0), (1, 0), (7, 7), (6, 6)]);
+        let asg = Assignment::new(&particles, 3, CurveKind::ZCurve, 4);
+        let tree = OwnerTree::build(&asg);
+        let machine = Machine::grid(TopologyKind::Mesh, 64, CurveKind::ZCurve);
+        let res = ffi_acd_with_tree(&asg, &machine, &tree);
+        let expected: u64 = (1..=3).map(|l| tree.level_len(l) as u64).sum();
+        assert_eq!(res.interp_comms, expected);
+        assert_eq!(res.anterp_comms, expected);
+        assert_eq!(res.interp_distance, res.anterp_distance);
+    }
+
+    #[test]
+    fn well_separated_pairs_generate_ilist_traffic() {
+        // Two particles whose level-3 cells are in each other's interaction
+        // lists: (0,0) and (3,0) on an 8x8 grid — parents (0,0) and (1,0)
+        // at level 2 are adjacent, cells are 3 apart (Chebyshev) at level 3.
+        let particles = pts(&[(0, 0), (3, 0)]);
+        let asg = Assignment::new(&particles, 3, CurveKind::RowMajor, 2);
+        let machine = Machine::grid(TopologyKind::Mesh, 64, CurveKind::RowMajor);
+        let res = ffi_acd(&asg, &machine);
+        // Directed: 2 exchanges at level 3 only.
+        assert_eq!(res.ilist_comms, 2);
+        assert!(res.ilist_distance > 0);
+    }
+
+    #[test]
+    fn adjacent_cells_never_appear_in_ilists() {
+        let particles = pts(&[(0, 0), (1, 0)]);
+        let asg = Assignment::new(&particles, 3, CurveKind::Hilbert, 2);
+        let machine = Machine::grid(TopologyKind::Mesh, 64, CurveKind::Hilbert);
+        let res = ffi_acd(&asg, &machine);
+        assert_eq!(res.ilist_comms, 0);
+    }
+
+    #[test]
+    fn ilist_traffic_is_directed_and_symmetric() {
+        let particles = pts(&[(0, 0), (3, 3), (5, 5), (7, 0)]);
+        let asg = Assignment::new(&particles, 3, CurveKind::Gray, 4);
+        let machine = Machine::grid(TopologyKind::Torus, 64, CurveKind::Gray);
+        let res = ffi_acd(&asg, &machine);
+        assert_eq!(res.ilist_comms % 2, 0);
+        assert_eq!(res.ilist_distance % 2, 0);
+    }
+
+    #[test]
+    fn acd_breakdown_sums_to_total() {
+        let particles = pts(&[(0, 0), (2, 5), (7, 1), (4, 4), (6, 7)]);
+        let asg = Assignment::new(&particles, 3, CurveKind::Hilbert, 4);
+        let machine = Machine::grid(TopologyKind::Torus, 64, CurveKind::Hilbert);
+        let res = ffi_acd(&asg, &machine);
+        assert_eq!(
+            res.total_distance(),
+            res.interp_distance + res.anterp_distance + res.ilist_distance
+        );
+        assert_eq!(
+            res.num_comms(),
+            res.interp_comms + res.anterp_comms + res.ilist_comms
+        );
+        let weighted = res.tree_acd() * (res.interp_comms + res.anterp_comms) as f64
+            + res.ilist_acd() * res.ilist_comms as f64;
+        assert!((weighted / res.num_comms() as f64 - res.acd()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prebuilt_tree_matches_direct_call() {
+        let particles = pts(&[(0, 0), (2, 5), (7, 1), (4, 4)]);
+        let asg = Assignment::new(&particles, 3, CurveKind::ZCurve, 4);
+        let machine = Machine::grid(TopologyKind::Mesh, 64, CurveKind::ZCurve);
+        let tree = OwnerTree::build(&asg);
+        assert_eq!(ffi_acd(&asg, &machine), ffi_acd_with_tree(&asg, &machine, &tree));
+    }
+}

@@ -1,0 +1,158 @@
+//! The machine model: a topology plus a processor-order SFC — step 3 of the
+//! paper's algorithm.
+//!
+//! [`Machine`] resolves application ranks to physical nodes *once* at
+//! construction (the rank→node table is `p` entries) so that the metric
+//! loops, which call [`Machine::distance`] tens of millions of times per
+//! trial, pay only a table load and a closed-form hop computation per call.
+
+use sfc_curves::CurveKind;
+use sfc_topology::{RankMap, SfcRankMap, Topology, TopologyKind};
+
+/// A concrete parallel machine: `p` ranks placed on a network.
+pub struct Machine {
+    topo: Box<dyn Topology>,
+    /// Physical node of each rank; identity for non-grid topologies.
+    node_of_rank: Vec<u64>,
+    /// Processor-order curve, if one applies.
+    processor_curve: Option<CurveKind>,
+}
+
+impl Machine {
+    /// Build a machine on `kind` with `num_ranks` processors. For grid
+    /// topologies (mesh, torus) the ranks are placed along `processor_curve`;
+    /// for the others the curve is ignored and the canonical numbering is
+    /// used, matching the paper ("applies only to mesh and torus
+    /// topologies").
+    pub fn new(kind: TopologyKind, num_ranks: u64, processor_curve: CurveKind) -> Self {
+        let topo = kind.build(num_ranks);
+        Self::on_topology(topo, processor_curve)
+    }
+
+    /// Build a machine on a grid topology with an SFC rank placement.
+    /// Convenience alias of [`Machine::new`] that documents intent at call
+    /// sites.
+    pub fn grid(kind: TopologyKind, num_ranks: u64, processor_curve: CurveKind) -> Self {
+        assert!(
+            matches!(kind, TopologyKind::Mesh | TopologyKind::Torus),
+            "Machine::grid expects a mesh or torus, got {kind}"
+        );
+        Self::new(kind, num_ranks, processor_curve)
+    }
+
+    /// Build from an already-constructed topology.
+    pub fn on_topology(topo: Box<dyn Topology>, processor_curve: CurveKind) -> Self {
+        let p = topo.num_nodes();
+        let (node_of_rank, used_curve) = match topo.grid_side() {
+            Some(side) => {
+                let map = SfcRankMap::for_side(processor_curve, side);
+                ((0..p).map(|r| map.node_of(r)).collect(), Some(processor_curve))
+            }
+            None => ((0..p).collect(), None),
+        };
+        Machine {
+            topo,
+            node_of_rank,
+            processor_curve: used_curve,
+        }
+    }
+
+    /// Number of ranks.
+    pub fn num_ranks(&self) -> u64 {
+        self.node_of_rank.len() as u64
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &dyn Topology {
+        self.topo.as_ref()
+    }
+
+    /// The processor-order curve actually in effect (`None` on non-grid
+    /// topologies).
+    pub fn processor_curve(&self) -> Option<CurveKind> {
+        self.processor_curve
+    }
+
+    /// Hop distance between the processors hosting ranks `a` and `b`.
+    #[inline]
+    pub fn distance(&self, a: u32, b: u32) -> u64 {
+        self.topo.distance(
+            self.node_of_rank[a as usize],
+            self.node_of_rank[b as usize],
+        )
+    }
+
+    /// Physical node of a rank.
+    #[inline]
+    pub fn node_of(&self, rank: u32) -> u64 {
+        self.node_of_rank[rank as usize]
+    }
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("topology", &self.topo.name())
+            .field("ranks", &self.num_ranks())
+            .field("processor_curve", &self.processor_curve)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_machine_uses_curve_placement() {
+        let m = Machine::grid(TopologyKind::Torus, 64, CurveKind::Hilbert);
+        assert_eq!(m.num_ranks(), 64);
+        assert_eq!(m.processor_curve(), Some(CurveKind::Hilbert));
+        // Hilbert consecutive ranks are physically adjacent.
+        for r in 0..63u32 {
+            assert_eq!(m.distance(r, r + 1), 1);
+        }
+    }
+
+    #[test]
+    fn non_grid_machine_ignores_curve() {
+        let m = Machine::new(TopologyKind::Hypercube, 64, CurveKind::Hilbert);
+        assert_eq!(m.processor_curve(), None);
+        // Identity placement: distance = Hamming of rank ids.
+        assert_eq!(m.distance(0, 63), 6);
+        assert_eq!(m.distance(5, 5), 0);
+    }
+
+    #[test]
+    fn row_major_on_mesh_matches_grid_arithmetic() {
+        let m = Machine::grid(TopologyKind::Mesh, 16, CurveKind::RowMajor);
+        // Rank 0 at (0,0), rank 15 at (3,3): 6 hops.
+        assert_eq!(m.distance(0, 15), 6);
+        // Rank 3 at (3,0), rank 4 at (0,1): 4 hops.
+        assert_eq!(m.distance(3, 4), 4);
+    }
+
+    #[test]
+    fn quadtree_machine_identity_ranks() {
+        let m = Machine::new(TopologyKind::Quadtree, 16, CurveKind::ZCurve);
+        assert_eq!(m.processor_curve(), None);
+        assert_eq!(m.distance(0, 1), 2);
+        assert_eq!(m.distance(0, 15), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects a mesh or torus")]
+    fn grid_constructor_rejects_non_grids() {
+        let _ = Machine::grid(TopologyKind::Hypercube, 64, CurveKind::Hilbert);
+    }
+
+    #[test]
+    fn distance_symmetry_spot_check() {
+        for kind in [TopologyKind::Mesh, TopologyKind::Torus, TopologyKind::Quadtree] {
+            let m = Machine::new(kind, 256, CurveKind::Gray);
+            for (a, b) in [(0u32, 255u32), (17, 200), (3, 3)] {
+                assert_eq!(m.distance(a, b), m.distance(b, a));
+            }
+        }
+    }
+}

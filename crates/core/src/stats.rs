@@ -1,0 +1,95 @@
+//! Summary statistics over experiment trials.
+//!
+//! The paper reports "averages over multiple independent trials for each set
+//! of parameters" (Section VI); [`Stats`] captures mean, spread and extrema
+//! of a trial series so regenerated tables can also report uncertainty.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary of a series of trial measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Stats {
+    /// Number of trials.
+    pub n: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (0 for fewer than 2 trials).
+    pub std_dev: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl Stats {
+    /// Summarize a non-empty slice of samples.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "no samples to summarize");
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = if samples.len() > 1 {
+            samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (n - 1.0)
+        } else {
+            0.0
+        };
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Stats {
+            n: samples.len() as u64,
+            mean,
+            std_dev: var.sqrt(),
+            min,
+            max,
+        }
+    }
+
+    /// Standard error of the mean.
+    pub fn std_err(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.std_dev / (self.n as f64).sqrt()
+        }
+    }
+}
+
+impl std::fmt::Display for Stats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3} ± {:.3} (n={})", self.mean, self.std_err(), self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_statistics() {
+        let s = Stats::from_samples(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.n, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.std_dev - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+    }
+
+    #[test]
+    fn single_sample_has_zero_spread() {
+        let s = Stats::from_samples(&[7.5]);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.std_err(), 0.0);
+        assert_eq!(s.mean, 7.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "no samples")]
+    fn empty_rejected() {
+        let _ = Stats::from_samples(&[]);
+    }
+
+    #[test]
+    fn display_format() {
+        let s = Stats::from_samples(&[2.0, 2.0]);
+        assert_eq!(format!("{s}"), "2.000 ± 0.000 (n=2)");
+    }
+}

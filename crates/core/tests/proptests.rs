@@ -1,0 +1,163 @@
+//! Property-based tests for the metric engine: invariants of the ACD model
+//! that must hold for arbitrary inputs, curves and machines.
+
+use proptest::prelude::*;
+use sfc_core::ffi::{ffi_acd, OwnerTree};
+use sfc_core::nfi::nfi_acd;
+use sfc_core::{Assignment, Machine};
+use sfc_curves::point::Norm;
+use sfc_curves::{CurveKind, Point2};
+use sfc_topology::TopologyKind;
+
+/// Generate a set of distinct cells on a `2^order` grid.
+fn distinct_cells(order: u32, raws: &[(u32, u32)]) -> Vec<Point2> {
+    let side = 1u32 << order;
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for &(rx, ry) in raws {
+        let p = Point2::new(rx % side, ry % side);
+        if seen.insert((p.x, p.y)) {
+            out.push(p);
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The ACD is bounded by the network diameter for arbitrary inputs.
+    #[test]
+    fn acd_within_diameter(
+        raws in prop::collection::vec((any::<u32>(), any::<u32>()), 1..80),
+        curve_idx in 0usize..4,
+        topo_idx in 0usize..6,
+        radius in 1u32..4,
+    ) {
+        let order = 5u32;
+        let cells = distinct_cells(order, &raws);
+        prop_assume!(!cells.is_empty());
+        let curve = CurveKind::PAPER[curve_idx];
+        let topo = TopologyKind::PAPER[topo_idx];
+        let procs = 64u64;
+        let asg = Assignment::new(&cells, order, curve, procs);
+        let machine = Machine::new(topo, procs, curve);
+        let diameter = machine.topology().diameter() as f64;
+        let nfi = nfi_acd(&asg, &machine, radius, Norm::Chebyshev);
+        prop_assert!(nfi.acd() <= diameter);
+        prop_assert!(nfi.total_distance <= nfi.num_comms * machine.topology().diameter());
+        let ffi = ffi_acd(&asg, &machine);
+        prop_assert!(ffi.acd() <= diameter);
+    }
+
+    /// NFI communication counts are independent of the curves and topology:
+    /// the same particle set always produces the same number of exchanges
+    /// (only the distances change). This is the "fixed communication
+    /// structure" premise of the paper's model.
+    #[test]
+    fn nfi_comm_count_is_curve_invariant(
+        raws in prop::collection::vec((any::<u32>(), any::<u32>()), 2..60),
+        radius in 1u32..3,
+    ) {
+        let order = 5u32;
+        let cells = distinct_cells(order, &raws);
+        prop_assume!(cells.len() >= 2);
+        let mut counts = std::collections::HashSet::new();
+        for curve in CurveKind::PAPER {
+            let asg = Assignment::new(&cells, order, curve, 16);
+            let machine = Machine::new(TopologyKind::Torus, 16, curve);
+            counts.insert(nfi_acd(&asg, &machine, radius, Norm::Chebyshev).num_comms);
+        }
+        prop_assert_eq!(counts.len(), 1);
+    }
+
+    /// FFI interpolation counts likewise depend only on the particle set
+    /// (the occupied cells per level), not on the curves.
+    #[test]
+    fn ffi_tree_comm_count_is_curve_invariant(
+        raws in prop::collection::vec((any::<u32>(), any::<u32>()), 2..60),
+    ) {
+        let order = 5u32;
+        let cells = distinct_cells(order, &raws);
+        prop_assume!(cells.len() >= 2);
+        let mut counts = std::collections::HashSet::new();
+        for curve in CurveKind::PAPER {
+            let asg = Assignment::new(&cells, order, curve, 16);
+            let machine = Machine::new(TopologyKind::Torus, 16, curve);
+            counts.insert(ffi_acd(&asg, &machine).interp_comms);
+        }
+        prop_assert_eq!(counts.len(), 1);
+    }
+
+    /// With a single processor, every ACD is exactly zero.
+    #[test]
+    fn single_processor_means_zero_acd(
+        raws in prop::collection::vec((any::<u32>(), any::<u32>()), 1..50),
+        curve_idx in 0usize..4,
+    ) {
+        let order = 4u32;
+        let cells = distinct_cells(order, &raws);
+        prop_assume!(!cells.is_empty());
+        let curve = CurveKind::PAPER[curve_idx];
+        let asg = Assignment::new(&cells, order, curve, 1);
+        let machine = Machine::new(TopologyKind::Torus, 1, curve);
+        prop_assert_eq!(nfi_acd(&asg, &machine, 2, Norm::Chebyshev).acd(), 0.0);
+        prop_assert_eq!(ffi_acd(&asg, &machine).acd(), 0.0);
+    }
+
+    /// The owner tree's per-level occupancy shrinks monotonically toward the
+    /// root, and the root is always owned by rank 0's... lowest rank present.
+    #[test]
+    fn owner_tree_monotone_occupancy(
+        raws in prop::collection::vec((any::<u32>(), any::<u32>()), 1..80),
+    ) {
+        let order = 5u32;
+        let cells = distinct_cells(order, &raws);
+        prop_assume!(!cells.is_empty());
+        let asg = Assignment::new(&cells, order, CurveKind::Hilbert, 8);
+        let tree = OwnerTree::build(&asg);
+        for level in 1..=order {
+            prop_assert!(tree.level_len(level) >= tree.level_len(level - 1));
+        }
+        prop_assert_eq!(tree.level_len(0), 1);
+        prop_assert_eq!(
+            tree.owner(sfc_quadtree::Cell::ROOT),
+            Some(0),
+            "rank 0 always holds the lowest-indexed particle"
+        );
+        prop_assert_eq!(tree.level_len(order), cells.len());
+    }
+
+    /// Doubling the radius can only add communications, never remove them,
+    /// and the total distance is monotone too.
+    #[test]
+    fn nfi_monotone_in_radius(
+        raws in prop::collection::vec((any::<u32>(), any::<u32>()), 2..60),
+    ) {
+        let order = 5u32;
+        let cells = distinct_cells(order, &raws);
+        prop_assume!(cells.len() >= 2);
+        let asg = Assignment::new(&cells, order, CurveKind::ZCurve, 16);
+        let machine = Machine::new(TopologyKind::Mesh, 16, CurveKind::ZCurve);
+        let r1 = nfi_acd(&asg, &machine, 1, Norm::Chebyshev);
+        let r2 = nfi_acd(&asg, &machine, 2, Norm::Chebyshev);
+        prop_assert!(r2.num_comms >= r1.num_comms);
+        prop_assert!(r2.total_distance >= r1.total_distance);
+    }
+
+    /// The Chebyshev ball contains the Manhattan ball: comm counts dominate.
+    #[test]
+    fn chebyshev_dominates_manhattan(
+        raws in prop::collection::vec((any::<u32>(), any::<u32>()), 2..60),
+        radius in 1u32..4,
+    ) {
+        let order = 5u32;
+        let cells = distinct_cells(order, &raws);
+        prop_assume!(cells.len() >= 2);
+        let asg = Assignment::new(&cells, order, CurveKind::Gray, 16);
+        let machine = Machine::new(TopologyKind::Torus, 16, CurveKind::Gray);
+        let cheb = nfi_acd(&asg, &machine, radius, Norm::Chebyshev);
+        let manh = nfi_acd(&asg, &machine, radius, Norm::Manhattan);
+        prop_assert!(cheb.num_comms >= manh.num_comms);
+    }
+}

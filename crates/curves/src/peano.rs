@@ -1,0 +1,245 @@
+//! The Peano curve — the original space-filling curve (Peano 1890, the
+//! paper's reference \[18\]).
+//!
+//! Unlike the other curves in this crate, the Peano curve lives on
+//! `3^k × 3^k` grids: each level splits a square into a 3 × 3 block
+//! traversed in a serpentine order, with sub-squares reflected so the curve
+//! stays continuous. It therefore cannot implement [`crate::Curve2d`]
+//! (power-of-two grids); it gets its own small interface plus a dedicated
+//! stretch computation so the ANNS comparison can include it.
+//!
+//! Construction (standard "switchback" Peano): write `x` and `y` in base 3,
+//! most significant digit first, interleaving into index digits. A
+//! coordinate digit is *inverted* (`d → 2 − d`) when the sum of certain
+//! preceding digits is odd — concretely, digit `x_i` is inverted iff the sum
+//! of `y_0..y_i` (coarser `y` digits) is odd, and `y_i` iff the sum of
+//! `x_0..x_{i-1}` (strictly coarser `x` digits) is odd. This is exactly the
+//! ternary analog of the boustrophedon reflection rule, applied recursively.
+
+use crate::Point2;
+
+/// The Peano curve over a `3^order × 3^order` grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeanoCurve {
+    order: u32,
+}
+
+impl PeanoCurve {
+    /// Create a Peano curve of the given order (`1 ..= 19`; `3^19 < 2^31`).
+    pub fn new(order: u32) -> Self {
+        assert!(
+            (1..=19).contains(&order),
+            "Peano order must be in 1..=19, got {order}"
+        );
+        PeanoCurve { order }
+    }
+
+    /// The order `k`.
+    pub fn order(&self) -> u32 {
+        self.order
+    }
+
+    /// Side length `3^k`.
+    pub fn side(&self) -> u64 {
+        3u64.pow(self.order)
+    }
+
+    /// Total number of cells `9^k`.
+    pub fn len(&self) -> u64 {
+        9u64.pow(self.order)
+    }
+
+    /// True if the curve covers no cells (never for valid orders).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Linear index of `p`.
+    pub fn index(&self, p: Point2) -> u64 {
+        let k = self.order as usize;
+        let side = self.side();
+        assert!((p.x as u64) < side && (p.y as u64) < side);
+        // Base-3 digits, most significant first.
+        let mut xd = vec![0u8; k];
+        let mut yd = vec![0u8; k];
+        let (mut x, mut y) = (p.x as u64, p.y as u64);
+        for i in (0..k).rev() {
+            xd[i] = (x % 3) as u8;
+            x /= 3;
+            yd[i] = (y % 3) as u8;
+            y /= 3;
+        }
+        // Apply inversions level by level and interleave.
+        let mut idx = 0u64;
+        let mut x_parity = 0u8; // parity of x digits consumed so far
+        let mut y_parity = 0u8; // parity of y digits consumed so far
+        for i in 0..k {
+            // The x digit at level i is traversed in reverse when the y
+            // digits consumed so far (coarser or equal in the traversal
+            // order x_0 y_0 x_1 y_1 ...) have odd sum — and vice versa.
+            let dx = if y_parity % 2 == 1 { 2 - xd[i] } else { xd[i] };
+            x_parity = (x_parity + xd[i]) % 2;
+            let dy = if x_parity % 2 == 1 { 2 - yd[i] } else { yd[i] };
+            y_parity = (y_parity + yd[i]) % 2;
+            idx = idx * 9 + (dx as u64) * 3 + dy as u64;
+        }
+        idx
+    }
+
+    /// The grid cell at linear position `idx`.
+    pub fn point(&self, idx: u64) -> Point2 {
+        let k = self.order as usize;
+        assert!(idx < self.len());
+        // Extract interleaved digits, most significant first.
+        let mut digits = vec![(0u8, 0u8); k];
+        let mut rem = idx;
+        for i in (0..k).rev() {
+            let pair = rem % 9;
+            rem /= 9;
+            digits[i] = ((pair / 3) as u8, (pair % 3) as u8);
+        }
+        // Undo the inversions in the same order they were applied.
+        let mut x = 0u64;
+        let mut y = 0u64;
+        let mut x_parity = 0u8;
+        let mut y_parity = 0u8;
+        for &(dx, dy) in digits.iter().take(k) {
+            let xd = if y_parity % 2 == 1 { 2 - dx } else { dx };
+            x_parity = (x_parity + xd) % 2;
+            let yd = if x_parity % 2 == 1 { 2 - dy } else { dy };
+            y_parity = (y_parity + yd) % 2;
+            x = x * 3 + xd as u64;
+            y = y * 3 + yd as u64;
+        }
+        Point2::new(x as u32, y as u32)
+    }
+
+    /// Average nearest-neighbor stretch over the full grid (Manhattan-1
+    /// pairs), the metric of the paper's Section V, computed directly.
+    pub fn anns(&self) -> f64 {
+        let side = self.side() as u32;
+        let mut total = 0u128;
+        let mut pairs = 0u64;
+        for y in 0..side {
+            for x in 0..side {
+                let here = self.index(Point2::new(x, y));
+                if x + 1 < side {
+                    total += here.abs_diff(self.index(Point2::new(x + 1, y))) as u128;
+                    pairs += 1;
+                }
+                if y + 1 < side {
+                    total += here.abs_diff(self.index(Point2::new(x, y + 1))) as u128;
+                    pairs += 1;
+                }
+            }
+        }
+        total as f64 / pairs as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_one_is_the_serpentine() {
+        // The base 3x3 motif: up the first column, down the second, up the
+        // third (with this module's digit convention).
+        let p = PeanoCurve::new(1);
+        let seq: Vec<(u32, u32)> = (0..9).map(|i| p.point(i).into()).collect();
+        assert_eq!(
+            seq,
+            vec![
+                (0, 0),
+                (0, 1),
+                (0, 2),
+                (1, 2),
+                (1, 1),
+                (1, 0),
+                (2, 0),
+                (2, 1),
+                (2, 2)
+            ]
+        );
+    }
+
+    #[test]
+    fn round_trip_exhaustive() {
+        for order in 1..=4 {
+            let p = PeanoCurve::new(order);
+            for idx in 0..p.len() {
+                assert_eq!(p.index(p.point(idx)), idx, "order {order} idx {idx}");
+            }
+        }
+    }
+
+    #[test]
+    fn bijective() {
+        let p = PeanoCurve::new(3);
+        let mut seen = vec![false; p.len() as usize];
+        for idx in 0..p.len() {
+            let pt = p.point(idx);
+            let flat = (pt.y as u64 * p.side() + pt.x as u64) as usize;
+            assert!(!seen[flat]);
+            seen[flat] = true;
+        }
+        assert!(seen.iter().all(|&v| v));
+    }
+
+    #[test]
+    fn unit_steps_everywhere() {
+        // The Peano curve is continuous: consecutive cells are always
+        // edge-adjacent, like the Hilbert curve.
+        for order in 1..=4 {
+            let p = PeanoCurve::new(order);
+            for idx in 0..p.len() - 1 {
+                assert_eq!(
+                    p.point(idx).manhattan(p.point(idx + 1)),
+                    1,
+                    "order {order} step {idx}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn anns_grows_linearly_with_side() {
+        // Continuous curves have ANNS Θ(side); the ratio to the side should
+        // stabilize.
+        let a2 = PeanoCurve::new(2).anns() / 9.0;
+        let a3 = PeanoCurve::new(3).anns() / 27.0;
+        let a4 = PeanoCurve::new(4).anns() / 81.0;
+        assert!((a3 - a4).abs() < 0.1 * a4, "{a2} {a3} {a4}");
+    }
+
+    #[test]
+    fn anns_comparable_to_hilbert_per_cell_count() {
+        // Scale-free comparison: stretch divided by the cell count should be
+        // the same order of magnitude as the Hilbert curve's at a similar
+        // grid size (both are continuous recursive curves).
+        let peano = PeanoCurve::new(3); // 27x27 = 729 cells
+        let hilbert_res = crate::CurveKind::Hilbert; // use 32x32 = 1024 cells
+        let peano_ratio = peano.anns() / peano.len() as f64;
+        // Hilbert ANNS at order 5 computed directly.
+        let mut total = 0u64;
+        let mut pairs = 0u64;
+        for y in 0..32u32 {
+            for x in 0..32u32 {
+                let here = hilbert_res.index_of(5, Point2::new(x, y));
+                if x + 1 < 32 {
+                    total += here.abs_diff(hilbert_res.index_of(5, Point2::new(x + 1, y)));
+                    pairs += 1;
+                }
+                if y + 1 < 32 {
+                    total += here.abs_diff(hilbert_res.index_of(5, Point2::new(x, y + 1)));
+                    pairs += 1;
+                }
+            }
+        }
+        let hilbert_ratio = total as f64 / pairs as f64 / 1024.0;
+        assert!(
+            peano_ratio < 3.0 * hilbert_ratio && hilbert_ratio < 3.0 * peano_ratio,
+            "peano {peano_ratio} vs hilbert {hilbert_ratio}"
+        );
+    }
+}

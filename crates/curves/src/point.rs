@@ -1,0 +1,233 @@
+//! Grid points and distances.
+//!
+//! All curves in this crate operate on cells of a `2^k × 2^k` grid addressed
+//! by a pair of `u32` coordinates. [`Point2`] is deliberately a plain `Copy`
+//! pair — experiments iterate over millions of these per trial, so it must
+//! stay register-sized.
+
+/// A cell of a 2-D grid. `x` grows to the right, `y` grows upward; the grid
+/// origin `(0, 0)` is the lower-left cell, matching the figures in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Point2 {
+    /// Horizontal coordinate, `0 ..= 2^k - 1`.
+    pub x: u32,
+    /// Vertical coordinate, `0 ..= 2^k - 1`.
+    pub y: u32,
+}
+
+impl Point2 {
+    /// Construct a point from its coordinates.
+    #[inline]
+    pub const fn new(x: u32, y: u32) -> Self {
+        Point2 { x, y }
+    }
+
+    /// Manhattan (L1) distance to `other`: `|Δx| + |Δy|`.
+    ///
+    /// This is the distance used by Xu & Tirthapura's nearest-neighbor
+    /// stretch metric ("points that are separated by a Manhattan distance of
+    /// 1 in k-space").
+    #[inline]
+    pub fn manhattan(self, other: Point2) -> u64 {
+        self.x.abs_diff(other.x) as u64 + self.y.abs_diff(other.y) as u64
+    }
+
+    /// Chebyshev (L∞) distance to `other`: `max(|Δx|, |Δy|)`.
+    ///
+    /// Cells at Chebyshev distance 1 are the (up to) 8 cells sharing an edge
+    /// or a corner — the near-field neighborhood of the FMM model in
+    /// Section III of the paper.
+    #[inline]
+    pub fn chebyshev(self, other: Point2) -> u64 {
+        (self.x.abs_diff(other.x)).max(self.y.abs_diff(other.y)) as u64
+    }
+
+    /// Squared Euclidean distance to `other` (exact, in integer arithmetic).
+    #[inline]
+    pub fn euclidean_sq(self, other: Point2) -> u64 {
+        let dx = self.x.abs_diff(other.x) as u64;
+        let dy = self.y.abs_diff(other.y) as u64;
+        dx * dx + dy * dy
+    }
+
+    /// True if both coordinates are `< side`.
+    #[inline]
+    pub fn in_grid(self, side: u64) -> bool {
+        (self.x as u64) < side && (self.y as u64) < side
+    }
+
+    /// The point translated by `(dx, dy)`, or `None` if the result would
+    /// leave the `side × side` grid. Useful for neighbor enumeration.
+    #[inline]
+    pub fn offset(self, dx: i64, dy: i64, side: u64) -> Option<Point2> {
+        let nx = self.x as i64 + dx;
+        let ny = self.y as i64 + dy;
+        if nx < 0 || ny < 0 || nx >= side as i64 || ny >= side as i64 {
+            None
+        } else {
+            Some(Point2::new(nx as u32, ny as u32))
+        }
+    }
+}
+
+impl From<(u32, u32)> for Point2 {
+    fn from((x, y): (u32, u32)) -> Self {
+        Point2::new(x, y)
+    }
+}
+
+impl From<Point2> for (u32, u32) {
+    fn from(p: Point2) -> Self {
+        (p.x, p.y)
+    }
+}
+
+impl std::fmt::Display for Point2 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+/// Metric used when enumerating spatial neighborhoods.
+///
+/// The paper uses the Chebyshev ball for the FMM near-field neighborhood
+/// (cells sharing an edge/corner, at most 8 for radius 1) and the Manhattan
+/// ball for the ANNS metric (4 nearest neighbors at radius 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Norm {
+    /// L1 / taxicab distance.
+    Manhattan,
+    /// L∞ / king-move distance.
+    Chebyshev,
+}
+
+impl Norm {
+    /// Distance between `a` and `b` under this norm.
+    #[inline]
+    pub fn distance(self, a: Point2, b: Point2) -> u64 {
+        match self {
+            Norm::Manhattan => a.manhattan(b),
+            Norm::Chebyshev => a.chebyshev(b),
+        }
+    }
+
+    /// All grid cells within distance `radius` of `center` (excluding
+    /// `center` itself) that lie inside the `side × side` grid.
+    pub fn ball(self, center: Point2, radius: u32, side: u64) -> Vec<Point2> {
+        let r = radius as i64;
+        let mut out = Vec::new();
+        for dy in -r..=r {
+            for dx in -r..=r {
+                if dx == 0 && dy == 0 {
+                    continue;
+                }
+                let within = match self {
+                    Norm::Manhattan => dx.abs() + dy.abs() <= r,
+                    Norm::Chebyshev => dx.abs().max(dy.abs()) <= r,
+                };
+                if !within {
+                    continue;
+                }
+                if let Some(p) = center.offset(dx, dy, side) {
+                    out.push(p);
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of cells in a full (unclipped) ball of the given radius,
+    /// excluding the center.
+    pub fn ball_size(self, radius: u32) -> u64 {
+        let r = radius as u64;
+        match self {
+            Norm::Manhattan => 2 * r * (r + 1),
+            Norm::Chebyshev => (2 * r + 1) * (2 * r + 1) - 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manhattan_distance_basics() {
+        let a = Point2::new(1, 2);
+        let b = Point2::new(4, 0);
+        assert_eq!(a.manhattan(b), 5);
+        assert_eq!(b.manhattan(a), 5);
+        assert_eq!(a.manhattan(a), 0);
+    }
+
+    #[test]
+    fn chebyshev_distance_basics() {
+        let a = Point2::new(1, 2);
+        let b = Point2::new(4, 0);
+        assert_eq!(a.chebyshev(b), 3);
+        assert_eq!(a.chebyshev(a), 0);
+    }
+
+    #[test]
+    fn euclidean_sq_matches_hand_computation() {
+        let a = Point2::new(0, 0);
+        let b = Point2::new(3, 4);
+        assert_eq!(a.euclidean_sq(b), 25);
+    }
+
+    #[test]
+    fn offset_rejects_out_of_grid() {
+        let p = Point2::new(0, 3);
+        assert_eq!(p.offset(-1, 0, 4), None);
+        assert_eq!(p.offset(0, 1, 4), None);
+        assert_eq!(p.offset(1, -1, 4), Some(Point2::new(1, 2)));
+    }
+
+    #[test]
+    fn manhattan_ball_radius_one_is_four_neighbors() {
+        let ball = Norm::Manhattan.ball(Point2::new(2, 2), 1, 8);
+        assert_eq!(ball.len(), 4);
+        assert_eq!(Norm::Manhattan.ball_size(1), 4);
+    }
+
+    #[test]
+    fn chebyshev_ball_radius_one_is_eight_neighbors() {
+        // Matches the paper's Section III bound: at most 8 cells share an
+        // edge/corner with a given cell.
+        let ball = Norm::Chebyshev.ball(Point2::new(2, 2), 1, 8);
+        assert_eq!(ball.len(), 8);
+        assert_eq!(Norm::Chebyshev.ball_size(1), 8);
+    }
+
+    #[test]
+    fn balls_clip_at_grid_boundary() {
+        let ball = Norm::Chebyshev.ball(Point2::new(0, 0), 1, 8);
+        assert_eq!(ball.len(), 3);
+        let ball = Norm::Manhattan.ball(Point2::new(0, 0), 2, 8);
+        // (1,0),(2,0),(0,1),(0,2),(1,1)
+        assert_eq!(ball.len(), 5);
+    }
+
+    #[test]
+    fn ball_size_formulas_match_enumeration() {
+        let center = Point2::new(16, 16);
+        for r in 1..6 {
+            assert_eq!(
+                Norm::Manhattan.ball(center, r, 64).len() as u64,
+                Norm::Manhattan.ball_size(r)
+            );
+            assert_eq!(
+                Norm::Chebyshev.ball(center, r, 64).len() as u64,
+                Norm::Chebyshev.ball_size(r)
+            );
+        }
+    }
+
+    #[test]
+    fn conversions() {
+        let p: Point2 = (3u32, 4u32).into();
+        let t: (u32, u32) = p.into();
+        assert_eq!(t, (3, 4));
+        assert_eq!(format!("{p}"), "(3, 4)");
+    }
+}

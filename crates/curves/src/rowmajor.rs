@@ -1,0 +1,211 @@
+//! Row-major, column-major, and boustrophedon ("snake scan") orders.
+//!
+//! The row-major order is the simplest SFC in the paper's comparison: it
+//! numbers the grid one row at a time. The column-major order is its
+//! transpose (Section II-A.3 of the paper describes the column-wise variant;
+//! both are provided, and every metric in this workspace treats them
+//! symmetrically). The boustrophedon order reverses the direction of every
+//! other row, making it the discrete analog of the continuous "snake scan"
+//! that Xu & Tirthapura prove is asymptotically optimal for clustering.
+
+use crate::{check_order, Curve2d, Point2};
+
+/// Row-major index: `y * 2^order + x`.
+#[inline]
+pub fn row_major_index(order: u32, p: Point2) -> u64 {
+    ((p.y as u64) << order) | p.x as u64
+}
+
+/// Inverse of [`row_major_index`].
+#[inline]
+pub fn row_major_point(order: u32, idx: u64) -> Point2 {
+    let side_mask = (1u64 << order) - 1;
+    Point2::new((idx & side_mask) as u32, (idx >> order) as u32)
+}
+
+/// Column-major index: `x * 2^order + y`.
+#[inline]
+pub fn column_major_index(order: u32, p: Point2) -> u64 {
+    ((p.x as u64) << order) | p.y as u64
+}
+
+/// Inverse of [`column_major_index`].
+#[inline]
+pub fn column_major_point(order: u32, idx: u64) -> Point2 {
+    let side_mask = (1u64 << order) - 1;
+    Point2::new((idx >> order) as u32, (idx & side_mask) as u32)
+}
+
+/// Boustrophedon index: rows are numbered bottom-to-top, odd rows run
+/// right-to-left.
+#[inline]
+pub fn boustrophedon_index(order: u32, p: Point2) -> u64 {
+    let side = 1u64 << order;
+    let x = if p.y & 1 == 1 {
+        side - 1 - p.x as u64
+    } else {
+        p.x as u64
+    };
+    ((p.y as u64) << order) | x
+}
+
+/// Inverse of [`boustrophedon_index`].
+#[inline]
+pub fn boustrophedon_point(order: u32, idx: u64) -> Point2 {
+    let side = 1u64 << order;
+    let y = (idx >> order) as u32;
+    let x_raw = idx & (side - 1);
+    let x = if y & 1 == 1 { side - 1 - x_raw } else { x_raw };
+    Point2::new(x as u32, y)
+}
+
+macro_rules! scan_curve {
+    ($(#[$doc:meta])* $name:ident, $index_fn:path, $point_fn:path, $display:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        pub struct $name {
+            order: u32,
+        }
+
+        impl $name {
+            /// Create the curve over a `2^order × 2^order` grid.
+            pub fn new(order: u32) -> Self {
+                check_order(order);
+                $name { order }
+            }
+        }
+
+        impl Curve2d for $name {
+            fn order(&self) -> u32 {
+                self.order
+            }
+
+            #[inline]
+            fn index(&self, p: Point2) -> u64 {
+                debug_assert!(p.in_grid(self.side()));
+                $index_fn(self.order, p)
+            }
+
+            #[inline]
+            fn point(&self, idx: u64) -> Point2 {
+                debug_assert!(idx < self.len());
+                $point_fn(self.order, idx)
+            }
+
+            fn name(&self) -> &'static str {
+                $display
+            }
+        }
+    };
+}
+
+scan_curve!(
+    /// Row-major scan order.
+    ///
+    /// ```
+    /// use sfc_curves::{Curve2d, RowMajor, Point2};
+    /// let r = RowMajor::new(2);
+    /// assert_eq!(r.index(Point2::new(3, 1)), 7);
+    /// assert_eq!(r.point(7), Point2::new(3, 1));
+    /// ```
+    RowMajor,
+    row_major_index,
+    row_major_point,
+    "Row Major"
+);
+
+scan_curve!(
+    /// Column-major scan order (transpose of [`RowMajor`]).
+    ColumnMajor,
+    column_major_index,
+    column_major_point,
+    "Column Major"
+);
+
+scan_curve!(
+    /// Boustrophedon ("snake scan") order: row-major with every other row
+    /// reversed, so consecutive cells are always edge-adjacent.
+    Boustrophedon,
+    boustrophedon_index,
+    boustrophedon_point,
+    "Snake Scan"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_major_layout() {
+        let r = RowMajor::new(2);
+        assert_eq!(r.index(Point2::new(0, 0)), 0);
+        assert_eq!(r.index(Point2::new(3, 0)), 3);
+        assert_eq!(r.index(Point2::new(0, 1)), 4);
+        assert_eq!(r.index(Point2::new(3, 3)), 15);
+    }
+
+    #[test]
+    fn column_major_is_transpose_of_row_major() {
+        let r = RowMajor::new(3);
+        let c = ColumnMajor::new(3);
+        for idx in 0..r.len() {
+            let p = r.point(idx);
+            let t = Point2::new(p.y, p.x);
+            assert_eq!(c.index(t), idx);
+        }
+    }
+
+    #[test]
+    fn boustrophedon_unit_steps() {
+        let b = Boustrophedon::new(4);
+        for idx in 0..b.len() - 1 {
+            assert_eq!(b.point(idx).manhattan(b.point(idx + 1)), 1);
+        }
+    }
+
+    #[test]
+    fn boustrophedon_even_rows_match_row_major() {
+        let b = Boustrophedon::new(3);
+        let r = RowMajor::new(3);
+        for y in (0..8u32).step_by(2) {
+            for x in 0..8u32 {
+                let p = Point2::new(x, y);
+                assert_eq!(b.index(p), r.index(p));
+            }
+        }
+    }
+
+    #[test]
+    fn boustrophedon_odd_rows_reverse() {
+        let b = Boustrophedon::new(2);
+        // Row y=1 runs right-to-left: index 4 is (3,1), index 7 is (0,1).
+        assert_eq!(b.point(4), Point2::new(3, 1));
+        assert_eq!(b.point(7), Point2::new(0, 1));
+    }
+
+    #[test]
+    fn round_trips() {
+        for order in 1..=5 {
+            let curves: Vec<Box<dyn Curve2d>> = vec![
+                Box::new(RowMajor::new(order)),
+                Box::new(ColumnMajor::new(order)),
+                Box::new(Boustrophedon::new(order)),
+            ];
+            for c in curves {
+                for idx in 0..c.len() {
+                    assert_eq!(c.index(c.point(idx)), idx);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn row_major_vertical_neighbor_stretch_is_side() {
+        // The property that drives row-major's poor ANNS contribution from
+        // vertical neighbors: they are exactly `side` apart in the ordering.
+        let r = RowMajor::new(6);
+        let a = r.index(Point2::new(17, 20));
+        let b = r.index(Point2::new(17, 21));
+        assert_eq!(b - a, r.side());
+    }
+}

@@ -1,0 +1,181 @@
+//! Property-based tests for the curve implementations.
+
+use proptest::prelude::*;
+use sfc_curves::curve3d::{Curve3dKind, Point3};
+use sfc_curves::gray::{gray_decode, gray_encode};
+use sfc_curves::morton::{gather_bits, spread_bits};
+use sfc_curves::{skilling, CurveKind, Point2};
+
+proptest! {
+    /// Every curve is a bijection: index(point(i)) == i at arbitrary orders
+    /// and positions.
+    #[test]
+    fn index_point_round_trip(
+        order in 1u32..=16,
+        kind_idx in 0usize..CurveKind::ALL.len(),
+        raw in any::<u64>(),
+    ) {
+        let kind = CurveKind::ALL[kind_idx];
+        let len = 1u64 << (2 * order);
+        let idx = raw % len;
+        let p = kind.point_of(order, idx);
+        prop_assert!(p.in_grid(1u64 << order));
+        prop_assert_eq!(kind.index_of(order, p), idx);
+    }
+
+    /// point(index(p)) == p for arbitrary in-grid points.
+    #[test]
+    fn point_index_round_trip(
+        order in 1u32..=16,
+        kind_idx in 0usize..CurveKind::ALL.len(),
+        rx in any::<u32>(),
+        ry in any::<u32>(),
+    ) {
+        let kind = CurveKind::ALL[kind_idx];
+        let side = 1u32 << order;
+        let p = Point2::new(rx % side, ry % side);
+        prop_assert_eq!(kind.point_of(order, kind.index_of(order, p)), p);
+    }
+
+    /// Hilbert and boustrophedon curves take unit Manhattan steps everywhere.
+    #[test]
+    fn unit_step_curves(order in 1u32..=12, raw in any::<u64>()) {
+        for kind in [CurveKind::Hilbert, CurveKind::Boustrophedon, CurveKind::Moore] {
+            let len = 1u64 << (2 * order);
+            let idx = raw % (len - 1);
+            let a = kind.point_of(order, idx);
+            let b = kind.point_of(order, idx + 1);
+            prop_assert_eq!(a.manhattan(b), 1, "{} at {}", kind, idx);
+        }
+    }
+
+    /// Consecutive Gray-order cells differ by a power-of-two step along a
+    /// single axis (single Morton bit flip).
+    #[test]
+    fn gray_single_axis_steps(order in 1u32..=12, raw in any::<u64>()) {
+        let len = 1u64 << (2 * order);
+        let idx = raw % (len - 1);
+        let a = CurveKind::Gray.point_of(order, idx);
+        let b = CurveKind::Gray.point_of(order, idx + 1);
+        prop_assert!(a.x == b.x || a.y == b.y);
+        let step = a.x.abs_diff(b.x).max(a.y.abs_diff(b.y));
+        prop_assert!(step.is_power_of_two());
+    }
+
+    /// Gray encode/decode are inverse on the full u64 range.
+    #[test]
+    fn gray_code_round_trip(v in any::<u64>()) {
+        prop_assert_eq!(gray_decode(gray_encode(v)), v);
+        prop_assert_eq!(gray_encode(gray_decode(v)), v);
+    }
+
+    /// Adjacent integers have Gray codes differing in exactly one bit.
+    #[test]
+    fn gray_adjacency(v in 0u64..u64::MAX) {
+        prop_assert_eq!((gray_encode(v) ^ gray_encode(v + 1)).count_ones(), 1);
+    }
+
+    /// Morton bit spreading round-trips on the full u32 range.
+    #[test]
+    fn morton_spread_round_trip(v in any::<u32>()) {
+        prop_assert_eq!(gather_bits(spread_bits(v)), v);
+    }
+
+    /// The Z-curve index is monotone in the "is an ancestor quadrant"
+    /// ordering: a point's index lies within its quadrant's index range at
+    /// every level.
+    #[test]
+    fn z_curve_quadrant_containment(
+        order in 2u32..=16,
+        rx in any::<u32>(),
+        ry in any::<u32>(),
+        level in 1u32..=8,
+    ) {
+        let level = level.min(order);
+        let side = 1u32 << order;
+        let p = Point2::new(rx % side, ry % side);
+        let idx = CurveKind::ZCurve.index_of(order, p);
+        // Cell of p at `level` levels below the root.
+        let shift = order - level;
+        let (cx, cy) = (p.x >> shift, p.y >> shift);
+        let cell_code = CurveKind::ZCurve.index_of(level, Point2::new(cx, cy));
+        // All descendants of that cell occupy one contiguous Z-index block.
+        let block = 1u64 << (2 * shift);
+        prop_assert!(idx >= cell_code * block && idx < (cell_code + 1) * block);
+    }
+
+    /// Skilling's transform round-trips in 2-D and 3-D.
+    #[test]
+    fn skilling_round_trip(bits in 1u32..=10, raw in any::<u64>()) {
+        let len2 = 1u64 << (2 * bits);
+        let idx = raw % len2;
+        let axes = skilling::index_to_axes(idx, bits, 2);
+        prop_assert_eq!(skilling::axes_to_index(&axes, bits), idx);
+
+        let len3 = 1u64 << (3 * bits.min(10));
+        let idx3 = raw % len3;
+        let axes3 = skilling::index_to_axes(idx3, bits.min(10), 3);
+        prop_assert_eq!(skilling::axes_to_index(&axes3, bits.min(10)), idx3);
+    }
+
+    /// 3-D curves are bijections at arbitrary positions.
+    #[test]
+    fn curve3d_round_trip(
+        order in 1u32..=8,
+        kind_idx in 0usize..Curve3dKind::ALL.len(),
+        raw in any::<u64>(),
+    ) {
+        let kind = Curve3dKind::ALL[kind_idx];
+        let c = kind.curve(order);
+        let idx = raw % c.len();
+        let p = c.point(idx);
+        prop_assert_eq!(c.index(p), idx);
+    }
+
+    /// 3-D Hilbert takes unit steps.
+    #[test]
+    fn hilbert3d_unit_steps(order in 1u32..=6, raw in any::<u64>()) {
+        let c = Curve3dKind::Hilbert.curve(order);
+        let idx = raw % (c.len() - 1);
+        let a = c.point(idx);
+        let b = c.point(idx + 1);
+        prop_assert_eq!(a.manhattan(b), 1);
+    }
+
+    /// The paper's locality intuition in miniature: for the Hilbert curve,
+    /// cells in the same quadrant at any level occupy one contiguous index
+    /// block (recursive curves never leave a quadrant once entered).
+    #[test]
+    fn hilbert_quadrant_contiguity(
+        order in 2u32..=12,
+        raw in any::<u64>(),
+        level in 1u32..=6,
+    ) {
+        let level = level.min(order);
+        let len = 1u64 << (2 * order);
+        let idx = raw % len;
+        let shift = order - level;
+        let block = 1u64 << (2 * shift);
+        let p = CurveKind::Hilbert.point_of(order, idx);
+        // Every other index in the same block maps into the same cell.
+        let start = (idx / block) * block;
+        for probe in [start, start + block / 2, start + block - 1] {
+            let q = CurveKind::Hilbert.point_of(order, probe);
+            prop_assert_eq!(q.x >> shift, p.x >> shift);
+            prop_assert_eq!(q.y >> shift, p.y >> shift);
+        }
+    }
+
+    /// Point3 metrics satisfy basic axioms.
+    #[test]
+    fn point3_metric_axioms(
+        ax in 0u32..1000, ay in 0u32..1000, az in 0u32..1000,
+        bx in 0u32..1000, by in 0u32..1000, bz in 0u32..1000,
+    ) {
+        let a = Point3::new(ax, ay, az);
+        let b = Point3::new(bx, by, bz);
+        prop_assert_eq!(a.manhattan(b), b.manhattan(a));
+        prop_assert!(a.chebyshev(b) <= a.manhattan(b));
+        prop_assert_eq!(a.manhattan(a), 0);
+    }
+}

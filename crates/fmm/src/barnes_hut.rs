@@ -1,0 +1,202 @@
+//! Barnes–Hut treecode — the classic `O(n log n)` comparator for the FMM.
+//!
+//! Barnes & Hut (1986) approximate the far field of a cell by a single
+//! expansion evaluated per *target particle* (no local expansions, no
+//! downward pass): walking the tree from the root, a cell is accepted
+//! whenever its size-to-distance ratio is below the opening angle `θ`,
+//! otherwise its children are visited. Smaller `θ` means more accuracy and
+//! more work; `θ → 0` degenerates to the direct sum.
+//!
+//! This implementation reuses the uniform [`crate::tree::FmmTree`]
+//! and the multipole machinery (so the "monopole" of the original paper is
+//! generalized to a `p`-term expansion), which makes the accuracy/cost
+//! trade-off against the FMM directly measurable in the `fmm` bench.
+
+use crate::operators::{eval_multipole, m2m, p2m, p2p, Multipole};
+use crate::tree::FmmTree;
+use crate::{binomial::Binomials, Source};
+use rayon::prelude::*;
+
+/// Barnes–Hut solver configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct BarnesHut {
+    /// Opening angle: a cell of width `w` at distance `d` from the target is
+    /// accepted when `w / d < theta`. Typical values 0.3–1.0.
+    pub theta: f64,
+    /// Terms in the per-cell expansions (1 = classic monopole).
+    pub terms: usize,
+    /// Target sources per leaf when choosing the tree depth.
+    pub per_leaf: usize,
+}
+
+impl BarnesHut {
+    /// A solver with the given opening angle, 4-term expansions and the
+    /// default leaf target.
+    pub fn new(theta: f64) -> Self {
+        assert!(theta > 0.0 && theta < 2.0, "theta out of range: {theta}");
+        BarnesHut {
+            theta,
+            terms: 4,
+            per_leaf: 16,
+        }
+    }
+
+    /// Evaluate the potential at every source position, in input order.
+    pub fn potentials(&self, sources: &[Source]) -> Vec<f64> {
+        let depth = FmmTree::auto_depth(sources.len(), self.per_leaf);
+        let tree = FmmTree::build(sources, depth);
+        // Upward pass: multipoles for every cell (same as the FMM's).
+        let p = self.terms;
+        let bin = Binomials::new(2 * p + 2);
+        let depth = tree.depth as usize;
+        let mut multipoles: Vec<Vec<Multipole>> = vec![Vec::new(); depth + 1];
+        let leaves = tree.leaves();
+        multipoles[depth] = (0..leaves.len())
+            .into_par_iter()
+            .map(|i| p2m(&tree.sources[leaves.range[i].clone()], leaves.center[i], p))
+            .collect();
+        for l in (0..depth).rev() {
+            let fine = &tree.levels[l + 1];
+            let coarse = &tree.levels[l];
+            let mut agg: Vec<Multipole> = coarse
+                .center
+                .iter()
+                .map(|&c| Multipole::zero(c, p))
+                .collect();
+            for (i, m) in multipoles[l + 1].iter().enumerate() {
+                let shifted = m2m(m, coarse.center[fine.parent[i]], &bin);
+                for k in 0..=p {
+                    agg[fine.parent[i]].a[k] += shifted.a[k];
+                }
+            }
+            multipoles[l] = agg;
+        }
+
+        // Per-target tree walk.
+        let theta = self.theta;
+        let phi_sorted: Vec<f64> = tree
+            .sources
+            .par_iter()
+            .enumerate()
+            .map(|(t, target)| {
+                let mut phi = 0.0;
+                // Iterative DFS over (level, cell index) pairs.
+                let mut stack: Vec<(usize, usize)> =
+                    (0..tree.levels[0].len()).map(|i| (0usize, i)).collect();
+                while let Some((level, i)) = stack.pop() {
+                    let lv = &tree.levels[level];
+                    let width = 1.0 / (1u64 << level) as f64;
+                    let d = (target.pos - lv.center[i]).abs();
+                    let range = lv.range[i].clone();
+                    if range.contains(&t) || (level < depth && width / d >= theta) {
+                        if level == depth {
+                            // Own leaf or unresolvable: direct.
+                            phi += p2p(&tree.sources[range], target.pos);
+                        } else {
+                            // Open the cell: push existing children.
+                            let fine = &tree.levels[level + 1];
+                            let code = lv.codes[i];
+                            for q in 0..4u64 {
+                                if let Some(&j) = fine.index.get(&((code << 2) | q)) {
+                                    stack.push((level + 1, j));
+                                }
+                            }
+                        }
+                    } else if width / d < theta {
+                        phi += eval_multipole(&multipoles[level][i], target.pos);
+                    } else {
+                        // level == depth but cell still "too close": direct.
+                        phi += p2p(&tree.sources[range], target.pos);
+                    }
+                }
+                phi
+            })
+            .collect();
+
+        // Back to input order.
+        let side = (1u64 << tree.depth) as f64;
+        let mut order: Vec<usize> = (0..sources.len()).collect();
+        order.sort_by_key(|&i| {
+            let s = &sources[i];
+            sfc_curves::morton::encode((s.pos.re * side) as u32, (s.pos.im * side) as u32)
+        });
+        let mut out = vec![0.0; sources.len()];
+        for (sorted_pos, &orig) in order.iter().enumerate() {
+            out[orig] = phi_sorted[sorted_pos];
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::direct;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_sources(n: usize, seed: u64) -> Vec<Source> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Source::new(rng.gen(), rng.gen(), rng.gen_range(0.2..1.0)))
+            .collect()
+    }
+
+    fn max_rel_error(fast: &[f64], exact: &[f64]) -> f64 {
+        let scale = exact.iter().fold(1e-30f64, |m, v| m.max(v.abs()));
+        fast.iter()
+            .zip(exact)
+            .map(|(f, e)| (f - e).abs() / scale)
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn approximates_direct_at_moderate_theta() {
+        let sources = random_sources(800, 3);
+        let exact = direct::potentials(&sources);
+        let fast = BarnesHut::new(0.5).potentials(&sources);
+        let err = max_rel_error(&fast, &exact);
+        assert!(err < 1e-2, "theta 0.5 error {err}");
+    }
+
+    #[test]
+    fn error_decreases_with_theta() {
+        let sources = random_sources(500, 7);
+        let exact = direct::potentials(&sources);
+        let loose = max_rel_error(&BarnesHut::new(1.0).potentials(&sources), &exact);
+        let tight = max_rel_error(&BarnesHut::new(0.3).potentials(&sources), &exact);
+        assert!(tight < loose, "theta 0.3 ({tight}) !< theta 1.0 ({loose})");
+        assert!(tight < 1e-3, "theta 0.3 error {tight}");
+    }
+
+    #[test]
+    fn more_terms_help_at_fixed_theta() {
+        let sources = random_sources(500, 11);
+        let exact = direct::potentials(&sources);
+        let mut bh = BarnesHut::new(0.7);
+        bh.terms = 1; // classic monopole
+        let mono = max_rel_error(&bh.potentials(&sources), &exact);
+        bh.terms = 8;
+        let octo = max_rel_error(&bh.potentials(&sources), &exact);
+        assert!(octo < mono, "8-term ({octo}) !< monopole ({mono})");
+    }
+
+    #[test]
+    fn agrees_with_fmm_within_tolerances() {
+        let sources = random_sources(600, 13);
+        let bh = BarnesHut::new(0.3).potentials(&sources);
+        let fmm = crate::Fmm::new(16).potentials(&sources);
+        let scale = fmm.iter().fold(1e-30f64, |m, v| m.max(v.abs()));
+        for (b, f) in bh.iter().zip(&fmm) {
+            assert!((b - f).abs() / scale < 1e-2);
+        }
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        let sources = vec![Source::new(0.1, 0.1, 1.0), Source::new(0.9, 0.9, -2.0)];
+        let exact = direct::potentials(&sources);
+        let fast = BarnesHut::new(0.5).potentials(&sources);
+        assert!(max_rel_error(&fast, &exact) < 1e-9);
+    }
+}

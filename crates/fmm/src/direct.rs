@@ -1,0 +1,151 @@
+//! Direct `O(n²)` summation — the correctness baseline for the FMM.
+//!
+//! This is also the "naive algorithm" the FMM's asymptotic advantage is
+//! measured against in the crate's benches.
+
+use crate::Source;
+use rayon::prelude::*;
+
+/// Potential `φ(z_t) = Σ_{i≠t} q_i ln|z_t − z_i|` at every source position.
+pub fn potentials(sources: &[Source]) -> Vec<f64> {
+    sources
+        .par_iter()
+        .enumerate()
+        .map(|(t, target)| {
+            let mut phi = 0.0;
+            for (i, s) in sources.iter().enumerate() {
+                if i == t {
+                    continue;
+                }
+                let d = (target.pos - s.pos).abs();
+                debug_assert!(d > 0.0, "coincident sources {i} and {t}");
+                phi += s.charge * d.ln();
+            }
+            phi
+        })
+        .collect()
+}
+
+/// Potential at arbitrary target points (no self-exclusion).
+pub fn potentials_at(sources: &[Source], targets: &[crate::Complex]) -> Vec<f64> {
+    targets
+        .par_iter()
+        .map(|&t| {
+            sources
+                .iter()
+                .map(|s| s.charge * (t - s.pos).abs().ln())
+                .sum()
+        })
+        .collect()
+}
+
+/// Total interaction energy `Σ_{i<j} q_i q_j ln|z_i − z_j|`.
+pub fn energy(sources: &[Source]) -> f64 {
+    let phi = potentials(sources);
+    0.5 * sources
+        .iter()
+        .zip(&phi)
+        .map(|(s, p)| s.charge * p)
+        .sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_unit_charges() {
+        let sources = vec![Source::new(0.0, 0.0, 1.0), Source::new(1.0, 0.0, 1.0)];
+        let phi = potentials(&sources);
+        // Each feels ln(1) = 0 from the other.
+        assert_eq!(phi, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn charge_scaling_is_linear() {
+        let a = vec![Source::new(0.1, 0.2, 1.0), Source::new(0.7, 0.9, 1.0)];
+        let b = vec![Source::new(0.1, 0.2, 2.0), Source::new(0.7, 0.9, 2.0)];
+        let pa = potentials(&a);
+        let pb = potentials(&b);
+        for (x, y) in pa.iter().zip(&pb) {
+            assert!((2.0 * x - y).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn potential_at_external_targets() {
+        let sources = vec![Source::new(0.0, 0.0, 3.0)];
+        let targets = vec![crate::Complex::new(std::f64::consts::E, 0.0)];
+        let phi = potentials_at(&sources, &targets);
+        assert!((phi[0] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_matches_hand_computation() {
+        // Three unit charges at mutual distance 1 except one pair at 2:
+        // z = 0, 1, 2 on the real axis.
+        let sources = vec![
+            Source::new(0.0, 0.0, 1.0),
+            Source::new(1.0, 0.0, 1.0),
+            Source::new(2.0, 0.0, 1.0),
+        ];
+        // Pairs: (0,1) d=1, (1,2) d=1, (0,2) d=2 -> energy = ln 2.
+        assert!((energy(&sources) - (2.0f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetry_of_potentials_for_symmetric_input() {
+        let sources = vec![
+            Source::new(0.25, 0.5, 1.0),
+            Source::new(0.75, 0.5, 1.0),
+            Source::new(0.5, 0.25, 1.0),
+            Source::new(0.5, 0.75, 1.0),
+        ];
+        let phi = potentials(&sources);
+        assert!((phi[0] - phi[1]).abs() < 1e-12);
+        assert!((phi[2] - phi[3]).abs() < 1e-12);
+        assert!((phi[0] - phi[2]).abs() < 1e-12);
+    }
+}
+
+/// Complex force field `Φ'(z_t) = Σ_{i≠t} q_i / (z_t − z_i)` at every
+/// source, by direct summation — baseline for the FMM field evaluation.
+pub fn fields(sources: &[Source]) -> Vec<crate::Complex> {
+    sources
+        .par_iter()
+        .enumerate()
+        .map(|(t, target)| {
+            let mut grad = crate::Complex::default();
+            for (i, s) in sources.iter().enumerate() {
+                if i == t {
+                    continue;
+                }
+                grad += (target.pos - s.pos).recip().scale(s.charge);
+            }
+            grad
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod field_tests {
+    use super::*;
+
+    #[test]
+    fn two_charges_repel_along_the_axis() {
+        let sources = vec![Source::new(0.2, 0.5, 1.0), Source::new(0.8, 0.5, 1.0)];
+        let f = fields(&sources);
+        // Φ' at the left charge points toward negative x: 1/(z0−z1) < 0.
+        assert!(f[0].re < 0.0 && f[0].im.abs() < 1e-15);
+        assert!(f[1].re > 0.0);
+        assert!((f[0].re + f[1].re).abs() < 1e-15, "equal and opposite");
+    }
+
+    #[test]
+    fn field_magnitude_is_inverse_distance() {
+        let sources = vec![Source::new(0.0, 0.0, 3.0), Source::new(0.5, 0.0, 1.0)];
+        let f = fields(&sources);
+        // At the second source the field from charge 3 at distance 0.5 is 6.
+        assert!((f[1].abs() - 6.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,422 @@
+//! The FMM translation operators (Greengard & Rokhlin, Lemmas 2.3–2.5).
+//!
+//! A **multipole expansion** about center `c` represents the far field of
+//! charges inside a cell:
+//!
+//! ```text
+//! φ(z) = a₀ ln(z − c) + Σ_{k≥1} a_k / (z − c)^k
+//! ```
+//!
+//! with `a₀ = Σ qᵢ` and `a_k = Σ −qᵢ (zᵢ − c)^k / k`. A **local expansion**
+//! about `c` is a truncated Taylor series `φ(z) = Σ_{l≥0} b_l (z − c)^l`
+//! valid inside a cell. Both are stored as coefficient vectors of length
+//! `p + 1`.
+
+use crate::binomial::Binomials;
+use crate::complex::{Complex, ONE, ZERO};
+use crate::Source;
+
+/// A truncated multipole expansion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Multipole {
+    /// Expansion center.
+    pub center: Complex,
+    /// Coefficients `a[0] ..= a[p]`.
+    pub a: Vec<Complex>,
+}
+
+/// A truncated local (Taylor) expansion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Local {
+    /// Expansion center.
+    pub center: Complex,
+    /// Coefficients `b[0] ..= b[p]`.
+    pub b: Vec<Complex>,
+}
+
+impl Multipole {
+    /// The zero expansion of order `p` about `center`.
+    pub fn zero(center: Complex, p: usize) -> Self {
+        Multipole {
+            center,
+            a: vec![ZERO; p + 1],
+        }
+    }
+
+    /// Expansion order `p`.
+    pub fn order(&self) -> usize {
+        self.a.len() - 1
+    }
+}
+
+impl Local {
+    /// The zero expansion of order `p` about `center`.
+    pub fn zero(center: Complex, p: usize) -> Self {
+        Local {
+            center,
+            b: vec![ZERO; p + 1],
+        }
+    }
+
+    /// Expansion order `p`.
+    pub fn order(&self) -> usize {
+        self.b.len() - 1
+    }
+}
+
+/// P2M: the order-`p` multipole expansion of `sources` about `center`.
+pub fn p2m(sources: &[Source], center: Complex, p: usize) -> Multipole {
+    let mut m = Multipole::zero(center, p);
+    for s in sources {
+        let d = s.pos - center;
+        m.a[0] += Complex::from(s.charge);
+        // a_k -= q d^k / k, accumulated with an incremental power.
+        let mut dk = ONE;
+        for k in 1..=p {
+            dk *= d;
+            m.a[k] += dk.scale(-s.charge / k as f64);
+        }
+    }
+    m
+}
+
+/// M2M: translate `child` to a new center (Lemma 2.3). The result is exact
+/// up to the shared truncation order.
+pub fn m2m(child: &Multipole, new_center: Complex, bin: &Binomials) -> Multipole {
+    let p = child.order();
+    let d = child.center - new_center;
+    let mut out = Multipole::zero(new_center, p);
+    out.a[0] = child.a[0];
+    // Precompute powers of d.
+    let mut d_pow = vec![ONE; p + 1];
+    for k in 1..=p {
+        d_pow[k] = d_pow[k - 1] * d;
+    }
+    for l in 1..=p {
+        // −a₀ d^l / l ...
+        let mut acc = d_pow[l] * child.a[0].scale(-1.0 / l as f64);
+        // ... + Σ_{k=1}^{l} a_k d^{l−k} C(l−1, k−1)
+        for k in 1..=l {
+            acc += child.a[k] * d_pow[l - k].scale(bin.c(l - 1, k - 1));
+        }
+        out.a[l] = acc;
+    }
+    out
+}
+
+/// M2L: convert a multipole about a well-separated center into a local
+/// expansion about `local_center` (Lemma 2.4), adding into `out`.
+#[allow(clippy::needless_range_loop)] // indices mirror the lemma's k/l notation
+pub fn m2l(m: &Multipole, out: &mut Local, bin: &Binomials) {
+    let p = m.order();
+    debug_assert_eq!(out.order(), p);
+    let t = m.center - out.center;
+    debug_assert!(t.abs() > 0.0, "M2L centers coincide");
+    let t_inv = t.recip();
+    // a_k (−1)^k / t^k, incrementally.
+    let mut ak_term = vec![ZERO; p + 1];
+    {
+        let mut f = ONE; // (−1/t)^k
+        for k in 1..=p {
+            f *= t_inv.scale(-1.0);
+            ak_term[k] = m.a[k] * f;
+        }
+    }
+    // b_0 += a0 ln(−t) + Σ_k a_k(−1)^k/t^k
+    let mut b0 = m.a[0] * (-t).ln();
+    for k in 1..=p {
+        b0 += ak_term[k];
+    }
+    out.b[0] += b0;
+    // b_l += t^{−l} ( −a0/l + Σ_k a_k (−1)^k C(l+k−1, k−1) / t^k )
+    let mut tl_inv = ONE;
+    for l in 1..=p {
+        tl_inv *= t_inv;
+        let mut acc = m.a[0].scale(-1.0 / l as f64);
+        for k in 1..=p {
+            acc += ak_term[k].scale(bin.c(l + k - 1, k - 1));
+        }
+        out.b[l] += acc * tl_inv;
+    }
+}
+
+/// L2L: recenter a local expansion (exact; Lemma 2.5).
+pub fn l2l(parent: &Local, new_center: Complex, bin: &Binomials) -> Local {
+    let p = parent.order();
+    let d = new_center - parent.center;
+    let mut d_pow = vec![ONE; p + 1];
+    for k in 1..=p {
+        d_pow[k] = d_pow[k - 1] * d;
+    }
+    let mut out = Local::zero(new_center, p);
+    for l in 0..=p {
+        let mut acc = ZERO;
+        for k in l..=p {
+            acc += parent.b[k] * d_pow[k - l].scale(bin.c(k, l));
+        }
+        out.b[l] = acc;
+    }
+    out
+}
+
+/// Evaluate a multipole expansion at a point strictly outside its cell.
+/// Returns the real potential `Re φ(z)`.
+pub fn eval_multipole(m: &Multipole, z: Complex) -> f64 {
+    let u = z - m.center;
+    let u_inv = u.recip();
+    let mut phi = m.a[0] * u.ln();
+    let mut uk = ONE;
+    for k in 1..=m.order() {
+        uk *= u_inv;
+        phi += m.a[k] * uk;
+    }
+    phi.re
+}
+
+/// Evaluate a local expansion at a point inside its cell (Horner).
+pub fn eval_local(l: &Local, z: Complex) -> f64 {
+    let u = z - l.center;
+    let mut acc = ZERO;
+    for k in (0..=l.order()).rev() {
+        acc = acc * u + l.b[k];
+    }
+    acc.re
+}
+
+/// Direct near-field contribution of `sources` at `z`, excluding any source
+/// at exactly `z` (self-interaction).
+pub fn p2p(sources: &[Source], z: Complex) -> f64 {
+    let mut phi = 0.0;
+    for s in sources {
+        let d2 = (z - s.pos).norm_sq();
+        if d2 > 0.0 {
+            phi += s.charge * 0.5 * d2.ln();
+        }
+    }
+    phi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::direct;
+
+    const P: usize = 30;
+
+    fn cluster() -> Vec<Source> {
+        // Charges inside the cell [0.4, 0.6)^2.
+        vec![
+            Source::new(0.45, 0.45, 1.0),
+            Source::new(0.55, 0.47, -2.0),
+            Source::new(0.5, 0.58, 0.5),
+            Source::new(0.41, 0.59, 1.7),
+        ]
+    }
+
+    fn far_targets() -> Vec<Complex> {
+        vec![
+            Complex::new(0.95, 0.1),
+            Complex::new(0.0, 0.0),
+            Complex::new(0.9, 0.95),
+            Complex::new(0.1, 0.9),
+        ]
+    }
+
+    #[test]
+    fn multipole_matches_direct_far_field() {
+        let s = cluster();
+        let m = p2m(&s, Complex::new(0.5, 0.5), P);
+        let exact = direct::potentials_at(&s, &far_targets());
+        for (t, e) in far_targets().iter().zip(&exact) {
+            let approx = eval_multipole(&m, *t);
+            assert!((approx - e).abs() < 1e-10, "at {t}: {approx} vs {e}");
+        }
+    }
+
+    #[test]
+    fn m2m_preserves_far_field() {
+        let s = cluster();
+        let m = p2m(&s, Complex::new(0.5, 0.5), P);
+        // Shift only slightly, so every far target stays outside the
+        // enlarged convergence disc of the shifted expansion (sources are
+        // within ~0.27 of the new center; the closest target is ~0.57 away).
+        let shifted = m2m(&m, Complex::new(0.4, 0.4), &Binomials::new(2 * P));
+        let exact = direct::potentials_at(&s, &far_targets());
+        for (t, e) in far_targets().iter().zip(&exact) {
+            let approx = eval_multipole(&shifted, *t);
+            assert!((approx - e).abs() < 1e-7, "at {t}: {approx} vs {e}");
+        }
+    }
+
+    #[test]
+    fn m2l_converges_in_the_local_cell() {
+        let s = cluster();
+        let m = p2m(&s, Complex::new(0.5, 0.5), P);
+        // Local cell well separated: centered at (0.05, 0.05), width 0.1.
+        let lc = Complex::new(0.05, 0.05);
+        let mut local = Local::zero(lc, P);
+        m2l(&m, &mut local, &Binomials::new(2 * P));
+        for &(dx, dy) in &[(0.0, 0.0), (0.04, -0.04), (-0.04, 0.04), (0.049, 0.049)] {
+            let z = lc + Complex::new(dx, dy);
+            let e = direct::potentials_at(&s, &[z])[0];
+            let approx = eval_local(&local, z);
+            assert!((approx - e).abs() < 1e-8, "at {z}: {approx} vs {e}");
+        }
+    }
+
+    #[test]
+    fn l2l_is_exact() {
+        let s = cluster();
+        let m = p2m(&s, Complex::new(0.5, 0.5), P);
+        let lc = Complex::new(0.05, 0.05);
+        let mut local = Local::zero(lc, P);
+        let bin = Binomials::new(2 * P);
+        m2l(&m, &mut local, &bin);
+        let child_center = Complex::new(0.075, 0.025);
+        let child = l2l(&local, child_center, &bin);
+        for &(dx, dy) in &[(0.0, 0.0), (0.02, 0.02), (-0.02, 0.01)] {
+            let z = child_center + Complex::new(dx, dy);
+            let a = eval_local(&local, z);
+            let b = eval_local(&child, z);
+            assert!((a - b).abs() < 1e-10, "L2L drift at {z}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn p2p_excludes_self() {
+        let s = vec![Source::new(0.5, 0.5, 1.0), Source::new(0.6, 0.5, 1.0)];
+        let phi = p2p(&s, Complex::new(0.5, 0.5));
+        assert!((phi - (0.1f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_charge_is_a0() {
+        let s = cluster();
+        let m = p2m(&s, Complex::new(0.5, 0.5), 5);
+        let q: f64 = s.iter().map(|s| s.charge).sum();
+        assert!((m.a[0].re - q).abs() < 1e-12);
+        assert_eq!(m.a[0].im, 0.0);
+    }
+
+    #[test]
+    fn truncation_error_decays_with_order() {
+        let s = cluster();
+        let t = Complex::new(0.9, 0.9);
+        let exact = direct::potentials_at(&s, &[t])[0];
+        let mut prev_err = f64::INFINITY;
+        for p in [2usize, 6, 12, 24] {
+            let m = p2m(&s, Complex::new(0.5, 0.5), p);
+            let err = (eval_multipole(&m, t) - exact).abs();
+            assert!(err < prev_err + 1e-14, "order {p}: {err} !< {prev_err}");
+            prev_err = err;
+        }
+        assert!(prev_err < 1e-9);
+    }
+}
+
+/// Evaluate the *complex force field* `Φ'(z) = Σ q_j / (z − z_j)` of a
+/// multipole expansion at a far point. The physical gradient of the real
+/// potential is `(∂φ/∂x, ∂φ/∂y) = (Re Φ', −Im Φ')`.
+pub fn eval_multipole_grad(m: &Multipole, z: Complex) -> Complex {
+    let u = z - m.center;
+    let u_inv = u.recip();
+    // d/dz [a0 ln u + Σ a_k u^{-k}] = a0/u − Σ k a_k u^{-k-1}.
+    let mut grad = m.a[0] * u_inv;
+    let mut uk = u_inv;
+    for k in 1..=m.order() {
+        uk *= u_inv; // u^{-(k+1)}
+        grad += m.a[k].scale(-(k as f64)) * uk;
+    }
+    grad
+}
+
+/// Evaluate the complex force field of a local expansion at an interior
+/// point: `Σ_{l≥1} l·b_l (z − c)^{l−1}` (Horner).
+pub fn eval_local_grad(l: &Local, z: Complex) -> Complex {
+    let u = z - l.center;
+    let p = l.order();
+    let mut acc = ZERO;
+    for k in (1..=p).rev() {
+        acc = acc * u + l.b[k].scale(k as f64);
+    }
+    acc
+}
+
+/// Direct near-field complex force contribution, excluding any source at
+/// exactly `z`.
+pub fn p2p_grad(sources: &[Source], z: Complex) -> Complex {
+    let mut grad = ZERO;
+    for s in sources {
+        let d = z - s.pos;
+        if d.norm_sq() > 0.0 {
+            grad += d.recip().scale(s.charge);
+        }
+    }
+    grad
+}
+
+#[cfg(test)]
+mod grad_tests {
+    use super::*;
+    use crate::binomial::Binomials;
+
+    const P: usize = 30;
+
+    fn cluster() -> Vec<Source> {
+        vec![
+            Source::new(0.45, 0.45, 1.0),
+            Source::new(0.55, 0.47, -2.0),
+            Source::new(0.5, 0.58, 0.5),
+        ]
+    }
+
+    fn direct_grad(sources: &[Source], z: Complex) -> Complex {
+        p2p_grad(sources, z)
+    }
+
+    #[test]
+    fn multipole_grad_matches_direct() {
+        let s = cluster();
+        let m = p2m(&s, Complex::new(0.5, 0.5), P);
+        for &(x, y) in &[(0.95, 0.1), (0.05, 0.9), (0.02, 0.02)] {
+            let z = Complex::new(x, y);
+            let approx = eval_multipole_grad(&m, z);
+            let exact = direct_grad(&s, z);
+            assert!((approx - exact).abs() < 1e-9, "at {z}");
+        }
+    }
+
+    #[test]
+    fn local_grad_matches_direct() {
+        let s = cluster();
+        let m = p2m(&s, Complex::new(0.5, 0.5), P);
+        let lc = Complex::new(0.05, 0.05);
+        let mut local = Local::zero(lc, P);
+        m2l(&m, &mut local, &Binomials::new(2 * P));
+        for &(dx, dy) in &[(0.0, 0.0), (0.04, -0.03), (-0.04, 0.04)] {
+            let z = lc + Complex::new(dx, dy);
+            let approx = eval_local_grad(&local, z);
+            let exact = direct_grad(&s, z);
+            assert!((approx - exact).abs() < 1e-7, "at {z}");
+        }
+    }
+
+    #[test]
+    fn grad_is_derivative_of_potential() {
+        // Finite-difference check: Φ' ≈ (φ(z+h) − φ(z−h)) / 2h along x,
+        // and −(φ(z+ih) − φ(z−ih)) / 2h ... for the imaginary part.
+        let s = cluster();
+        let m = p2m(&s, Complex::new(0.5, 0.5), P);
+        let z = Complex::new(0.9, 0.85);
+        let h = 1e-6;
+        let grad = eval_multipole_grad(&m, z);
+        let ddx = (eval_multipole(&m, z + Complex::new(h, 0.0))
+            - eval_multipole(&m, z - Complex::new(h, 0.0)))
+            / (2.0 * h);
+        let ddy = (eval_multipole(&m, z + Complex::new(0.0, h))
+            - eval_multipole(&m, z - Complex::new(0.0, h)))
+            / (2.0 * h);
+        assert!((grad.re - ddx).abs() < 1e-5, "{} vs {}", grad.re, ddx);
+        assert!((-grad.im - ddy).abs() < 1e-5, "{} vs {}", -grad.im, ddy);
+    }
+}

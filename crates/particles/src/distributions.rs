@@ -1,0 +1,285 @@
+//! The paper's three input distributions.
+//!
+//! - **Uniform**: every cell of the spatial resolution is equally likely
+//!   (Figure 2(a) of the paper).
+//! - **Bivariate normal**: symmetric-axis Gaussian centered on the grid,
+//!   modeling centrally clustered problems (Figure 2(b)).
+//! - **Exponential**: both coordinates exponentially distributed, clustering
+//!   the particles into the corner quadrant and modeling skewed inputs
+//!   (Figure 2(c)).
+//!
+//! Sampling transforms are implemented from first principles on top of the
+//! `rand` uniform source: Box–Muller for the Gaussian and inverse-CDF for
+//! the exponential, so runs are reproducible across platforms without
+//! depending on distribution crates.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Tag identifying a distribution family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DistributionKind {
+    /// Uniform over all grid cells.
+    Uniform,
+    /// Bivariate normal, centered, symmetric axes.
+    Normal,
+    /// Exponential in both coordinates (skewed to the low corner).
+    Exponential,
+}
+
+impl DistributionKind {
+    /// The three distributions of the paper, in its reporting order.
+    pub const ALL: [DistributionKind; 3] = [
+        DistributionKind::Uniform,
+        DistributionKind::Normal,
+        DistributionKind::Exponential,
+    ];
+
+    /// Display name used in tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            DistributionKind::Uniform => "Uniform",
+            DistributionKind::Normal => "Normal",
+            DistributionKind::Exponential => "Exponential",
+        }
+    }
+
+    /// Parse a distribution name from a command line.
+    pub fn parse(s: &str) -> Option<DistributionKind> {
+        match s.to_ascii_lowercase().as_str() {
+            "uniform" | "u" => Some(DistributionKind::Uniform),
+            "normal" | "gaussian" | "n" => Some(DistributionKind::Normal),
+            "exponential" | "exp" | "e" => Some(DistributionKind::Exponential),
+            _ => None,
+        }
+    }
+
+    /// The distribution with its default shape parameters.
+    pub fn default_params(self) -> Distribution {
+        match self {
+            DistributionKind::Uniform => Distribution::uniform(),
+            DistributionKind::Normal => Distribution::normal(DEFAULT_SIGMA_FRACTION),
+            DistributionKind::Exponential => Distribution::exponential(DEFAULT_EXP_SCALE_FRACTION),
+        }
+    }
+}
+
+impl std::fmt::Display for DistributionKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Default Gaussian standard deviation as a fraction of the grid side. A
+/// sixth of the side keeps ~99.7% of the mass inside the grid while
+/// concentrating particles around the center discontinuity of the recursive
+/// curves — the effect Section VI-A of the paper discusses.
+pub const DEFAULT_SIGMA_FRACTION: f64 = 1.0 / 6.0;
+
+/// Default exponential scale (mean) as a fraction of the grid side. An
+/// eighth of the side puts the bulk of the particles well inside the lowest
+/// quadrant, matching the paper's Figure 2(c).
+pub const DEFAULT_EXP_SCALE_FRACTION: f64 = 1.0 / 8.0;
+
+/// A fully parameterized input distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Distribution {
+    /// The family.
+    pub kind: DistributionKind,
+    /// Shape parameter as a fraction of the grid side: the standard
+    /// deviation for `Normal`, the scale (mean) for `Exponential`; unused
+    /// for `Uniform`.
+    pub shape: f64,
+}
+
+impl Distribution {
+    /// The uniform distribution.
+    pub fn uniform() -> Self {
+        Distribution {
+            kind: DistributionKind::Uniform,
+            shape: 0.0,
+        }
+    }
+
+    /// A centered bivariate normal with `sigma = sigma_fraction * side`.
+    pub fn normal(sigma_fraction: f64) -> Self {
+        assert!(
+            sigma_fraction > 0.0,
+            "normal sigma fraction must be positive"
+        );
+        Distribution {
+            kind: DistributionKind::Normal,
+            shape: sigma_fraction,
+        }
+    }
+
+    /// An exponential with `scale = scale_fraction * side` in each
+    /// coordinate.
+    pub fn exponential(scale_fraction: f64) -> Self {
+        assert!(
+            scale_fraction > 0.0,
+            "exponential scale fraction must be positive"
+        );
+        Distribution {
+            kind: DistributionKind::Exponential,
+            shape: scale_fraction,
+        }
+    }
+
+    /// Draw one candidate cell on a grid of the given side. The result is
+    /// guaranteed in-grid (rejection sampling keeps the distribution shape
+    /// undistorted at the boundary).
+    pub fn draw<R: Rng>(&self, rng: &mut R, side: u64) -> (u32, u32) {
+        match self.kind {
+            DistributionKind::Uniform => {
+                (rng.gen_range(0..side) as u32, rng.gen_range(0..side) as u32)
+            }
+            DistributionKind::Normal => {
+                let center = side as f64 / 2.0;
+                let sigma = self.shape * side as f64;
+                loop {
+                    let (gx, gy) = box_muller(rng);
+                    let x = center + sigma * gx;
+                    let y = center + sigma * gy;
+                    if x >= 0.0 && y >= 0.0 && x < side as f64 && y < side as f64 {
+                        return (x as u32, y as u32);
+                    }
+                }
+            }
+            DistributionKind::Exponential => {
+                let scale = self.shape * side as f64;
+                loop {
+                    let x = exponential(rng, scale);
+                    let y = exponential(rng, scale);
+                    if x < side as f64 && y < side as f64 {
+                        return (x as u32, y as u32);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One pair of independent standard normal variates via Box–Muller.
+fn box_muller<R: Rng>(rng: &mut R) -> (f64, f64) {
+    // Guard against log(0): sample u1 in the open interval (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    let r = (-2.0 * u1.ln()).sqrt();
+    let theta = 2.0 * std::f64::consts::PI * u2;
+    (r * theta.cos(), r * theta.sin())
+}
+
+/// One exponential variate with the given scale (mean) via inverse CDF.
+fn exponential<R: Rng>(rng: &mut R, scale: f64) -> f64 {
+    let u: f64 = 1.0 - rng.gen::<f64>();
+    -scale * u.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mean_and_var(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn uniform_covers_grid_evenly() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = Distribution::uniform();
+        let side = 16u64;
+        let mut counts = vec![0u32; 256];
+        for _ in 0..25_600 {
+            let (x, y) = d.draw(&mut rng, side);
+            counts[(y as usize) * 16 + x as usize] += 1;
+        }
+        // Expected 100 per cell; allow generous slack.
+        assert!(counts.iter().all(|&c| c > 40 && c < 180));
+    }
+
+    #[test]
+    fn normal_concentrates_at_center() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = Distribution::normal(DEFAULT_SIGMA_FRACTION);
+        let side = 256u64;
+        let xs: Vec<f64> = (0..20_000)
+            .map(|_| d.draw(&mut rng, side).0 as f64)
+            .collect();
+        let (mean, var) = mean_and_var(&xs);
+        assert!((mean - 128.0).abs() < 2.0, "mean {mean}");
+        let sigma = (side as f64) / 6.0;
+        assert!(
+            (var.sqrt() - sigma).abs() < sigma * 0.1,
+            "sd {} vs {sigma}",
+            var.sqrt()
+        );
+    }
+
+    #[test]
+    fn exponential_clusters_in_low_corner() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = Distribution::exponential(DEFAULT_EXP_SCALE_FRACTION);
+        let side = 256u64;
+        let mut in_low_quadrant = 0usize;
+        let total = 20_000;
+        for _ in 0..total {
+            let (x, y) = d.draw(&mut rng, side);
+            assert!((x as u64) < side && (y as u64) < side);
+            if x < 128 && y < 128 {
+                in_low_quadrant += 1;
+            }
+        }
+        // P(exp < side/2 with mean side/8) = 1 - e^-4 ≈ 0.9817 per axis.
+        let frac = in_low_quadrant as f64 / total as f64;
+        assert!(frac > 0.93, "only {frac} in the low quadrant");
+    }
+
+    #[test]
+    fn exponential_mean_matches_scale() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let scale = 32.0;
+        let xs: Vec<f64> = (0..50_000).map(|_| exponential(&mut rng, scale)).collect();
+        let (mean, _) = mean_and_var(&xs);
+        assert!((mean - scale).abs() < 0.5, "mean {mean}");
+    }
+
+    #[test]
+    fn box_muller_is_standard_normal() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut xs = Vec::with_capacity(100_000);
+        for _ in 0..50_000 {
+            let (a, b) = box_muller(&mut rng);
+            xs.push(a);
+            xs.push(b);
+        }
+        let (mean, var) = mean_and_var(&xs);
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn kind_parse_round_trips() {
+        for kind in DistributionKind::ALL {
+            assert_eq!(DistributionKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(DistributionKind::parse("bogus"), None);
+    }
+
+    #[test]
+    fn draws_are_deterministic_per_seed() {
+        for kind in DistributionKind::ALL {
+            let d = kind.default_params();
+            let mut a = StdRng::seed_from_u64(7);
+            let mut b = StdRng::seed_from_u64(7);
+            for _ in 0..100 {
+                assert_eq!(d.draw(&mut a, 64), d.draw(&mut b, 64));
+            }
+        }
+    }
+}

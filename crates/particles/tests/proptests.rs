@@ -1,0 +1,82 @@
+//! Property-based tests for input generation and the cell index.
+
+use proptest::prelude::*;
+use sfc_particles::cellmap::{pack_cell, unpack_cell, CellMap};
+use sfc_particles::{sample, Distribution, DistributionKind, Workload};
+
+proptest! {
+    /// Samples always have the requested size, stay in-grid, and contain no
+    /// duplicate cells — for every distribution, order and seed.
+    #[test]
+    fn samples_are_valid(
+        dist_idx in 0usize..3,
+        order in 3u32..=9,
+        n_frac in 1u64..=30,
+        seed in any::<u64>(),
+    ) {
+        let dist = DistributionKind::ALL[dist_idx].default_params();
+        let side = 1u64 << order;
+        let n = ((side * side) * n_frac / 100).max(1) as usize;
+        let pts = sample(dist, order, n, seed);
+        prop_assert_eq!(pts.len(), n);
+        let mut keys: Vec<u64> = pts.iter().map(|p| pack_cell(p.x, p.y)).collect();
+        keys.sort_unstable();
+        let before = keys.len();
+        keys.dedup();
+        prop_assert_eq!(keys.len(), before, "duplicate cells");
+        prop_assert!(pts.iter().all(|p| (p.x as u64) < side && (p.y as u64) < side));
+    }
+
+    /// Sampling is a pure function of (distribution, order, n, seed).
+    #[test]
+    fn sampling_is_deterministic(order in 4u32..=8, seed in any::<u64>()) {
+        let a = sample(Distribution::uniform(), order, 64, seed);
+        let b = sample(Distribution::uniform(), order, 64, seed);
+        prop_assert_eq!(a, b);
+    }
+
+    /// pack/unpack are inverse for all coordinates.
+    #[test]
+    fn pack_cell_round_trip(x in any::<u32>(), y in any::<u32>()) {
+        prop_assert_eq!(unpack_cell(pack_cell(x, y)), (x, y));
+    }
+
+    /// CellMap agrees with a reference HashMap under arbitrary insert_min
+    /// workloads.
+    #[test]
+    fn cellmap_matches_reference(
+        ops in prop::collection::vec((0u64..5000, any::<u32>()), 1..400),
+    ) {
+        let mut map = CellMap::with_capacity(ops.len());
+        let mut reference = std::collections::HashMap::new();
+        for &(key, value) in &ops {
+            map.insert_min(key, value);
+            let e = reference.entry(key).or_insert(value);
+            *e = (*e).min(value);
+        }
+        prop_assert_eq!(map.len(), reference.len());
+        for (k, v) in reference {
+            prop_assert_eq!(map.get(k), Some(v));
+        }
+        // Keys never inserted are absent.
+        prop_assert_eq!(map.get(6000), None);
+    }
+
+    /// Workload scaling preserves density within rounding.
+    #[test]
+    fn workload_scaling_density(scale in 0u32..4) {
+        let w = Workload::figure6(1);
+        let s = w.scaled_down(scale);
+        prop_assert!((s.density() - w.density()).abs() < 1e-9);
+        prop_assert_eq!(s.side(), w.side() >> scale);
+    }
+
+    /// The exponential distribution is skewed: the low-corner quadrant holds
+    /// a clear majority of the mass for any seed.
+    #[test]
+    fn exponential_skew(seed in any::<u64>()) {
+        let pts = sample(DistributionKind::Exponential.default_params(), 7, 500, seed);
+        let low = pts.iter().filter(|p| p.x < 64 && p.y < 64).count();
+        prop_assert!(low * 2 > pts.len(), "only {low} of {} in low quadrant", pts.len());
+    }
+}

@@ -1,0 +1,364 @@
+//! Quadtree cells.
+//!
+//! A [`Cell`] identifies one square region of the `2^k × 2^k` domain: at
+//! level `ℓ` (0 = root, `k` = finest) the domain is a `2^ℓ × 2^ℓ` grid of
+//! cells and the cell has coordinates `(x, y)` within it. The Morton code of
+//! `(x, y)` doubles as the cell's id within its level, making parent/child
+//! arithmetic a two-bit shift.
+
+use sfc_curves::morton;
+use sfc_curves::Point2;
+
+/// A cell of the spatial quadtree at a given resolution level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Cell {
+    /// Resolution level: 0 is the root (whole domain), `k` the finest.
+    pub level: u32,
+    /// Column within the level's `2^level`-sided grid.
+    pub x: u32,
+    /// Row within the level's grid.
+    pub y: u32,
+}
+
+impl Cell {
+    /// The root cell covering the whole domain.
+    pub const ROOT: Cell = Cell {
+        level: 0,
+        x: 0,
+        y: 0,
+    };
+
+    /// Construct a cell, checking the coordinates fit the level.
+    pub fn new(level: u32, x: u32, y: u32) -> Self {
+        assert!(level <= 31, "level out of range: {level}");
+        let side = 1u64 << level;
+        assert!(
+            (x as u64) < side && (y as u64) < side,
+            "cell ({x}, {y}) outside level-{level} grid"
+        );
+        Cell { level, x, y }
+    }
+
+    /// The finest-resolution cell containing grid point `p` on a
+    /// `2^grid_order`-sided grid (i.e. the leaf cell of the point).
+    pub fn leaf(grid_order: u32, p: Point2) -> Self {
+        Cell::new(grid_order, p.x, p.y)
+    }
+
+    /// Side length of this level's grid.
+    #[inline]
+    pub fn level_side(&self) -> u64 {
+        1u64 << self.level
+    }
+
+    /// Morton code of the cell within its level.
+    #[inline]
+    pub fn code(&self) -> u64 {
+        morton::encode(self.x, self.y)
+    }
+
+    /// Reconstruct a cell from its level and Morton code.
+    #[inline]
+    pub fn from_code(level: u32, code: u64) -> Self {
+        let (x, y) = morton::decode(code);
+        debug_assert!((x as u64) < (1u64 << level) && (y as u64) < (1u64 << level));
+        Cell { level, x, y }
+    }
+
+    /// The parent cell (one level coarser). `None` for the root.
+    #[inline]
+    pub fn parent(&self) -> Option<Cell> {
+        if self.level == 0 {
+            return None;
+        }
+        Some(Cell {
+            level: self.level - 1,
+            x: self.x >> 1,
+            y: self.y >> 1,
+        })
+    }
+
+    /// The four children (one level finer), in Morton order.
+    pub fn children(&self) -> [Cell; 4] {
+        let level = self.level + 1;
+        assert!(level <= 31, "cannot refine below level 31");
+        let (x, y) = (self.x << 1, self.y << 1);
+        [
+            Cell { level, x, y },
+            Cell { level, x: x + 1, y },
+            Cell { level, x, y: y + 1 },
+            Cell {
+                level,
+                x: x + 1,
+                y: y + 1,
+            },
+        ]
+    }
+
+    /// True if `other` lies within this cell's region (including `self`).
+    pub fn contains(&self, other: Cell) -> bool {
+        if other.level < self.level {
+            return false;
+        }
+        let shift = other.level - self.level;
+        (other.x >> shift) == self.x && (other.y >> shift) == self.y
+    }
+
+    /// Chebyshev distance to a same-level cell.
+    #[inline]
+    pub fn chebyshev(&self, other: Cell) -> u64 {
+        debug_assert_eq!(self.level, other.level, "cells must share a level");
+        (self.x.abs_diff(other.x)).max(self.y.abs_diff(other.y)) as u64
+    }
+
+    /// True if `other` (same level) shares an edge or corner with this cell.
+    #[inline]
+    pub fn is_adjacent(&self, other: Cell) -> bool {
+        self.chebyshev(other) == 1
+    }
+
+    /// The same-level cells sharing an edge or corner with this cell — at
+    /// most 8, fewer at the domain boundary (the paper's Section III bound).
+    pub fn neighbors(&self) -> Vec<Cell> {
+        let side = self.level_side() as i64;
+        let mut out = Vec::with_capacity(8);
+        for dy in -1i64..=1 {
+            for dx in -1i64..=1 {
+                if dx == 0 && dy == 0 {
+                    continue;
+                }
+                let nx = self.x as i64 + dx;
+                let ny = self.y as i64 + dy;
+                if nx >= 0 && ny >= 0 && nx < side && ny < side {
+                    out.push(Cell {
+                        level: self.level,
+                        x: nx as u32,
+                        y: ny as u32,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// The quadrant index (0–3, Morton order) of this cell within its
+    /// parent. `None` for the root.
+    pub fn quadrant_in_parent(&self) -> Option<u8> {
+        if self.level == 0 {
+            return None;
+        }
+        Some(((self.y & 1) << 1 | (self.x & 1)) as u8)
+    }
+
+    /// The ancestor of this cell at the given (coarser or equal) level.
+    pub fn ancestor_at(&self, level: u32) -> Cell {
+        assert!(level <= self.level, "ancestor level must be coarser");
+        let shift = self.level - level;
+        Cell {
+            level,
+            x: self.x >> shift,
+            y: self.y >> shift,
+        }
+    }
+}
+
+impl std::fmt::Display for Cell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "L{}({}, {})", self.level, self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parent_child_round_trip() {
+        let c = Cell::new(5, 13, 22);
+        for child in c.children() {
+            assert_eq!(child.parent(), Some(c));
+            assert!(c.contains(child));
+        }
+        assert_eq!(Cell::ROOT.parent(), None);
+    }
+
+    #[test]
+    fn children_are_disjoint_and_cover_parent() {
+        let c = Cell::new(3, 2, 5);
+        let kids = c.children();
+        for (i, a) in kids.iter().enumerate() {
+            for b in kids.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+        // Every level-4 cell inside c's region is one of the children.
+        for x in (c.x << 1)..((c.x + 1) << 1) {
+            for y in (c.y << 1)..((c.y + 1) << 1) {
+                let cand = Cell::new(4, x, y);
+                assert!(kids.contains(&cand));
+            }
+        }
+    }
+
+    #[test]
+    fn code_round_trip() {
+        let c = Cell::new(10, 513, 220);
+        assert_eq!(Cell::from_code(10, c.code()), c);
+    }
+
+    #[test]
+    fn interior_cell_has_eight_neighbors() {
+        let c = Cell::new(4, 7, 7);
+        assert_eq!(c.neighbors().len(), 8);
+        for n in c.neighbors() {
+            assert!(c.is_adjacent(n));
+        }
+    }
+
+    #[test]
+    fn corner_cell_has_three_neighbors() {
+        let c = Cell::new(4, 0, 0);
+        assert_eq!(c.neighbors().len(), 3);
+        let c = Cell::new(4, 15, 15);
+        assert_eq!(c.neighbors().len(), 3);
+    }
+
+    #[test]
+    fn edge_cell_has_five_neighbors() {
+        let c = Cell::new(4, 0, 7);
+        assert_eq!(c.neighbors().len(), 5);
+    }
+
+    #[test]
+    fn root_has_no_neighbors() {
+        assert!(Cell::ROOT.neighbors().is_empty());
+    }
+
+    #[test]
+    fn containment_is_reflexive_and_hierarchical() {
+        let c = Cell::new(2, 1, 3);
+        assert!(c.contains(c));
+        assert!(Cell::ROOT.contains(c));
+        assert!(!c.contains(Cell::ROOT));
+        // A leaf inside and outside.
+        assert!(c.contains(Cell::new(5, 0b1_000, 0b11_111)));
+        assert!(!c.contains(Cell::new(5, 0, 0)));
+    }
+
+    #[test]
+    fn quadrants_in_parent() {
+        let parent = Cell::new(1, 0, 1);
+        let kids = parent.children();
+        assert_eq!(kids[0].quadrant_in_parent(), Some(0));
+        assert_eq!(kids[1].quadrant_in_parent(), Some(1));
+        assert_eq!(kids[2].quadrant_in_parent(), Some(2));
+        assert_eq!(kids[3].quadrant_in_parent(), Some(3));
+        assert_eq!(Cell::ROOT.quadrant_in_parent(), None);
+    }
+
+    #[test]
+    fn ancestor_at_levels() {
+        let leaf = Cell::new(6, 45, 33);
+        assert_eq!(leaf.ancestor_at(6), leaf);
+        assert_eq!(leaf.ancestor_at(0), Cell::ROOT);
+        let a3 = leaf.ancestor_at(3);
+        assert_eq!(a3, Cell::new(3, 5, 4));
+        assert!(a3.contains(leaf));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside level")]
+    fn out_of_level_coordinates_rejected() {
+        let _ = Cell::new(2, 4, 0);
+    }
+
+    #[test]
+    fn leaf_of_point() {
+        let c = Cell::leaf(8, Point2::new(100, 200));
+        assert_eq!((c.level, c.x, c.y), (8, 100, 200));
+    }
+}
+
+/// Region adjacency across levels: true if the closed regions of two cells
+/// (of possibly different levels) touch — share boundary or overlap. Used by
+/// the adaptive FMM's U/W/X list construction, where a leaf's neighbors can
+/// be coarser or finer than itself.
+pub fn regions_touch(a: Cell, b: Cell) -> bool {
+    // Compare footprints at the finer of the two levels.
+    let level = a.level.max(b.level);
+    let (ax0, ax1) = footprint(a.x, a.level, level);
+    let (ay0, ay1) = footprint(a.y, a.level, level);
+    let (bx0, bx1) = footprint(b.x, b.level, level);
+    let (by0, by1) = footprint(b.y, b.level, level);
+    gap(ax0, ax1, bx0, bx1) <= 1 && gap(ay0, ay1, by0, by1) <= 1
+}
+
+/// Half-open coordinate range `[lo, hi)` of a level-`l` coordinate expressed
+/// at `target_level`.
+fn footprint(coord: u32, level: u32, target_level: u32) -> (u64, u64) {
+    let shift = target_level - level;
+    ((coord as u64) << shift, ((coord as u64) + 1) << shift)
+}
+
+/// Distance in cells between two half-open ranges (0 when they overlap).
+fn gap(a0: u64, a1: u64, b0: u64, b1: u64) -> u64 {
+    if a1 <= b0 {
+        b0 - a1 + 1
+    } else if b1 <= a0 {
+        a0 - b1 + 1
+    } else {
+        0
+    }
+}
+
+#[cfg(test)]
+mod touch_tests {
+    use super::*;
+
+    #[test]
+    fn same_level_touch_matches_chebyshev() {
+        for ax in 0..4u32 {
+            for ay in 0..4u32 {
+                for bx in 0..4u32 {
+                    for by in 0..4u32 {
+                        let a = Cell::new(2, ax, ay);
+                        let b = Cell::new(2, bx, by);
+                        assert_eq!(regions_touch(a, b), a.chebyshev(b) <= 1);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn containment_implies_touch() {
+        let big = Cell::new(1, 0, 0);
+        let small = Cell::new(4, 3, 5);
+        assert!(big.contains(small));
+        assert!(regions_touch(big, small));
+        assert!(regions_touch(small, big));
+    }
+
+    #[test]
+    fn coarse_fine_adjacency() {
+        // Level-1 cell (0,0) covers [0,4)x[0,4) at level 3. The level-3
+        // cell (4,0) touches it; (5,0) does not.
+        let big = Cell::new(1, 0, 0);
+        assert!(regions_touch(big, Cell::new(3, 4, 0)));
+        assert!(regions_touch(big, Cell::new(3, 4, 4)));
+        assert!(!regions_touch(big, Cell::new(3, 5, 0)));
+        assert!(!regions_touch(big, Cell::new(3, 5, 5)));
+    }
+
+    #[test]
+    fn touch_is_symmetric() {
+        let pairs = [
+            (Cell::new(2, 1, 1), Cell::new(4, 8, 8)),
+            (Cell::new(1, 1, 0), Cell::new(3, 3, 3)),
+            (Cell::new(3, 0, 0), Cell::new(3, 7, 7)),
+        ];
+        for (a, b) in pairs {
+            assert_eq!(regions_touch(a, b), regions_touch(b, a));
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests for quadtree cells, interaction lists, and the
+//! compressed quadtree.
+
+use proptest::prelude::*;
+use sfc_curves::Point2;
+use sfc_quadtree::{interaction_list, Cell, CompressedQuadtree};
+
+fn cell_strategy(max_level: u32) -> impl Strategy<Value = Cell> {
+    (1u32..=max_level, any::<u32>(), any::<u32>()).prop_map(|(level, rx, ry)| {
+        let side = 1u32 << level;
+        Cell::new(level, rx % side, ry % side)
+    })
+}
+
+proptest! {
+    /// parent/children are inverse and children tile the parent.
+    #[test]
+    fn parent_child_inverse(cell in cell_strategy(20)) {
+        for child in cell.children() {
+            prop_assert_eq!(child.parent(), Some(cell));
+            prop_assert!(cell.contains(child));
+        }
+        if let Some(p) = cell.parent() {
+            prop_assert!(p.children().contains(&cell));
+        }
+    }
+
+    /// Morton code round-trips at every level.
+    #[test]
+    fn code_round_trip(cell in cell_strategy(25)) {
+        prop_assert_eq!(Cell::from_code(cell.level, cell.code()), cell);
+    }
+
+    /// Ancestors at successive levels form a chain under containment.
+    #[test]
+    fn ancestor_chain(cell in cell_strategy(15)) {
+        let mut prev = cell;
+        for level in (0..cell.level).rev() {
+            let anc = cell.ancestor_at(level);
+            prop_assert!(anc.contains(prev));
+            prop_assert!(anc.contains(cell));
+            prev = anc;
+        }
+        prop_assert_eq!(prev, Cell::ROOT);
+    }
+
+    /// Neighbor relation is symmetric and bounded by 8.
+    #[test]
+    fn neighbors_symmetric(cell in cell_strategy(12)) {
+        let nbs = cell.neighbors();
+        prop_assert!(nbs.len() <= 8);
+        for nb in nbs {
+            prop_assert!(nb.neighbors().contains(&cell));
+            prop_assert!(cell.is_adjacent(nb));
+        }
+    }
+
+    /// Interaction-list membership is symmetric, well-separated, and at most
+    /// 27 entries.
+    #[test]
+    fn interaction_list_properties(cell in cell_strategy(10)) {
+        let list = interaction_list(cell);
+        prop_assert!(list.len() <= 27);
+        for other in &list {
+            prop_assert_eq!(other.level, cell.level);
+            prop_assert!(cell.chebyshev(*other) > 1);
+            prop_assert!(interaction_list(*other).contains(&cell));
+        }
+    }
+
+    /// Every pair of equal-level cells is either adjacent (or equal), in
+    /// each other's interaction lists, or handled at a strictly coarser
+    /// level — the FMM completeness property, on random pairs.
+    #[test]
+    fn fmm_completeness_random_pairs(
+        level in 2u32..=8,
+        raw in any::<[u32; 4]>(),
+    ) {
+        let side = 1u32 << level;
+        let a = Cell::new(level, raw[0] % side, raw[1] % side);
+        let b = Cell::new(level, raw[2] % side, raw[3] % side);
+        if a == b || a.chebyshev(b) <= 1 {
+            return Ok(()); // near field
+        }
+        let mut handled = 0u32;
+        for l in (1..=level).rev() {
+            let (aa, ba) = (a.ancestor_at(l), b.ancestor_at(l));
+            if aa == ba {
+                break;
+            }
+            if aa.chebyshev(ba) > 1
+                && aa.parent().unwrap().chebyshev(ba.parent().unwrap()) <= 1
+            {
+                handled += 1;
+            }
+        }
+        prop_assert_eq!(handled, 1, "{} vs {}", a, b);
+    }
+
+    /// Compressed quadtrees over random point sets keep their invariants:
+    /// ≤ 2n−1 nodes, n leaves, internal nodes with ≥ 2 children.
+    #[test]
+    fn compressed_tree_invariants(
+        raws in prop::collection::vec((any::<u32>(), any::<u32>()), 1..120),
+        order in 3u32..=10,
+    ) {
+        let side = 1u32 << order;
+        let mut seen = std::collections::HashSet::new();
+        let pts: Vec<Point2> = raws
+            .iter()
+            .filter_map(|&(x, y)| {
+                let p = Point2::new(x % side, y % side);
+                seen.insert((p.x, p.y)).then_some(p)
+            })
+            .collect();
+        let n = pts.len();
+        let tree = CompressedQuadtree::build(order, &pts);
+        prop_assert_eq!(tree.num_leaves(), n);
+        prop_assert!(tree.nodes().len() <= 2 * n);
+        for node in tree.nodes() {
+            if !node.is_leaf() {
+                prop_assert!(node.children.len() >= 2);
+            }
+        }
+        // Every point has a findable leaf.
+        for p in &pts {
+            prop_assert!(tree.leaf_of(*p).is_some());
+        }
+    }
+}

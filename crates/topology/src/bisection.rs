@@ -1,0 +1,186 @@
+//! Bisection widths.
+//!
+//! The bisection width — the minimum number of links that must be cut to
+//! split the processors into two equal halves — is the classic complement to
+//! the hop-distance view the ACD takes: it bounds the throughput of
+//! all-to-all-style traffic regardless of placement. The closed forms below
+//! hold for the power-of-two sizes all the workspace's sweeps use, and the
+//! tests cross-check them against brute-force minimum balanced cuts on small
+//! instances.
+//!
+//! | topology | bisection width |
+//! |---|---|
+//! | bus (p ≥ 2) | 1 |
+//! | ring (p ≥ 3) | 2 |
+//! | sx × sy mesh (even sides) | min(sx, sy) |
+//! | sx × sy torus (even sides ≥ 4) | 2 · min(sx, sy) |
+//! | d-cube | 2^(d−1) |
+//! | quadtree (leaves + switches) | 2 |
+
+use crate::Topology;
+
+/// Closed-form bisection width of a topology built by
+/// [`crate::TopologyKind::build`] (power-of-four processor counts). Returns
+/// 0 for single-node networks.
+pub fn bisection_width(topo: &dyn Topology) -> u64 {
+    let p = topo.num_nodes();
+    if p <= 1 {
+        return 0;
+    }
+    match topo.kind() {
+        crate::TopologyKind::Bus => 1,
+        crate::TopologyKind::Ring => 2,
+        crate::TopologyKind::Mesh => {
+            
+            (p as f64).sqrt() as u64
+        }
+        crate::TopologyKind::Torus => {
+            let side = (p as f64).sqrt() as u64;
+            if side <= 2 {
+                // Wrap links coincide with direct links: the 2x2 torus is a
+                // 4-cycle.
+                side
+            } else {
+                2 * side
+            }
+        }
+        crate::TopologyKind::Hypercube => p / 2,
+        crate::TopologyKind::Quadtree => 2,
+        crate::TopologyKind::Mesh3d | crate::TopologyKind::Torus3d => {
+            unimplemented!("3-D bisection widths are provided by the concrete types")
+        }
+    }
+}
+
+/// Brute-force minimum balanced cut over an explicit edge list; exponential,
+/// for test-sized graphs only (`p ≤ 16`).
+pub fn brute_force_bisection(p: u64, edges: &[(u64, u64)]) -> u64 {
+    assert!(p <= 16 && p.is_multiple_of(2), "brute force limited to small even p");
+    let half = (p / 2) as u32;
+    let mut best = u64::MAX;
+    // Fix node 0 in the left half to halve the search space.
+    for mask in 0u32..(1 << (p - 1)) {
+        let set = (mask << 1) | 1;
+        if set.count_ones() != half {
+            continue;
+        }
+        let mut cut = 0u64;
+        for &(a, b) in edges {
+            let ia = (set >> a) & 1;
+            let ib = (set >> b) & 1;
+            if ia != ib {
+                cut += 1;
+            }
+        }
+        best = best.min(cut);
+    }
+    best
+}
+
+/// Undirected edge list of a topology with an explicit `neighbors` closure.
+pub fn edge_list<F>(p: u64, mut neighbors: F) -> Vec<(u64, u64)>
+where
+    F: FnMut(u64) -> Vec<u64>,
+{
+    let mut edges = Vec::new();
+    for a in 0..p {
+        for b in neighbors(a) {
+            if a < b {
+                edges.push((a, b));
+            }
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Bus, Hypercube, Mesh2d, QuadtreeNet, Ring, Torus2d};
+
+    #[test]
+    fn bus_and_ring() {
+        let bus = Bus::new(8);
+        assert_eq!(bisection_width(&bus), 1);
+        assert_eq!(
+            brute_force_bisection(8, &edge_list(8, |a| bus.neighbors(a))),
+            1
+        );
+        let ring = Ring::new(8);
+        assert_eq!(bisection_width(&ring), 2);
+        assert_eq!(
+            brute_force_bisection(8, &edge_list(8, |a| ring.neighbors(a))),
+            2
+        );
+    }
+
+    #[test]
+    fn square_mesh() {
+        let mesh = Mesh2d::new(4, 4);
+        assert_eq!(bisection_width(&mesh), 4);
+        assert_eq!(
+            brute_force_bisection(16, &edge_list(16, |a| mesh.neighbors(a))),
+            4
+        );
+    }
+
+    #[test]
+    fn square_torus() {
+        let torus = Torus2d::new(4, 4);
+        assert_eq!(bisection_width(&torus), 8);
+        assert_eq!(
+            brute_force_bisection(16, &edge_list(16, |a| torus.neighbors(a))),
+            8
+        );
+        // Degenerate 2x2 torus is a 4-cycle.
+        let tiny = Torus2d::new(2, 2);
+        assert_eq!(bisection_width(&tiny), 2);
+        assert_eq!(
+            brute_force_bisection(4, &edge_list(4, |a| tiny.neighbors(a))),
+            2
+        );
+    }
+
+    #[test]
+    fn hypercube() {
+        let cube = Hypercube::new(4);
+        assert_eq!(bisection_width(&cube), 8);
+        let small = Hypercube::new(3);
+        assert_eq!(bisection_width(&small), 4);
+        assert_eq!(
+            brute_force_bisection(8, &edge_list(8, |a| small.neighbors(a))),
+            4
+        );
+    }
+
+    #[test]
+    fn quadtree_cuts_at_the_root() {
+        let net = QuadtreeNet::new(3);
+        assert_eq!(bisection_width(&net), 2);
+    }
+
+    #[test]
+    fn single_node_networks() {
+        assert_eq!(bisection_width(&Bus::new(1)), 0);
+        assert_eq!(bisection_width(&Hypercube::new(0)), 0);
+    }
+
+    #[test]
+    fn ordering_matches_connectivity_intuition() {
+        // At 65,536 processors: bus < ring < mesh < torus < hypercube — the
+        // inverse of their Figure 6 ACD rankings, as theory predicts.
+        let p = 65_536u64;
+        let widths: Vec<u64> = [
+            crate::TopologyKind::Bus,
+            crate::TopologyKind::Ring,
+            crate::TopologyKind::Mesh,
+            crate::TopologyKind::Torus,
+            crate::TopologyKind::Hypercube,
+        ]
+        .iter()
+        .map(|k| bisection_width(k.build(p).as_ref()))
+        .collect();
+        assert_eq!(widths, vec![1, 2, 256, 512, 32_768]);
+        assert!(widths.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests: metric axioms and structure for every topology.
+
+use proptest::prelude::*;
+use sfc_curves::CurveKind;
+use sfc_topology::{RankMap, SfcRankMap, Topology, TopologyKind};
+
+fn build(kind_idx: usize, nodes: u64) -> Box<dyn Topology> {
+    TopologyKind::PAPER[kind_idx % TopologyKind::PAPER.len()].build(nodes)
+}
+
+proptest! {
+    /// distance(a, a) == 0 and symmetry, for all paper topologies.
+    #[test]
+    fn identity_and_symmetry(
+        kind_idx in 0usize..6,
+        raw_a in any::<u64>(),
+        raw_b in any::<u64>(),
+    ) {
+        let topo = build(kind_idx, 1024);
+        let a = raw_a % 1024;
+        let b = raw_b % 1024;
+        prop_assert_eq!(topo.distance(a, a), 0);
+        prop_assert_eq!(topo.distance(a, b), topo.distance(b, a));
+    }
+
+    /// The triangle inequality holds for random triples.
+    #[test]
+    fn triangle_inequality(
+        kind_idx in 0usize..6,
+        raw in any::<[u64; 3]>(),
+    ) {
+        let topo = build(kind_idx, 1024);
+        let a = raw[0] % 1024;
+        let b = raw[1] % 1024;
+        let c = raw[2] % 1024;
+        prop_assert!(topo.distance(a, c) <= topo.distance(a, b) + topo.distance(b, c));
+    }
+
+    /// No distance exceeds the claimed diameter.
+    #[test]
+    fn diameter_is_an_upper_bound(
+        kind_idx in 0usize..6,
+        raw_a in any::<u64>(),
+        raw_b in any::<u64>(),
+    ) {
+        let topo = build(kind_idx, 4096);
+        let a = raw_a % 4096;
+        let b = raw_b % 4096;
+        prop_assert!(topo.distance(a, b) <= topo.diameter());
+    }
+
+    /// Distinct nodes are at positive distance (the networks are simple).
+    #[test]
+    fn positivity(kind_idx in 0usize..6, raw_a in any::<u64>(), raw_b in any::<u64>()) {
+        let topo = build(kind_idx, 256);
+        let a = raw_a % 256;
+        let b = raw_b % 256;
+        if a != b {
+            prop_assert!(topo.distance(a, b) >= 1);
+        }
+    }
+
+    /// SFC rank maps are bijections at arbitrary orders, and node ids stay
+    /// in range.
+    #[test]
+    fn rank_maps_are_bijective(
+        curve_idx in 0usize..CurveKind::ALL.len(),
+        order in 1u32..=10,
+        raw in any::<u64>(),
+    ) {
+        let map = SfcRankMap::new(CurveKind::ALL[curve_idx], order);
+        let rank = raw % map.len();
+        let node = map.node_of(rank);
+        prop_assert!(node < map.len());
+        prop_assert_eq!(map.rank_of(node), rank);
+    }
+
+    /// On a torus, curve-consecutive ranks under a unit-step curve (Hilbert,
+    /// boustrophedon) are physically adjacent.
+    #[test]
+    fn unit_step_curves_give_adjacent_ranks(
+        order in 1u32..=6,
+        raw in any::<u64>(),
+        curve_unit in 0usize..2,
+    ) {
+        let curve = [CurveKind::Hilbert, CurveKind::Boustrophedon][curve_unit];
+        let nodes = 1u64 << (2 * order);
+        let topo = TopologyKind::Torus.build(nodes);
+        let map = SfcRankMap::new(curve, order);
+        let rank = raw % (nodes - 1);
+        let d = topo.distance(map.node_of(rank), map.node_of(rank + 1));
+        prop_assert_eq!(d, 1);
+    }
+
+    /// Hypercube distance is exactly the Hamming distance of node ids.
+    #[test]
+    fn hypercube_distance_is_hamming(raw_a in any::<u64>(), raw_b in any::<u64>()) {
+        let topo = TopologyKind::Hypercube.build(65_536);
+        let a = raw_a % 65_536;
+        let b = raw_b % 65_536;
+        prop_assert_eq!(topo.distance(a, b), (a ^ b).count_ones() as u64);
+    }
+
+    /// Torus distance never exceeds mesh distance on the same grid.
+    #[test]
+    fn torus_bounded_by_mesh(raw_a in any::<u64>(), raw_b in any::<u64>()) {
+        let mesh = TopologyKind::Mesh.build(4096);
+        let torus = TopologyKind::Torus.build(4096);
+        let a = raw_a % 4096;
+        let b = raw_b % 4096;
+        prop_assert!(torus.distance(a, b) <= mesh.distance(a, b));
+    }
+
+    /// Quadtree distances are even and bounded by twice the level count.
+    #[test]
+    fn quadtree_distance_structure(raw_a in any::<u64>(), raw_b in any::<u64>()) {
+        let topo = TopologyKind::Quadtree.build(16_384); // 7 levels
+        let a = raw_a % 16_384;
+        let b = raw_b % 16_384;
+        let d = topo.distance(a, b);
+        prop_assert_eq!(d % 2, 0);
+        prop_assert!(d <= 14);
+    }
+}

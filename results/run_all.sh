@@ -1,0 +1,10 @@
+#!/bin/bash
+set -x
+T=target/release
+$T/fig5 > results/fig5.txt 2>&1
+$T/table1 --scale 0 --trials 3 > results/table1.txt 2>&1
+$T/table2 --scale 0 --trials 3 > results/table2.txt 2>&1
+$T/fig6 --scale 0 --trials 2 > results/fig6.txt 2>&1
+$T/fig7 --scale 0 --trials 2 > results/fig7.txt 2>&1
+$T/parametric --scale 1 --trials 2 > results/parametric.txt 2>&1
+echo ALL_DONE > results/STATUS

@@ -1,0 +1,20 @@
+//! # sfc-analysis
+//!
+//! Umbrella crate for the workspace reproducing *DeFord & Kalyanaraman,
+//! "Empirical Analysis of Space-Filling Curves for Scientific Computing
+//! Applications" (ICPP 2013)*. It re-exports the public APIs of the member
+//! crates so examples and downstream users can depend on a single crate:
+//!
+//! - [`curves`] — the space-filling curves themselves;
+//! - [`topology`] — network topologies and processor rank maps;
+//! - [`particles`] — input distributions and workload generation;
+//! - [`quadtree`] — spatial quadtrees and FMM interaction lists;
+//! - [`fmm`] — a reference 2-D fast multipole solver;
+//! - [`core`] — the ACD / ANNS metric engine and experiment harness.
+
+pub use sfc_core as core;
+pub use sfc_curves as curves;
+pub use sfc_fmm as fmm;
+pub use sfc_particles as particles;
+pub use sfc_quadtree as quadtree;
+pub use sfc_topology as topology;
