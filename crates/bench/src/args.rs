@@ -1,7 +1,7 @@
 //! Minimal command-line flag parsing for the regeneration binaries.
 //!
-//! Hand-rolled on purpose: the binaries take three numeric flags and
-//! `--markdown`, which does not justify an argument-parsing dependency.
+//! Hand-rolled on purpose: the binaries take a handful of flags, which does
+//! not justify an argument-parsing dependency.
 
 /// Parsed command-line options shared by all regeneration binaries.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -16,6 +16,15 @@ pub struct Args {
     pub markdown: bool,
     /// Also write the artifact as a JSON document to this path.
     pub json: Option<String>,
+    /// JSONL journal to append completed sweep cells to / resume from.
+    pub journal: Option<String>,
+    /// Wall-clock budget in seconds; once spent, remaining cells are skipped.
+    pub time_budget: Option<u64>,
+    /// Fault injection: cells whose name contains one of these substrings
+    /// panic on their first attempt (testing only).
+    pub chaos: Vec<String>,
+    /// Make `--chaos` panic on every attempt instead of only the first.
+    pub chaos_persistent: bool,
 }
 
 impl Default for Args {
@@ -26,6 +35,10 @@ impl Default for Args {
             seed: 20130701, // ICPP 2013, for flavor; any constant works.
             markdown: false,
             json: None,
+            journal: None,
+            time_budget: None,
+            chaos: Vec::new(),
+            chaos_persistent: false,
         }
     }
 }
@@ -52,6 +65,23 @@ impl Args {
                         it.next().ok_or_else(|| "--json needs a path".to_string())?,
                     )
                 }
+                "--journal" => {
+                    out.journal = Some(
+                        it.next()
+                            .ok_or_else(|| "--journal needs a path".to_string())?,
+                    )
+                }
+                "--time-budget" => {
+                    out.time_budget = Some(next_num(&mut it, "--time-budget")?)
+                }
+                "--chaos" => {
+                    let list = it
+                        .next()
+                        .ok_or_else(|| "--chaos needs a pattern list".to_string())?;
+                    out.chaos
+                        .extend(list.split(',').filter(|p| !p.is_empty()).map(String::from));
+                }
+                "--chaos-persistent" => out.chaos_persistent = true,
                 "--help" | "-h" => return Err(usage()),
                 other => return Err(format!("unknown flag `{other}`\n{}", usage())),
             }
@@ -86,12 +116,20 @@ fn next_num<I: Iterator<Item = String>>(it: &mut I, flag: &str) -> Result<u64, S
 }
 
 fn usage() -> String {
-    "usage: <bin> [--scale S] [--trials T] [--seed X] [--markdown]\n\
-     --scale S    shrink the paper workload by 4^S (default 2; 0 = full size)\n\
-     --trials T   independent trials to average (default 3)\n\
-     --seed X     base RNG seed (default 20130701)\n\
-     --markdown   print Markdown tables\n\
-     --json PATH  also write the artifact as JSON"
+    "usage: <bin> [--scale S] [--trials T] [--seed X] [--markdown] [--json PATH]\n\
+     \u{20}          [--journal PATH] [--time-budget SECS] [--chaos LIST] [--chaos-persistent]\n\
+     --scale S            shrink the paper workload by 4^S (default 2; 0 = full size)\n\
+     --trials T           independent trials to average (default 3)\n\
+     --seed X             base RNG seed (default 20130701)\n\
+     --markdown           print Markdown tables\n\
+     --json PATH          also write the artifact as JSON\n\
+     --journal PATH       append completed sweep cells to a JSONL journal and\n\
+     \u{20}                    resume from it on restart\n\
+     --time-budget SECS   stop scheduling new cells after SECS seconds; partial\n\
+     \u{20}                    results are flushed and missing cells reported\n\
+     --chaos LIST         comma-separated cell-name substrings to fault-inject\n\
+     \u{20}                    (panic on first attempt; testing only)\n\
+     --chaos-persistent   make --chaos panic on every attempt"
         .to_string()
 }
 
@@ -110,12 +148,30 @@ mod tests {
         assert_eq!(a.scale, 2);
         assert_eq!(a.trials, 3);
         assert!(!a.markdown);
+        assert_eq!(a.journal, None);
+        assert_eq!(a.time_budget, None);
+        assert!(a.chaos.is_empty());
     }
 
     #[test]
     fn all_flags() {
         let a = parse(&[
-            "--scale", "0", "--trials", "5", "--seed", "42", "--markdown", "--json", "/tmp/x.json",
+            "--scale",
+            "0",
+            "--trials",
+            "5",
+            "--seed",
+            "42",
+            "--markdown",
+            "--json",
+            "/tmp/x.json",
+            "--journal",
+            "/tmp/x.jsonl",
+            "--time-budget",
+            "90",
+            "--chaos",
+            "uniform/t0,t1",
+            "--chaos-persistent",
         ])
         .unwrap();
         assert_eq!(a.scale, 0);
@@ -123,6 +179,10 @@ mod tests {
         assert_eq!(a.seed, 42);
         assert!(a.markdown);
         assert_eq!(a.json.as_deref(), Some("/tmp/x.json"));
+        assert_eq!(a.journal.as_deref(), Some("/tmp/x.jsonl"));
+        assert_eq!(a.time_budget, Some(90));
+        assert_eq!(a.chaos, vec!["uniform/t0".to_string(), "t1".to_string()]);
+        assert!(a.chaos_persistent);
     }
 
     #[test]
@@ -132,11 +192,37 @@ mod tests {
         assert!(parse(&["--scale", "x"]).is_err());
         assert!(parse(&["--trials", "0"]).is_err());
         assert!(parse(&["--json"]).is_err());
+        assert!(parse(&["--journal"]).is_err());
+        assert!(parse(&["--time-budget", "soon"]).is_err());
+        assert!(parse(&["--chaos"]).is_err());
     }
 
     #[test]
     fn help_returns_usage() {
         let err = parse(&["--help"]).unwrap_err();
         assert!(err.contains("usage:"));
+    }
+
+    #[test]
+    fn usage_synopsis_lists_every_flag() {
+        // The synopsis (first two lines) must stay in sync with the flag
+        // list: every `--flag` documented below appears above, and vice
+        // versa.
+        let text = usage();
+        let mut lines = text.lines();
+        let synopsis = format!("{} {}", lines.next().unwrap(), lines.next().unwrap());
+        let documented: Vec<&str> = text
+            .lines()
+            .skip(2)
+            .filter_map(|l| l.split_whitespace().next())
+            .filter(|w| w.starts_with("--"))
+            .collect();
+        assert!(!documented.is_empty());
+        for flag in documented {
+            assert!(
+                synopsis.contains(flag),
+                "usage synopsis is missing `{flag}`"
+            );
+        }
     }
 }

@@ -13,15 +13,20 @@
 //!    ANNS on which it loses.
 //! 5. **Closed curves**: the Moore curve (closed Hilbert) against the open
 //!    Hilbert curve on a torus, plus the cyclic stretch metric.
+//!
+//! Each table row is one sweep cell of the `extensions` sweep, so
+//! `--journal`/`--time-budget` resume and bound this binary like the paper
+//! regenerations.
 
+use sfc_bench::harness;
 use sfc_bench::Args;
 use sfc_core::anns::anns_cyclic;
 use sfc_core::anns3d::anns3d;
-use sfc_core::ffi::ffi_acd;
-use sfc_core::nfi::nfi_acd;
-use sfc_core::model3d::{ffi_acd_3d, nfi_acd_3d, Assignment3, Machine3, Topology3Kind};
 use sfc_core::clustering::average_clusters;
+use sfc_core::ffi::ffi_acd;
 use sfc_core::load::nfi_link_load;
+use sfc_core::model3d::{ffi_acd_3d, nfi_acd_3d, Assignment3, Machine3, Topology3Kind};
+use sfc_core::nfi::nfi_acd;
 use sfc_core::report::Table;
 use sfc_core::{anns::anns, Assignment, Machine};
 use sfc_curves::curve3d::Curve3dKind;
@@ -30,10 +35,39 @@ use sfc_curves::CurveKind;
 use sfc_particles::sampler3d::sample3d;
 use sfc_particles::{Distribution, DistributionKind, Workload};
 use sfc_topology::TopologyKind;
+use std::cell::OnceCell;
+
+/// Format one cell's values with the given per-column formatters, or a row
+/// of `—` when the cell failed or was skipped.
+fn row_or_missing(
+    label: &str,
+    values: Option<&[f64]>,
+    fmts: &[fn(f64) -> String],
+) -> Vec<String> {
+    let mut row = vec![label.to_string()];
+    match values {
+        Some(vs) => row.extend(vs.iter().zip(fmts).map(|(&v, f)| f(v))),
+        None => row.extend(fmts.iter().map(|_| "—".to_string())),
+    }
+    row
+}
+
+fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+fn f0(v: f64) -> String {
+    format!("{v:.0}")
+}
 
 fn main() {
     let args = Args::from_env();
     println!("{}", args.banner("Extension studies (paper Section VIII future work)"));
+    let mut runner = harness::runner("extensions", &args);
 
     // 1. Link congestion on the torus at a scaled Table I configuration.
     let scale = args.scale.max(2); // routing every message is heavy
@@ -46,23 +80,25 @@ fn main() {
         ),
         &["Curve", "ACD", "max link load", "mean link load", "imbalance"],
     );
-    let particles = workload.particles(0);
+    let particles = OnceCell::new();
     for curve in CurveKind::PAPER {
-        let asg = Assignment::new(&particles, workload.grid_order, curve, procs);
-        let machine = Machine::grid(TopologyKind::Torus, procs, curve);
-        let load = nfi_link_load(&asg, &machine, 1, Norm::Chebyshev);
-        let acd = if load.messages == 0 {
-            0.0
-        } else {
-            load.crossings as f64 / load.messages as f64
-        };
-        congestion.push_row(vec![
-            curve.short_name().to_string(),
-            format!("{acd:.3}"),
-            load.max_load().to_string(),
-            format!("{:.2}", load.mean_load()),
-            format!("{:.2}", load.imbalance()),
-        ]);
+        let result = runner.run_cell(&format!("congestion/{}", curve.short_name()), || {
+            let particles = particles.get_or_init(|| workload.particles(0));
+            let asg = Assignment::new(particles, workload.grid_order, curve, procs);
+            let machine = Machine::grid(TopologyKind::Torus, procs, curve);
+            let load = nfi_link_load(&asg, &machine, 1, Norm::Chebyshev);
+            let acd = if load.messages == 0 {
+                0.0
+            } else {
+                load.crossings as f64 / load.messages as f64
+            };
+            vec![acd, load.max_load() as f64, load.mean_load(), load.imbalance()]
+        });
+        congestion.push_row(row_or_missing(
+            curve.short_name(),
+            result.values(),
+            &[f3, f0, f2, f2],
+        ));
     }
     print!("\n{}", congestion.render());
 
@@ -72,12 +108,18 @@ fn main() {
         &["Cube", "Hilbert", "Z", "Gray", "RowMajor"],
     );
     for order in 2..=5u32 {
-        let row: Vec<f64> = Curve3dKind::ALL
-            .iter()
-            .map(|&k| anns3d(k, order).average())
-            .collect();
+        let result = runner.run_cell(&format!("anns3d/o{order}"), || {
+            Curve3dKind::ALL
+                .iter()
+                .map(|&k| anns3d(k, order).average())
+                .collect()
+        });
         let side = 1u64 << order;
-        table3d.push_numeric_row(&format!("{side}^3"), &row);
+        table3d.push_row(row_or_missing(
+            &format!("{side}^3"),
+            result.values(),
+            &[f3, f3, f3, f3],
+        ));
     }
     print!("\n{}", table3d.render());
 
@@ -86,22 +128,31 @@ fn main() {
     let cube_order = 6u32; // 64^3 cells
     let n3 = 20_000usize;
     let procs3 = 4096u64; // 16^3 torus / 2^12 hypercube
-    let particles3 = sample3d(Distribution::uniform(), cube_order, n3, args.seed);
+    let particles3 = OnceCell::new();
     let mut acd3 = Table::new(
         format!("3-D ACD — {n3} uniform particles in a 64^3 cube, {procs3} processors"),
         &["Curve", "NFI mesh3d", "NFI torus3d", "NFI hypercube", "FFI torus3d"],
     );
     for curve in Curve3dKind::ALL {
-        let asg = Assignment3::new(&particles3, cube_order, curve, procs3);
-        let mut row = Vec::new();
-        for topo in Topology3Kind::ALL {
-            let machine = Machine3::new(topo, procs3, curve);
-            row.push(nfi_acd_3d(&asg, &machine, 1).acd());
-        }
-        // Reorder: ALL = [Mesh3d, Torus3d, Hypercube] matches headers.
-        let torus = Machine3::new(Topology3Kind::Torus3d, procs3, curve);
-        row.push(ffi_acd_3d(&asg, &torus).acd());
-        acd3.push_numeric_row(curve.short_name(), &row);
+        let result = runner.run_cell(&format!("acd3d/{}", curve.short_name()), || {
+            let particles3 = particles3
+                .get_or_init(|| sample3d(Distribution::uniform(), cube_order, n3, args.seed));
+            let asg = Assignment3::new(particles3, cube_order, curve, procs3);
+            let mut row = Vec::new();
+            for topo in Topology3Kind::ALL {
+                let machine = Machine3::new(topo, procs3, curve);
+                row.push(nfi_acd_3d(&asg, &machine, 1).acd());
+            }
+            // Reorder: ALL = [Mesh3d, Torus3d, Hypercube] matches headers.
+            let torus = Machine3::new(Topology3Kind::Torus3d, procs3, curve);
+            row.push(ffi_acd_3d(&asg, &torus).acd());
+            row
+        });
+        acd3.push_row(row_or_missing(
+            curve.short_name(),
+            result.values(),
+            &[f3, f3, f3, f3],
+        ));
     }
     print!("\n{}", acd3.render());
 
@@ -111,11 +162,10 @@ fn main() {
         &["Curve", "avg clusters (lower=better)", "ANNS (lower=better)"],
     );
     for curve in CurveKind::PAPER {
-        metrics.push_row(vec![
-            curve.short_name().to_string(),
-            format!("{:.3}", average_clusters(curve, 6, 4)),
-            format!("{:.3}", anns(curve, 6).average()),
-        ]);
+        let result = runner.run_cell(&format!("metrics/{}", curve.short_name()), || {
+            vec![average_clusters(curve, 6, 4), anns(curve, 6).average()]
+        });
+        metrics.push_row(row_or_missing(curve.short_name(), result.values(), &[f3, f3]));
     }
     print!("\n{}", metrics.render());
 
@@ -125,18 +175,32 @@ fn main() {
         "Closed-curve study — Hilbert vs Moore on a torus",
         &["Curve", "NFI ACD", "FFI ACD", "cyclic max stretch (64x64)"],
     );
-    let particles = workload.particles(1);
+    let particles = OnceCell::new();
     for curve in [CurveKind::Hilbert, CurveKind::Moore] {
-        let asg = Assignment::new(&particles, workload.grid_order, curve, procs);
-        let machine = Machine::grid(TopologyKind::Torus, procs, curve);
-        moore.push_row(vec![
-            curve.short_name().to_string(),
-            format!("{:.3}", nfi_acd(&asg, &machine, 1, Norm::Chebyshev).acd()),
-            format!("{:.3}", ffi_acd(&asg, &machine).acd()),
-            format!("{:.0}", anns_cyclic(curve, 6, 1, Norm::Manhattan).max_stretch),
-        ]);
+        let result = runner.run_cell(&format!("moore/{}", curve.short_name()), || {
+            let particles = particles.get_or_init(|| workload.particles(1));
+            let asg = Assignment::new(particles, workload.grid_order, curve, procs);
+            let machine = Machine::grid(TopologyKind::Torus, procs, curve);
+            vec![
+                nfi_acd(&asg, &machine, 1, Norm::Chebyshev).acd(),
+                ffi_acd(&asg, &machine).acd(),
+                anns_cyclic(curve, 6, 1, Norm::Manhattan).max_stretch,
+            ]
+        });
+        moore.push_row(row_or_missing(curve.short_name(), result.values(), &[f3, f3, f0]));
     }
     print!("\n{}", moore.render());
+
+    let summary = runner.finish();
+    harness::report("extensions", &summary);
+    if let Some(path) = &args.json {
+        let tables = [congestion, table3d, acd3, metrics, moore];
+        sfc_bench::results::write_json(
+            path,
+            &sfc_bench::results::tables_json(&tables, &args, &summary, "extensions"),
+        )
+        .expect("write JSON");
+    }
 
     println!(
         "\nNote how the Hilbert curve wins the clustering metric and the ACD\n\

@@ -8,6 +8,7 @@
 //! ignored.
 
 use sfc_bench::figures::{render_anns, run_anns_sweep};
+use sfc_bench::harness;
 use sfc_bench::results::{anns_json, write_json};
 use sfc_bench::Args;
 
@@ -17,12 +18,15 @@ const MAX_ORDER: u32 = 9;
 fn main() {
     let args = Args::from_env();
     println!("{}", args.banner("Figure 5 — ANNS vs spatial resolution"));
+    let mut runner = harness::runner("figure5", &args);
     let sweeps: Vec<_> = [1u32, 6]
         .iter()
-        .map(|&radius| run_anns_sweep(radius, MAX_ORDER))
+        .map(|&radius| run_anns_sweep(radius, MAX_ORDER, &mut runner))
         .collect();
+    let summary = runner.finish();
+    harness::report("figure5", &summary);
     if let Some(path) = &args.json {
-        write_json(path, &anns_json(&sweeps, &args)).expect("write JSON");
+        write_json(path, &anns_json(&sweeps, &args, &summary)).expect("write JSON");
     }
     for sweep in &sweeps {
         let table = render_anns(sweep);

@@ -8,15 +8,19 @@
 //! verifiable.
 
 use sfc_bench::figures::{render_topology, run_topology_sweep};
+use sfc_bench::harness;
 use sfc_bench::results::{topology_json, write_json};
 use sfc_bench::Args;
 
 fn main() {
     let args = Args::from_env();
     println!("{}", args.banner("Figure 6 — ACD by network topology"));
-    let sweep = run_topology_sweep(&args);
+    let mut runner = harness::runner("figure6", &args);
+    let sweep = run_topology_sweep(&args, &mut runner);
+    let summary = runner.finish();
+    harness::report("figure6", &summary);
     if let Some(path) = &args.json {
-        write_json(path, &topology_json(&sweep, &args)).expect("write JSON");
+        write_json(path, &topology_json(&sweep, &args, &summary)).expect("write JSON");
     }
     for near_field in [true, false] {
         let table = render_topology(&sweep, near_field);

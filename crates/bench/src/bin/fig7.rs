@@ -3,15 +3,19 @@
 //! (`--scale 0`), for (a) near-field and (b) far-field interactions.
 
 use sfc_bench::figures::{render_processors, run_processor_sweep};
+use sfc_bench::harness;
 use sfc_bench::results::{processors_json, write_json};
 use sfc_bench::Args;
 
 fn main() {
     let args = Args::from_env();
     println!("{}", args.banner("Figure 7 — ACD vs processor count (torus)"));
-    let sweep = run_processor_sweep(&args);
+    let mut runner = harness::runner("figure7", &args);
+    let sweep = run_processor_sweep(&args, &mut runner);
+    let summary = runner.finish();
+    harness::report("figure7", &summary);
     if let Some(path) = &args.json {
-        write_json(path, &processors_json(&sweep, &args)).expect("write JSON");
+        write_json(path, &processors_json(&sweep, &args, &summary)).expect("write JSON");
     }
     for near_field in [true, false] {
         let table = render_processors(&sweep, near_field);

@@ -2,7 +2,12 @@
 //! particle/processor SFC pair under the uniform, normal and exponential
 //! distributions (250,000 particles, 1024×1024 resolution, 65,536-processor
 //! torus at `--scale 0`).
+//!
+//! Shares the `tables` sweep (and therefore a `--journal`) with `table2`:
+//! each cell computes both interaction models, so regenerating one table
+//! journals the other's values too.
 
+use sfc_bench::harness;
 use sfc_bench::results::{grid_json, write_json};
 use sfc_bench::tables::{render_grid, run_tables, Interaction};
 use sfc_bench::Args;
@@ -10,9 +15,12 @@ use sfc_bench::Args;
 fn main() {
     let args = Args::from_env();
     println!("{}", args.banner("Table I — NFI ACD, particle/processor SFC combinations"));
-    let grids = run_tables(&args);
+    let mut runner = harness::runner("tables", &args);
+    let grids = run_tables(&args, &mut runner);
+    let summary = runner.finish();
+    harness::report("tables", &summary);
     if let Some(path) = &args.json {
-        write_json(path, &grid_json(&grids, &args, "table1")).expect("write JSON");
+        write_json(path, &grid_json(&grids, &args, &summary, "table1")).expect("write JSON");
     }
     for grid in grids {
         let table = render_grid(&grid, Interaction::NearField);

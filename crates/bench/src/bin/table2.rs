@@ -1,7 +1,12 @@
 //! Regenerates **Table II** of the paper: far-field ACD (interpolation,
 //! anterpolation and interaction-list communication) for every
 //! particle/processor SFC pair under the three input distributions.
+//!
+//! Shares the `tables` sweep (and therefore a `--journal`) with `table1`:
+//! each cell computes both interaction models, so regenerating one table
+//! journals the other's values too.
 
+use sfc_bench::harness;
 use sfc_bench::results::{grid_json, write_json};
 use sfc_bench::tables::{render_grid, run_tables, Interaction};
 use sfc_bench::Args;
@@ -9,9 +14,12 @@ use sfc_bench::Args;
 fn main() {
     let args = Args::from_env();
     println!("{}", args.banner("Table II — FFI ACD, particle/processor SFC combinations"));
-    let grids = run_tables(&args);
+    let mut runner = harness::runner("tables", &args);
+    let grids = run_tables(&args, &mut runner);
+    let summary = runner.finish();
+    harness::report("tables", &summary);
     if let Some(path) = &args.json {
-        write_json(path, &grid_json(&grids, &args, "table2")).expect("write JSON");
+        write_json(path, &grid_json(&grids, &args, &summary, "table2")).expect("write JSON");
     }
     for grid in grids {
         let table = render_grid(&grid, Interaction::FarField);

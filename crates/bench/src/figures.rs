@@ -1,15 +1,37 @@
 //! Drivers for Figures 5, 6 and 7 and the Section VI-C parametric studies.
+//!
+//! Every sweep is decomposed into named cells — one `(configuration, trial)`
+//! unit each — executed through the fault-tolerant [`SweepRunner`], so an
+//! interrupted regeneration resumes from its `--journal` and a cell that
+//! panics is retried, then recorded as a structured failure without
+//! aborting the rest of the sweep. Values missing after a partial sweep
+//! surface as `None` entries and render as `—`.
 
 use crate::args::Args;
 use sfc_core::anns::anns_radius;
 use sfc_core::ffi::{ffi_acd_with_tree, OwnerTree};
 use sfc_core::nfi::nfi_acd;
 use sfc_core::report::Table;
+use sfc_core::runner::SweepRunner;
 use sfc_core::{Assignment, Machine, Stats};
 use sfc_curves::point::Norm;
-use sfc_curves::CurveKind;
+use sfc_curves::{CurveKind, Point2};
 use sfc_particles::{DistributionKind, Workload};
 use sfc_topology::TopologyKind;
+use std::cell::OnceCell;
+
+/// Format an optional mean to the paper's three decimals, `—` when the
+/// partial sweep left it uncomputed.
+fn fmt_cell(v: Option<f64>) -> String {
+    match v {
+        Some(v) => format!("{v:.3}"),
+        None => "—".to_string(),
+    }
+}
+
+fn mean_of(samples: &[f64]) -> Option<f64> {
+    Stats::try_from_samples(samples).ok().map(|s| s.mean)
+}
 
 // ---------------------------------------------------------------------------
 // Figure 5: ANNS vs spatial resolution
@@ -23,21 +45,31 @@ pub struct AnnsSweep {
     pub radius: u32,
     /// Grid orders measured (resolution = `2^order` per side).
     pub orders: Vec<u32>,
-    /// `values[curve][order_index]` = average stretch.
-    pub values: Vec<Vec<f64>>,
+    /// `values[curve][order_index]` = average stretch (`None` if the cell
+    /// failed or was skipped).
+    pub values: Vec<Vec<Option<f64>>>,
 }
 
 /// Run the Figure 5 sweep for a given radius over grid orders
 /// `1 ..= max_order` (the paper's Figure 5 spans 2×2 through 512×512,
-/// i.e. `max_order = 9`).
-pub fn run_anns_sweep(radius: u32, max_order: u32) -> AnnsSweep {
+/// i.e. `max_order = 9`). Cell `"r{radius}/{curve}/o{order}"` produces the
+/// single stretch value for that resolution.
+pub fn run_anns_sweep(radius: u32, max_order: u32, runner: &mut SweepRunner) -> AnnsSweep {
     let orders: Vec<u32> = (1..=max_order).collect();
     let values = CurveKind::PAPER
         .iter()
         .map(|&curve| {
             orders
                 .iter()
-                .map(|&order| anns_radius(curve, order, radius, Norm::Manhattan).average())
+                .map(|&order| {
+                    let cell = format!("r{radius}/{}/o{order}", curve.short_name());
+                    runner
+                        .run_cell(&cell, || {
+                            vec![anns_radius(curve, order, radius, Norm::Manhattan).average()]
+                        })
+                        .values()
+                        .map(|v| v[0])
+                })
                 .collect()
         })
         .collect();
@@ -60,9 +92,9 @@ pub fn render_anns(sweep: &AnnsSweep) -> Table {
     let mut table = Table::new(title, &header);
     for (i, &order) in sweep.orders.iter().enumerate() {
         let side = 1u64 << order;
-        let label = format!("{side}x{side}");
-        let row: Vec<f64> = (0..4).map(|c| sweep.values[c][i]).collect();
-        table.push_numeric_row(&label, &row);
+        let mut row = vec![format!("{side}x{side}")];
+        row.extend((0..4).map(|c| fmt_cell(sweep.values[c][i])));
+        table.push_row(row);
     }
     table
 }
@@ -77,9 +109,9 @@ pub struct TopologySweep {
     /// Topologies measured, in display order.
     pub topologies: Vec<TopologyKind>,
     /// Near-field ACD per (topology, curve).
-    pub nfi: Vec<Vec<Stats>>,
+    pub nfi: Vec<Vec<Option<Stats>>>,
     /// Far-field ACD per (topology, curve).
-    pub ffi: Vec<Vec<Stats>>,
+    pub ffi: Vec<Vec<Option<Stats>>>,
 }
 
 /// Near-field radius of the Figure 6 experiment ("a radius of 4 was used").
@@ -89,35 +121,50 @@ pub const FIG6_RADIUS: u32 = 4;
 /// resolution (scaled by `args.scale`), the same SFC for particle and
 /// processor order, across all six topologies (the paper plots four and
 /// notes bus/ring are off the scale).
-pub fn run_topology_sweep(args: &Args) -> TopologySweep {
+///
+/// Cell `"t{trial}/{curve}"` produces twelve values: the (near-field,
+/// far-field) ACD pair on each of the six topologies, interleaved.
+pub fn run_topology_sweep(args: &Args, runner: &mut SweepRunner) -> TopologySweep {
     let workload = Workload::figure6(args.seed).scaled_down(args.scale);
     let num_procs = (65_536u64 >> (2 * args.scale)).max(4);
     let topologies: Vec<TopologyKind> = TopologyKind::PAPER.to_vec();
+    let nt = topologies.len();
 
-    let mut nfi = vec![vec![Vec::new(); 4]; topologies.len()];
-    let mut ffi = vec![vec![Vec::new(); 4]; topologies.len()];
+    let mut nfi = vec![vec![Vec::new(); 4]; nt];
+    let mut ffi = vec![vec![Vec::new(); 4]; nt];
     for t in 0..args.trials {
-        let particles = workload.particles(t);
+        let particles = OnceCell::new();
         for (ci, &curve) in CurveKind::PAPER.iter().enumerate() {
-            let asg = Assignment::new(&particles, workload.grid_order, curve, num_procs);
-            let tree = OwnerTree::build(&asg);
-            for (ti, &topo) in topologies.iter().enumerate() {
-                let machine = Machine::new(topo, num_procs, curve);
-                nfi[ti][ci].push(nfi_acd(&asg, &machine, FIG6_RADIUS, Norm::Chebyshev).acd());
-                ffi[ti][ci].push(ffi_acd_with_tree(&asg, &machine, &tree).acd());
+            let cell = format!("t{t}/{}", curve.short_name());
+            let result = runner.run_cell(&cell, || {
+                let particles = particles.get_or_init(|| workload.particles(t));
+                let asg = Assignment::new(particles, workload.grid_order, curve, num_procs);
+                let tree = OwnerTree::build(&asg);
+                let mut values = Vec::with_capacity(2 * nt);
+                for &topo in &topologies {
+                    let machine = Machine::new(topo, num_procs, curve);
+                    values.push(nfi_acd(&asg, &machine, FIG6_RADIUS, Norm::Chebyshev).acd());
+                    values.push(ffi_acd_with_tree(&asg, &machine, &tree).acd());
+                }
+                values
+            });
+            if let Some(values) = result.values() {
+                for ti in 0..nt {
+                    nfi[ti][ci].push(values[2 * ti]);
+                    ffi[ti][ci].push(values[2 * ti + 1]);
+                }
             }
         }
     }
+    let collect = |data: Vec<Vec<Vec<f64>>>| -> Vec<Vec<Option<Stats>>> {
+        data.into_iter()
+            .map(|row| row.iter().map(|s| Stats::try_from_samples(s).ok()).collect())
+            .collect()
+    };
     TopologySweep {
         topologies,
-        nfi: nfi
-            .into_iter()
-            .map(|row| row.iter().map(|s| Stats::from_samples(s)).collect())
-            .collect(),
-        ffi: ffi
-            .into_iter()
-            .map(|row| row.iter().map(|s| Stats::from_samples(s)).collect())
-            .collect(),
+        nfi: collect(nfi),
+        ffi: collect(ffi),
     }
 }
 
@@ -134,10 +181,12 @@ pub fn render_topology(sweep: &TopologySweep, near_field: bool) -> Table {
     header.extend(names.iter());
     let mut table = Table::new(format!("Figure 6({tag}) — ACD by topology"), &header);
     for (ci, &curve) in CurveKind::PAPER.iter().enumerate() {
-        let row: Vec<f64> = (0..sweep.topologies.len())
-            .map(|ti| data[ti][ci].mean)
-            .collect();
-        table.push_numeric_row(curve.name(), &row);
+        let mut row = vec![curve.name().to_string()];
+        row.extend(
+            (0..sweep.topologies.len())
+                .map(|ti| fmt_cell(data[ti][ci].as_ref().map(|s| s.mean))),
+        );
+        table.push_row(row);
     }
     table
 }
@@ -152,15 +201,18 @@ pub struct ProcessorSweep {
     /// Processor counts measured.
     pub processors: Vec<u64>,
     /// Near-field ACD per (processor count, curve).
-    pub nfi: Vec<Vec<Stats>>,
+    pub nfi: Vec<Vec<Option<Stats>>>,
     /// Far-field ACD per (processor count, curve).
-    pub ffi: Vec<Vec<Stats>>,
+    pub ffi: Vec<Vec<Option<Stats>>>,
 }
 
 /// Run the Figure 7 experiment: 1,000,000 uniform particles (scaled), torus
 /// topology, same SFC for both orderings, with the processor count swept
 /// over powers of four.
-pub fn run_processor_sweep(args: &Args) -> ProcessorSweep {
+///
+/// Cell `"t{trial}/{curve}/p{procs}"` produces the (near-field, far-field)
+/// ACD pair.
+pub fn run_processor_sweep(args: &Args, runner: &mut SweepRunner) -> ProcessorSweep {
     let workload = Workload::figure7(args.seed).scaled_down(args.scale);
     // Paper scale: 256 .. 65,536 processors; shift the whole range down
     // with the workload.
@@ -179,27 +231,36 @@ pub fn run_processor_sweep(args: &Args) -> ProcessorSweep {
     let mut nfi = vec![vec![Vec::new(); 4]; processors.len()];
     let mut ffi = vec![vec![Vec::new(); 4]; processors.len()];
     for t in 0..args.trials {
-        let particles = workload.particles(t);
+        let particles = OnceCell::new();
         for (ci, &curve) in CurveKind::PAPER.iter().enumerate() {
             for (pi, &procs) in processors.iter().enumerate() {
-                let asg = Assignment::new(&particles, workload.grid_order, curve, procs);
-                let tree = OwnerTree::build(&asg);
-                let machine = Machine::new(TopologyKind::Torus, procs, curve);
-                nfi[pi][ci].push(nfi_acd(&asg, &machine, 1, Norm::Chebyshev).acd());
-                ffi[pi][ci].push(ffi_acd_with_tree(&asg, &machine, &tree).acd());
+                let cell = format!("t{t}/{}/p{procs}", curve.short_name());
+                let result = runner.run_cell(&cell, || {
+                    let particles = particles.get_or_init(|| workload.particles(t));
+                    let asg = Assignment::new(particles, workload.grid_order, curve, procs);
+                    let tree = OwnerTree::build(&asg);
+                    let machine = Machine::new(TopologyKind::Torus, procs, curve);
+                    vec![
+                        nfi_acd(&asg, &machine, 1, Norm::Chebyshev).acd(),
+                        ffi_acd_with_tree(&asg, &machine, &tree).acd(),
+                    ]
+                });
+                if let Some(values) = result.values() {
+                    nfi[pi][ci].push(values[0]);
+                    ffi[pi][ci].push(values[1]);
+                }
             }
         }
     }
+    let collect = |data: Vec<Vec<Vec<f64>>>| -> Vec<Vec<Option<Stats>>> {
+        data.into_iter()
+            .map(|row| row.iter().map(|s| Stats::try_from_samples(s).ok()).collect())
+            .collect()
+    };
     ProcessorSweep {
         processors,
-        nfi: nfi
-            .into_iter()
-            .map(|row| row.iter().map(|s| Stats::from_samples(s)).collect())
-            .collect(),
-        ffi: ffi
-            .into_iter()
-            .map(|row| row.iter().map(|s| Stats::from_samples(s)).collect())
-            .collect(),
+        nfi: collect(nfi),
+        ffi: collect(ffi),
     }
 }
 
@@ -215,8 +276,9 @@ pub fn render_processors(sweep: &ProcessorSweep, near_field: bool) -> Table {
     header.extend(CurveKind::PAPER.iter().map(|c| c.name()));
     let mut table = Table::new(format!("Figure 7({tag}) — ACD vs processors (torus)"), &header);
     for (pi, &procs) in sweep.processors.iter().enumerate() {
-        let row: Vec<f64> = (0..4).map(|ci| data[pi][ci].mean).collect();
-        table.push_numeric_row(&procs.to_string(), &row);
+        let mut row = vec![procs.to_string()];
+        row.extend((0..4).map(|ci| fmt_cell(data[pi][ci].as_ref().map(|s| s.mean))));
+        table.push_row(row);
     }
     table
 }
@@ -225,42 +287,71 @@ pub fn render_processors(sweep: &ProcessorSweep, near_field: bool) -> Table {
 // Section VI-C parametric studies
 // ---------------------------------------------------------------------------
 
+/// Per-trial particle sets of one workload, sampled lazily so replayed
+/// cells cost nothing.
+struct TrialCache<'a> {
+    workload: &'a Workload,
+    sets: Vec<OnceCell<Vec<Point2>>>,
+}
+
+impl<'a> TrialCache<'a> {
+    fn new(workload: &'a Workload, trials: u64) -> Self {
+        TrialCache {
+            workload,
+            sets: (0..trials).map(|_| OnceCell::new()).collect(),
+        }
+    }
+
+    fn get(&self, t: u64) -> &[Point2] {
+        self.sets[t as usize].get_or_init(|| self.workload.particles(t))
+    }
+}
+
 /// NFI ACD as the neighborhood radius varies (torus, tied curves).
-pub fn run_radius_sweep(args: &Args, radii: &[u32]) -> Table {
+/// Cell `"r{radius}/{curve}/t{trial}"` produces the single ACD value.
+pub fn run_radius_sweep(args: &Args, radii: &[u32], runner: &mut SweepRunner) -> Table {
     let workload = Workload::tables_1_2(DistributionKind::Uniform, args.seed)
         .scaled_down(args.scale);
     let num_procs = (65_536u64 >> (2 * args.scale)).max(4);
+    let cache = TrialCache::new(&workload, args.trials);
     let mut header = vec!["Radius"];
     header.extend(CurveKind::PAPER.iter().map(|c| c.name()));
     let mut table = Table::new("Section VI-C — NFI ACD vs neighborhood radius", &header);
     for &radius in radii {
-        let mut row = Vec::with_capacity(4);
+        let mut row = vec![radius.to_string()];
         for &curve in &CurveKind::PAPER {
             let mut acds = Vec::new();
             for t in 0..args.trials {
-                let particles = workload.particles(t);
-                let asg = Assignment::new(&particles, workload.grid_order, curve, num_procs);
-                let machine = Machine::new(TopologyKind::Torus, num_procs, curve);
-                acds.push(nfi_acd(&asg, &machine, radius, Norm::Chebyshev).acd());
+                let cell = format!("r{radius}/{}/t{t}", curve.short_name());
+                let result = runner.run_cell(&cell, || {
+                    let particles = cache.get(t);
+                    let asg =
+                        Assignment::new(particles, workload.grid_order, curve, num_procs);
+                    let machine = Machine::new(TopologyKind::Torus, num_procs, curve);
+                    vec![nfi_acd(&asg, &machine, radius, Norm::Chebyshev).acd()]
+                });
+                if let Some(values) = result.values() {
+                    acds.push(values[0]);
+                }
             }
-            row.push(Stats::from_samples(&acds).mean);
+            row.push(fmt_cell(mean_of(&acds)));
         }
-        table.push_numeric_row(&radius.to_string(), &row);
+        table.push_row(row);
     }
     table
 }
 
 /// ACD as the input size varies at a fixed processor count (torus, tied
 /// curves); near- and far-field rendered as two column groups.
-pub fn run_input_size_sweep(args: &Args, sizes: &[usize]) -> Table {
+/// Cell `"n{particles}/{curve}/t{trial}"` produces the (NFI, FFI) pair.
+pub fn run_input_size_sweep(args: &Args, sizes: &[usize], runner: &mut SweepRunner) -> Table {
     let base = Workload::tables_1_2(DistributionKind::Uniform, args.seed)
         .scaled_down(args.scale);
     let num_procs = (65_536u64 >> (2 * args.scale)).max(4);
-    let mut header = vec!["Particles"];
+    let mut owned_headers: Vec<String> = vec!["Particles".into()];
     for c in &CurveKind::PAPER {
-        header.push(c.short_name());
+        owned_headers.push(c.short_name().to_string());
     }
-    let mut owned_headers: Vec<String> = header.iter().map(|s| s.to_string()).collect();
     for c in &CurveKind::PAPER {
         owned_headers.push(format!("{} (FFI)", c.short_name()));
     }
@@ -271,24 +362,35 @@ pub fn run_input_size_sweep(args: &Args, sizes: &[usize]) -> Table {
     );
     for &n in sizes {
         let workload = Workload::new(base.grid_order, n, base.dist, base.seed);
-        let mut row = Vec::with_capacity(8);
+        let cache = TrialCache::new(&workload, args.trials);
+        let mut row = vec![n.to_string()];
         let mut ffi_cols = Vec::with_capacity(4);
         for &curve in &CurveKind::PAPER {
             let mut nfi_s = Vec::new();
             let mut ffi_s = Vec::new();
             for t in 0..args.trials {
-                let particles = workload.particles(t);
-                let asg = Assignment::new(&particles, workload.grid_order, curve, num_procs);
-                let tree = OwnerTree::build(&asg);
-                let machine = Machine::new(TopologyKind::Torus, num_procs, curve);
-                nfi_s.push(nfi_acd(&asg, &machine, 1, Norm::Chebyshev).acd());
-                ffi_s.push(ffi_acd_with_tree(&asg, &machine, &tree).acd());
+                let cell = format!("n{n}/{}/t{t}", curve.short_name());
+                let result = runner.run_cell(&cell, || {
+                    let particles = cache.get(t);
+                    let asg =
+                        Assignment::new(particles, workload.grid_order, curve, num_procs);
+                    let tree = OwnerTree::build(&asg);
+                    let machine = Machine::new(TopologyKind::Torus, num_procs, curve);
+                    vec![
+                        nfi_acd(&asg, &machine, 1, Norm::Chebyshev).acd(),
+                        ffi_acd_with_tree(&asg, &machine, &tree).acd(),
+                    ]
+                });
+                if let Some(values) = result.values() {
+                    nfi_s.push(values[0]);
+                    ffi_s.push(values[1]);
+                }
             }
-            row.push(Stats::from_samples(&nfi_s).mean);
-            ffi_cols.push(Stats::from_samples(&ffi_s).mean);
+            row.push(fmt_cell(mean_of(&nfi_s)));
+            ffi_cols.push(fmt_cell(mean_of(&ffi_s)));
         }
         row.extend(ffi_cols);
-        table.push_numeric_row(&n.to_string(), &row);
+        table.push_row(row);
     }
     table
 }
@@ -296,7 +398,8 @@ pub fn run_input_size_sweep(args: &Args, sizes: &[usize]) -> Table {
 /// ACD per distribution at the Table I/II configuration with tied curves —
 /// the Section VI-C observation that NFI is best under uniform inputs while
 /// FFI barely distinguishes the distributions.
-pub fn run_distribution_comparison(args: &Args) -> Table {
+/// Cell `"{distribution}/{curve}/t{trial}"` produces the (NFI, FFI) pair.
+pub fn run_distribution_comparison(args: &Args, runner: &mut SweepRunner) -> Table {
     let num_procs = (65_536u64 >> (2 * args.scale)).max(4);
     let mut owned: Vec<String> = vec!["Distribution".into()];
     for c in &CurveKind::PAPER {
@@ -309,24 +412,35 @@ pub fn run_distribution_comparison(args: &Args) -> Table {
     let mut table = Table::new("Section VI-C — ACD by input distribution (tied curves)", &header);
     for dist in DistributionKind::ALL {
         let workload = Workload::tables_1_2(dist, args.seed).scaled_down(args.scale);
-        let mut nfi_row = Vec::with_capacity(4);
+        let cache = TrialCache::new(&workload, args.trials);
+        let mut nfi_row = vec![dist.name().to_string()];
         let mut ffi_row = Vec::with_capacity(4);
         for &curve in &CurveKind::PAPER {
             let mut nfi_s = Vec::new();
             let mut ffi_s = Vec::new();
             for t in 0..args.trials {
-                let particles = workload.particles(t);
-                let asg = Assignment::new(&particles, workload.grid_order, curve, num_procs);
-                let tree = OwnerTree::build(&asg);
-                let machine = Machine::new(TopologyKind::Torus, num_procs, curve);
-                nfi_s.push(nfi_acd(&asg, &machine, 1, Norm::Chebyshev).acd());
-                ffi_s.push(ffi_acd_with_tree(&asg, &machine, &tree).acd());
+                let cell = format!("{dist}/{}/t{t}", curve.short_name());
+                let result = runner.run_cell(&cell, || {
+                    let particles = cache.get(t);
+                    let asg =
+                        Assignment::new(particles, workload.grid_order, curve, num_procs);
+                    let tree = OwnerTree::build(&asg);
+                    let machine = Machine::new(TopologyKind::Torus, num_procs, curve);
+                    vec![
+                        nfi_acd(&asg, &machine, 1, Norm::Chebyshev).acd(),
+                        ffi_acd_with_tree(&asg, &machine, &tree).acd(),
+                    ]
+                });
+                if let Some(values) = result.values() {
+                    nfi_s.push(values[0]);
+                    ffi_s.push(values[1]);
+                }
             }
-            nfi_row.push(Stats::from_samples(&nfi_s).mean);
-            ffi_row.push(Stats::from_samples(&ffi_s).mean);
+            nfi_row.push(fmt_cell(mean_of(&nfi_s)));
+            ffi_row.push(fmt_cell(mean_of(&ffi_s)));
         }
         nfi_row.extend(ffi_row);
-        table.push_numeric_row(dist.name(), &nfi_row);
+        table.push_row(nfi_row);
     }
     table
 }
@@ -340,14 +454,13 @@ mod tests {
             scale: 5, // 128x128 fig6 grid, ~976 particles, 64 processors
             trials: 1,
             seed: 3,
-            markdown: false,
-            json: None,
+            ..Args::default()
         }
     }
 
     #[test]
     fn anns_sweep_shape() {
-        let sweep = run_anns_sweep(1, 5);
+        let sweep = run_anns_sweep(1, 5, &mut SweepRunner::ephemeral());
         assert_eq!(sweep.orders, vec![1, 2, 3, 4, 5]);
         assert_eq!(sweep.values.len(), 4);
         assert_eq!(sweep.values[0].len(), 5);
@@ -358,15 +471,15 @@ mod tests {
 
     #[test]
     fn anns_values_grow_with_resolution() {
-        let sweep = run_anns_sweep(1, 6);
+        let sweep = run_anns_sweep(1, 6, &mut SweepRunner::ephemeral());
         for series in &sweep.values {
-            assert!(series.windows(2).all(|w| w[0] < w[1]));
+            assert!(series.windows(2).all(|w| w[0].unwrap() < w[1].unwrap()));
         }
     }
 
     #[test]
     fn topology_sweep_runs_all_six() {
-        let sweep = run_topology_sweep(&tiny_args());
+        let sweep = run_topology_sweep(&tiny_args(), &mut SweepRunner::ephemeral());
         assert_eq!(sweep.topologies.len(), 6);
         let t = render_topology(&sweep, true);
         assert_eq!(t.num_rows(), 4);
@@ -379,10 +492,11 @@ mod tests {
     fn processor_sweep_is_monotone_in_p_for_row_major_nfi() {
         // More processors spread neighbors further apart; ACD should not
         // shrink as p grows (fixed workload).
-        let sweep = run_processor_sweep(&tiny_args());
+        let sweep = run_processor_sweep(&tiny_args(), &mut SweepRunner::ephemeral());
         assert!(sweep.processors.len() >= 2);
-        let row_major_series: Vec<f64> =
-            (0..sweep.processors.len()).map(|pi| sweep.nfi[pi][3].mean).collect();
+        let row_major_series: Vec<f64> = (0..sweep.processors.len())
+            .map(|pi| sweep.nfi[pi][3].as_ref().unwrap().mean)
+            .collect();
         let first = row_major_series.first().unwrap();
         let last = row_major_series.last().unwrap();
         assert!(last >= first);
@@ -392,13 +506,13 @@ mod tests {
 
     #[test]
     fn radius_sweep_radii_increase_acd_weakly() {
-        let table = run_radius_sweep(&tiny_args(), &[1, 2]);
+        let table = run_radius_sweep(&tiny_args(), &[1, 2], &mut SweepRunner::ephemeral());
         assert_eq!(table.num_rows(), 2);
     }
 
     #[test]
     fn distribution_comparison_rows() {
-        let table = run_distribution_comparison(&tiny_args());
+        let table = run_distribution_comparison(&tiny_args(), &mut SweepRunner::ephemeral());
         assert_eq!(table.num_rows(), 3);
         let text = table.render();
         assert!(text.contains("Uniform") && text.contains("Exponential"));
@@ -406,7 +520,22 @@ mod tests {
 
     #[test]
     fn input_size_sweep_rows() {
-        let table = run_input_size_sweep(&tiny_args(), &[200, 400]);
+        let table =
+            run_input_size_sweep(&tiny_args(), &[200, 400], &mut SweepRunner::ephemeral());
         assert_eq!(table.num_rows(), 2);
+    }
+
+    #[test]
+    fn skipped_cells_render_as_missing() {
+        let mut args = tiny_args();
+        args.time_budget = Some(0);
+        let mut runner = crate::harness::runner("figure7", &args);
+        let sweep = run_processor_sweep(&args, &mut runner);
+        assert!(sweep.nfi.iter().flatten().all(|s| s.is_none()));
+        let text = render_processors(&sweep, true).render();
+        assert!(text.contains('—'));
+        let summary = runner.finish();
+        assert_eq!(summary.computed, 0);
+        assert!(!summary.skipped.is_empty());
     }
 }

@@ -1,0 +1,106 @@
+//! Glue between [`Args`] and the fault-tolerant [`SweepRunner`].
+//!
+//! Every regeneration binary builds its runner here so the journaling,
+//! retry, time-budget and chaos flags behave identically across binaries,
+//! and reports the sweep accounting to **stderr** — stdout and the JSON
+//! artifact stay byte-identical between a fresh run and a resumed one.
+
+use crate::args::Args;
+use serde_json::{json, Value};
+use sfc_core::runner::{ChaosInjector, RunnerOptions, SweepRunner, SweepSummary};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// The configuration fingerprint stored in a journal header: a journal can
+/// only resume a sweep with the same scale, trials and seed. Chaos and
+/// budget flags are deliberately excluded — interrupting a run with a
+/// different budget (or sabotaging it in a test) must not orphan the
+/// journal.
+pub fn fingerprint(args: &Args) -> Value {
+    json!({
+        "scale": args.scale,
+        "trials": args.trials,
+        "seed": args.seed,
+    })
+}
+
+/// Build the sweep runner the flags describe. Exits with a message when the
+/// journal cannot be opened (unwritable path, or written by a different
+/// sweep/configuration).
+pub fn runner(sweep: &str, args: &Args) -> SweepRunner {
+    let mut opts = RunnerOptions::new();
+    opts.journal = args.journal.as_ref().map(PathBuf::from);
+    opts.time_budget = args.time_budget.map(Duration::from_secs);
+    if !args.chaos.is_empty() {
+        opts.chaos = Some(ChaosInjector::new(&args.chaos, args.chaos_persistent));
+    }
+    match SweepRunner::new(sweep, &fingerprint(args), opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Report the sweep accounting on stderr: computed/replayed counts, every
+/// failed cell with its error, and the cells a spent time budget left
+/// uncomputed (so a follow-up run with `--journal` knows what remains).
+pub fn report(sweep: &str, summary: &SweepSummary) {
+    eprintln!(
+        "# sweep {sweep}: {} cell(s) computed, {} replayed from journal",
+        summary.computed, summary.replayed
+    );
+    for f in &summary.failed {
+        eprintln!(
+            "# sweep {sweep}: cell {} FAILED after {} attempt(s): {}",
+            f.cell, f.attempts, f.error
+        );
+    }
+    if !summary.skipped.is_empty() {
+        eprintln!(
+            "# sweep {sweep}: time budget exhausted; {} cell(s) not started:",
+            summary.skipped.len()
+        );
+        for cell in &summary.skipped {
+            eprintln!("#   missing {cell}");
+        }
+        eprintln!("# rerun with the same --journal to compute them");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaos_flags_build_an_injector() {
+        let mut args = Args {
+            chaos: vec!["t0".into()],
+            ..Args::default()
+        };
+        args.chaos_persistent = true;
+        let mut r = runner("test", &args);
+        assert!(matches!(
+            r.run_cell("x/t0", || vec![1.0]),
+            sfc_core::runner::CellResult::Failed(_)
+        ));
+        assert!(matches!(
+            r.run_cell("x/t9", || vec![1.0]),
+            sfc_core::runner::CellResult::Computed(_)
+        ));
+    }
+
+    #[test]
+    fn fingerprint_tracks_config_not_chaos() {
+        let a = Args::default();
+        let b = Args {
+            chaos: vec!["anything".into()],
+            time_budget: Some(5),
+            ..Args::default()
+        };
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+        let c = Args { seed: 1, ..Args::default() };
+        assert_ne!(fingerprint(&a), fingerprint(&c));
+    }
+}

@@ -18,13 +18,17 @@
 //! All binaries accept `--scale S` (shrink the workload by `4^S` while
 //! preserving density; the default regenerates at reduced scale 2 so a full
 //! run completes in minutes — pass `--scale 0` for the paper's exact sizes),
-//! `--trials T` and `--seed X`.
+//! `--trials T` and `--seed X`, plus the fault-tolerance flags `--journal
+//! PATH` (append completed sweep cells to a JSONL journal and resume from
+//! it), `--time-budget SECS` (stop scheduling new cells once spent) and
+//! `--chaos LIST` (deterministic fault injection for tests).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod args;
 pub mod figures;
+pub mod harness;
 pub mod results;
 pub mod tables;
 

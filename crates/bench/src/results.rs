@@ -1,25 +1,35 @@
 //! Machine-readable export of regeneration results.
 //!
 //! Every binary accepts `--json <path>` and writes its artifact as one JSON
-//! document with a common envelope (`artifact`, `config`, `data`), so runs
-//! can be diffed, archived, or fed to plotting scripts without scraping the
-//! text tables.
+//! document with a common envelope (`artifact`, `config`, `cells`, `data`),
+//! so runs can be diffed, archived, or fed to plotting scripts without
+//! scraping the text tables.
+//!
+//! The `cells` section carries the fault-tolerance accounting: cells that
+//! failed after retries (as structured errors) and cells skipped by a spent
+//! `--time-budget`. Both arrays are empty for a complete run, and the
+//! envelope deliberately excludes computed/replayed counts, so the artifact
+//! of a resumed sweep is byte-identical to an uninterrupted one.
 
 use crate::args::Args;
 use crate::figures::{AnnsSweep, ProcessorSweep, TopologySweep};
 use crate::tables::CurvePairGrid;
 use serde_json::{json, Value};
+use sfc_core::runner::SweepSummary;
 use sfc_core::Stats;
 use sfc_curves::CurveKind;
 
-fn stats_json(s: &Stats) -> Value {
-    json!({
-        "mean": s.mean,
-        "std_dev": s.std_dev,
-        "min": s.min,
-        "max": s.max,
-        "trials": s.n,
-    })
+fn stats_json(s: &Option<Stats>) -> Value {
+    match s {
+        Some(s) => json!({
+            "mean": s.mean,
+            "std_dev": s.std_dev,
+            "min": s.min,
+            "max": s.max,
+            "trials": s.n,
+        }),
+        None => Value::Null,
+    }
 }
 
 fn config_json(args: &Args) -> Value {
@@ -30,22 +40,46 @@ fn config_json(args: &Args) -> Value {
     })
 }
 
+fn cells_json(summary: &SweepSummary) -> Value {
+    let failed: Vec<Value> = summary
+        .failed
+        .iter()
+        .map(|f| {
+            json!({
+                "cell": f.cell,
+                "error": f.error,
+                "attempts": f.attempts,
+            })
+        })
+        .collect();
+    json!({
+        "failed": failed,
+        "skipped": summary.skipped,
+    })
+}
+
 /// Common envelope for one exported artifact.
-pub fn envelope(artifact: &str, args: &Args, data: Value) -> Value {
+pub fn envelope(artifact: &str, args: &Args, summary: &SweepSummary, data: Value) -> Value {
     json!({
         "artifact": artifact,
         "paper": "DeFord & Kalyanaraman, ICPP 2013",
         "config": config_json(args),
+        "cells": cells_json(summary),
         "data": data,
     })
 }
 
 /// Export a Table I/II curve-pair grid.
-pub fn grid_json(grids: &[CurvePairGrid], args: &Args, artifact: &str) -> Value {
+pub fn grid_json(
+    grids: &[CurvePairGrid],
+    args: &Args,
+    summary: &SweepSummary,
+    artifact: &str,
+) -> Value {
     let data: Vec<Value> = grids
         .iter()
         .map(|g| {
-            let block = |values: &[[Stats; 4]; 4]| -> Value {
+            let block = |values: &[[Option<Stats>; 4]; 4]| -> Value {
                 let rows: Vec<Value> = CurveKind::PAPER
                     .iter()
                     .enumerate()
@@ -75,11 +109,11 @@ pub fn grid_json(grids: &[CurvePairGrid], args: &Args, artifact: &str) -> Value 
             })
         })
         .collect();
-    envelope(artifact, args, json!(data))
+    envelope(artifact, args, summary, json!(data))
 }
 
 /// Export a Figure 5 ANNS sweep.
-pub fn anns_json(sweeps: &[AnnsSweep], args: &Args) -> Value {
+pub fn anns_json(sweeps: &[AnnsSweep], args: &Args, summary: &SweepSummary) -> Value {
     let data: Vec<Value> = sweeps
         .iter()
         .map(|s| {
@@ -100,12 +134,12 @@ pub fn anns_json(sweeps: &[AnnsSweep], args: &Args) -> Value {
             })
         })
         .collect();
-    envelope("figure5", args, json!(data))
+    envelope("figure5", args, summary, json!(data))
 }
 
 /// Export a Figure 6 topology sweep.
-pub fn topology_json(sweep: &TopologySweep, args: &Args) -> Value {
-    let block = |data: &Vec<Vec<Stats>>| -> Value {
+pub fn topology_json(sweep: &TopologySweep, args: &Args, summary: &SweepSummary) -> Value {
+    let block = |data: &Vec<Vec<Option<Stats>>>| -> Value {
         let rows: Vec<Value> = sweep
             .topologies
             .iter()
@@ -129,13 +163,14 @@ pub fn topology_json(sweep: &TopologySweep, args: &Args) -> Value {
     envelope(
         "figure6",
         args,
+        summary,
         json!({ "nfi": block(&sweep.nfi), "ffi": block(&sweep.ffi) }),
     )
 }
 
 /// Export a Figure 7 processor sweep.
-pub fn processors_json(sweep: &ProcessorSweep, args: &Args) -> Value {
-    let block = |data: &Vec<Vec<Stats>>| -> Value {
+pub fn processors_json(sweep: &ProcessorSweep, args: &Args, summary: &SweepSummary) -> Value {
+    let block = |data: &Vec<Vec<Option<Stats>>>| -> Value {
         let rows: Vec<Value> = sweep
             .processors
             .iter()
@@ -159,6 +194,7 @@ pub fn processors_json(sweep: &ProcessorSweep, args: &Args) -> Value {
     envelope(
         "figure7",
         args,
+        summary,
         json!({ "nfi": block(&sweep.nfi), "ffi": block(&sweep.ffi) }),
     )
 }
@@ -166,7 +202,12 @@ pub fn processors_json(sweep: &ProcessorSweep, args: &Args) -> Value {
 /// Export any rendered [`sfc_core::report::Table`] generically (used by the
 /// `parametric` and `extensions` binaries, whose artifacts are plain
 /// tables).
-pub fn tables_json(tables: &[sfc_core::report::Table], args: &Args, artifact: &str) -> Value {
+pub fn tables_json(
+    tables: &[sfc_core::report::Table],
+    args: &Args,
+    summary: &SweepSummary,
+    artifact: &str,
+) -> Value {
     let data: Vec<Value> = tables
         .iter()
         .map(|t| {
@@ -177,7 +218,7 @@ pub fn tables_json(tables: &[sfc_core::report::Table], args: &Args, artifact: &s
             })
         })
         .collect();
-    envelope(artifact, args, json!(data))
+    envelope(artifact, args, summary, json!(data))
 }
 
 /// Write a JSON document to `path` (pretty-printed).
@@ -190,6 +231,7 @@ mod tests {
     use super::*;
     use crate::figures::run_anns_sweep;
     use crate::tables::run_distribution;
+    use sfc_core::runner::{FailedCell, SweepRunner};
     use sfc_particles::DistributionKind;
 
     fn tiny_args() -> Args {
@@ -197,16 +239,23 @@ mod tests {
             scale: 4,
             trials: 1,
             seed: 5,
-            markdown: false,
-            json: None,
+            ..Args::default()
         }
+    }
+
+    fn done() -> SweepSummary {
+        SweepSummary::default()
     }
 
     #[test]
     fn grid_export_shape() {
         let args = tiny_args();
-        let grid = run_distribution(DistributionKind::Uniform, &args);
-        let v = grid_json(&[grid], &args, "table1");
+        let grid = run_distribution(
+            DistributionKind::Uniform,
+            &args,
+            &mut SweepRunner::ephemeral(),
+        );
+        let v = grid_json(&[grid], &args, &done(), "table1");
         assert_eq!(v["artifact"], "table1");
         assert_eq!(v["config"]["scale"], 4);
         let rows = v["data"][0]["nfi"].as_array().unwrap();
@@ -215,13 +264,15 @@ mod tests {
         let acd = &rows[0]["cells"][0]["acd"];
         assert!(acd["mean"].as_f64().unwrap() >= 0.0);
         assert_eq!(acd["trials"], 1);
+        assert_eq!(v["cells"]["failed"].as_array().unwrap().len(), 0);
+        assert_eq!(v["cells"]["skipped"].as_array().unwrap().len(), 0);
     }
 
     #[test]
     fn anns_export_shape() {
         let args = tiny_args();
-        let sweep = run_anns_sweep(1, 4);
-        let v = anns_json(&[sweep], &args);
+        let sweep = run_anns_sweep(1, 4, &mut SweepRunner::ephemeral());
+        let v = anns_json(&[sweep], &args, &done());
         let series = v["data"][0]["series"].as_array().unwrap();
         assert_eq!(series.len(), 4);
         assert_eq!(series[0]["values"].as_array().unwrap().len(), 4);
@@ -231,8 +282,8 @@ mod tests {
     #[test]
     fn export_round_trips_through_parser() {
         let args = tiny_args();
-        let sweep = run_anns_sweep(1, 3);
-        let v = anns_json(&[sweep], &args);
+        let sweep = run_anns_sweep(1, 3, &mut SweepRunner::ephemeral());
+        let v = anns_json(&[sweep], &args, &done());
         let text = serde_json::to_string(&v).unwrap();
         let back: Value = serde_json::from_str(&text).unwrap();
         assert_eq!(back, v);
@@ -243,17 +294,45 @@ mod tests {
         let args = tiny_args();
         let mut t = sfc_core::report::Table::new("Demo", &["A", "B"]);
         t.push_numeric_row("x", &[1.5]);
-        let v = tables_json(&[t], &args, "parametric");
+        let v = tables_json(&[t], &args, &done(), "parametric");
         assert_eq!(v["artifact"], "parametric");
         assert_eq!(v["data"][0]["title"], "Demo");
         assert_eq!(v["data"][0]["rows"][0][1], "1.500");
     }
 
     #[test]
+    fn failed_and_skipped_cells_reach_the_envelope() {
+        let args = tiny_args();
+        let summary = SweepSummary {
+            computed: 1,
+            replayed: 0,
+            failed: vec![FailedCell {
+                cell: "Uniform/t0/Hilbert".into(),
+                error: "chaos injection".into(),
+                attempts: 3,
+            }],
+            skipped: vec!["Uniform/t1/Z".into()],
+        };
+        let v = envelope("table1", &args, &summary, json!([]));
+        assert_eq!(v["cells"]["failed"][0]["cell"], "Uniform/t0/Hilbert");
+        assert_eq!(v["cells"]["failed"][0]["attempts"], 3);
+        assert_eq!(v["cells"]["skipped"][0], "Uniform/t1/Z");
+        // Counts stay out of the envelope: a resumed complete run must be
+        // byte-identical to an uninterrupted one.
+        assert_eq!(v["cells"]["computed"], Value::Null);
+        assert_eq!(v["cells"]["replayed"], Value::Null);
+    }
+
+    #[test]
+    fn missing_stats_export_as_null() {
+        assert_eq!(stats_json(&None), Value::Null);
+    }
+
+    #[test]
     fn write_json_creates_file() {
         let args = tiny_args();
-        let sweep = run_anns_sweep(1, 2);
-        let v = anns_json(&[sweep], &args);
+        let sweep = run_anns_sweep(1, 2, &mut SweepRunner::ephemeral());
+        let v = anns_json(&[sweep], &args, &done());
         let path = std::env::temp_dir().join("sfc_bench_results_test.json");
         write_json(path.to_str().unwrap(), &v).unwrap();
         let read: Value =

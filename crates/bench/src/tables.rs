@@ -8,14 +8,17 @@
 //! the near-field ACD (radius-1 Chebyshev neighborhoods), Table II the
 //! far-field ACD.
 //!
-//! The driver shares work across the grid: per trial it builds the four
-//! particle-order assignments (and their owner trees) once and evaluates
-//! them against the four processor-order machines.
+//! The sweep is decomposed into one cell per `(distribution, trial,
+//! particle curve)` — the unit of work the fault-tolerant [`SweepRunner`]
+//! journals and resumes. A cell builds its particle-order assignment (and
+//! owner tree) once and evaluates it against the four processor-order
+//! machines, so the work sharing matches the original monolithic loop.
 
 use crate::args::Args;
 use sfc_core::ffi::{ffi_acd_with_tree, OwnerTree};
 use sfc_core::nfi::nfi_acd;
 use sfc_core::report::Table;
+use sfc_core::runner::SweepRunner;
 use sfc_core::{Assignment, Machine, Stats};
 use sfc_curves::point::Norm;
 use sfc_curves::CurveKind;
@@ -23,27 +26,36 @@ use sfc_particles::{DistributionKind, Workload};
 use sfc_topology::TopologyKind;
 
 /// Results of the 4 × 4 curve-pair grid for one distribution:
-/// `values[processor_curve][particle_curve]`.
+/// `values[processor_curve][particle_curve]`. A cell is `None` when every
+/// trial that would feed it failed or was skipped (partial sweep).
 #[derive(Debug, Clone)]
 pub struct CurvePairGrid {
     /// The input distribution the grid was measured under.
     pub distribution: DistributionKind,
     /// Near-field ACD (Table I).
-    pub nfi: [[Stats; 4]; 4],
+    pub nfi: [[Option<Stats>; 4]; 4],
     /// Far-field ACD (Table II).
-    pub ffi: [[Stats; 4]; 4],
+    pub ffi: [[Option<Stats>; 4]; 4],
 }
 
 /// Run the Table I/II experiment for every distribution.
-pub fn run_tables(args: &Args) -> Vec<CurvePairGrid> {
+pub fn run_tables(args: &Args, runner: &mut SweepRunner) -> Vec<CurvePairGrid> {
     DistributionKind::ALL
         .iter()
-        .map(|&dist| run_distribution(dist, args))
+        .map(|&dist| run_distribution(dist, args, runner))
         .collect()
 }
 
 /// Run the 4 × 4 grid for one distribution.
-pub fn run_distribution(dist: DistributionKind, args: &Args) -> CurvePairGrid {
+///
+/// Cell `"{distribution}/t{trial}/{particle_curve}"` produces eight values:
+/// the near-field ACD against each of the four processor-order machines,
+/// then the far-field ACD against each.
+pub fn run_distribution(
+    dist: DistributionKind,
+    args: &Args,
+    runner: &mut SweepRunner,
+) -> CurvePairGrid {
     let workload = Workload::tables_1_2(dist, args.seed).scaled_down(args.scale);
     let num_procs = (65_536u64 >> (2 * args.scale)).max(4);
     let machines: Vec<Machine> = CurveKind::PAPER
@@ -54,21 +66,38 @@ pub fn run_distribution(dist: DistributionKind, args: &Args) -> CurvePairGrid {
     let mut nfi_samples = vec![vec![Vec::new(); 4]; 4];
     let mut ffi_samples = vec![vec![Vec::new(); 4]; 4];
     for t in 0..args.trials {
-        let particles = workload.particles(t);
+        // Sampled lazily: a fully replayed trial never materializes its
+        // particle set.
+        let particles = std::cell::OnceCell::new();
         for (pi, &particle_curve) in CurveKind::PAPER.iter().enumerate() {
-            let asg = Assignment::new(&particles, workload.grid_order, particle_curve, num_procs);
-            let tree = OwnerTree::build(&asg);
-            for (ri, machine) in machines.iter().enumerate() {
-                let nfi = nfi_acd(&asg, machine, 1, Norm::Chebyshev);
-                let ffi = ffi_acd_with_tree(&asg, machine, &tree);
-                nfi_samples[ri][pi].push(nfi.acd());
-                ffi_samples[ri][pi].push(ffi.acd());
+            let cell = format!("{dist}/t{t}/{}", particle_curve.short_name());
+            let result = runner.run_cell(&cell, || {
+                let particles = particles.get_or_init(|| workload.particles(t));
+                let asg =
+                    Assignment::new(particles, workload.grid_order, particle_curve, num_procs);
+                let tree = OwnerTree::build(&asg);
+                let mut values = Vec::with_capacity(8);
+                for machine in &machines {
+                    values.push(nfi_acd(&asg, machine, 1, Norm::Chebyshev).acd());
+                }
+                for machine in &machines {
+                    values.push(ffi_acd_with_tree(&asg, machine, &tree).acd());
+                }
+                values
+            });
+            if let Some(values) = result.values() {
+                for ri in 0..4 {
+                    nfi_samples[ri][pi].push(values[ri]);
+                    ffi_samples[ri][pi].push(values[4 + ri]);
+                }
             }
         }
     }
 
-    let collect = |samples: &Vec<Vec<Vec<f64>>>| -> [[Stats; 4]; 4] {
-        std::array::from_fn(|ri| std::array::from_fn(|pi| Stats::from_samples(&samples[ri][pi])))
+    let collect = |samples: &Vec<Vec<Vec<f64>>>| -> [[Option<Stats>; 4]; 4] {
+        std::array::from_fn(|ri| {
+            std::array::from_fn(|pi| Stats::try_from_samples(&samples[ri][pi]).ok())
+        })
     };
     CurvePairGrid {
         distribution: dist,
@@ -89,7 +118,7 @@ pub enum Interaction {
 /// Render one distribution's grid in the paper's layout (rows = processor
 /// order, columns = particle order). The lowest value in each row is marked
 /// `*` and the lowest in each column `†`, mirroring the paper's boldface and
-/// italics.
+/// italics. Cells missing from a partial sweep render as `—`.
 pub fn render_grid(grid: &CurvePairGrid, which: Interaction) -> Table {
     let (name, values) = match which {
         Interaction::NearField => ("Table I (NFI)", &grid.nfi),
@@ -100,28 +129,36 @@ pub fn render_grid(grid: &CurvePairGrid, which: Interaction) -> Table {
     header.extend(CurveKind::PAPER.iter().map(|c| c.name()));
     let mut table = Table::new(title, &header);
 
-    let means: Vec<Vec<f64>> = (0..4)
-        .map(|r| (0..4).map(|p| values[r][p].mean).collect())
+    let means: Vec<Vec<Option<f64>>> = (0..4)
+        .map(|r| (0..4).map(|p| values[r][p].as_ref().map(|s| s.mean)).collect())
         .collect();
+    let min_of = |it: &mut dyn Iterator<Item = Option<f64>>| -> f64 {
+        it.flatten().fold(f64::INFINITY, f64::min)
+    };
     let row_min: Vec<f64> = means
         .iter()
-        .map(|row| row.iter().copied().fold(f64::INFINITY, f64::min))
+        .map(|row| min_of(&mut row.iter().copied()))
         .collect();
     let col_min: Vec<f64> = (0..4)
-        .map(|p| means.iter().map(|row| row[p]).fold(f64::INFINITY, f64::min))
+        .map(|p| min_of(&mut means.iter().map(|row| row[p])))
         .collect();
 
     for (r, &proc_curve) in CurveKind::PAPER.iter().enumerate() {
         let mut cells = vec![proc_curve.name().to_string()];
         for p in 0..4 {
-            let v = means[r][p];
-            let mut s = format!("{v:.3}");
-            if v == row_min[r] {
-                s.push('*');
-            }
-            if v == col_min[p] {
-                s.push('†');
-            }
+            let s = match means[r][p] {
+                Some(v) => {
+                    let mut s = format!("{v:.3}");
+                    if v == row_min[r] {
+                        s.push('*');
+                    }
+                    if v == col_min[p] {
+                        s.push('†');
+                    }
+                    s
+                }
+                None => "—".to_string(),
+            };
             cells.push(s);
         }
         table.push_row(cells);
@@ -138,19 +175,23 @@ mod tests {
             scale: 4, // 64x64 grid, ~976 particles, 256 processors
             trials: 2,
             seed: 99,
-            markdown: false,
-            json: None,
+            ..Args::default()
         }
+    }
+
+    fn run(dist: DistributionKind) -> CurvePairGrid {
+        run_distribution(dist, &tiny_args(), &mut SweepRunner::ephemeral())
     }
 
     #[test]
     fn grid_has_full_shape_and_sane_values() {
-        let grid = run_distribution(DistributionKind::Uniform, &tiny_args());
+        let grid = run(DistributionKind::Uniform);
         for r in 0..4 {
             for p in 0..4 {
-                assert_eq!(grid.nfi[r][p].n, 2);
-                assert!(grid.nfi[r][p].mean >= 0.0);
-                assert!(grid.ffi[r][p].mean > 0.0);
+                let nfi = grid.nfi[r][p].as_ref().unwrap();
+                assert_eq!(nfi.n, 2);
+                assert!(nfi.mean >= 0.0);
+                assert!(grid.ffi[r][p].as_ref().unwrap().mean > 0.0);
             }
         }
     }
@@ -158,14 +199,14 @@ mod tests {
     #[test]
     fn hilbert_pair_beats_row_major_pair() {
         // The diagonal comparison the paper's conclusions rest on.
-        let grid = run_distribution(DistributionKind::Uniform, &tiny_args());
-        assert!(grid.nfi[0][0].mean < grid.nfi[3][3].mean);
-        assert!(grid.ffi[0][0].mean < grid.ffi[3][3].mean);
+        let grid = run(DistributionKind::Uniform);
+        assert!(grid.nfi[0][0].unwrap().mean < grid.nfi[3][3].unwrap().mean);
+        assert!(grid.ffi[0][0].unwrap().mean < grid.ffi[3][3].unwrap().mean);
     }
 
     #[test]
     fn render_marks_minima() {
-        let grid = run_distribution(DistributionKind::Exponential, &tiny_args());
+        let grid = run(DistributionKind::Exponential);
         let text = render_grid(&grid, Interaction::NearField).render();
         assert!(text.contains('*'));
         assert!(text.contains('†'));
@@ -176,9 +217,27 @@ mod tests {
 
     #[test]
     fn results_reproducible_across_runs() {
-        let a = run_distribution(DistributionKind::Normal, &tiny_args());
-        let b = run_distribution(DistributionKind::Normal, &tiny_args());
-        assert_eq!(a.nfi[2][1].mean, b.nfi[2][1].mean);
-        assert_eq!(a.ffi[1][3].mean, b.ffi[1][3].mean);
+        let a = run(DistributionKind::Normal);
+        let b = run(DistributionKind::Normal);
+        assert_eq!(a.nfi[2][1].unwrap().mean, b.nfi[2][1].unwrap().mean);
+        assert_eq!(a.ffi[1][3].unwrap().mean, b.ffi[1][3].unwrap().mean);
+    }
+
+    #[test]
+    fn partial_sweep_renders_missing_cells() {
+        // Persistent chaos on the Hilbert particle curve: column 0 of every
+        // grid row has no samples.
+        let mut args = tiny_args();
+        args.chaos = vec!["/Hilbert".into()];
+        args.chaos_persistent = true;
+        let mut runner = crate::harness::runner("tables", &args);
+        let grid = run_distribution(DistributionKind::Uniform, &args, &mut runner);
+        assert!(grid.nfi[0][0].is_none());
+        assert!(grid.nfi[0][1].is_some());
+        let text = render_grid(&grid, Interaction::NearField).render();
+        assert!(text.contains('—'));
+        let summary = runner.finish();
+        assert_eq!(summary.failed.len(), 2); // one per trial
+        assert!(!summary.complete());
     }
 }

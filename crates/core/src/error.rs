@@ -1,0 +1,140 @@
+//! Typed errors for experiment configuration and sweep execution.
+//!
+//! The metric kernels themselves stay panic-based (an out-of-range index in
+//! a hot loop is a bug, not an operating condition), but everything a *user*
+//! can get wrong — experiment parameters, journal files, cells that keep
+//! failing — surfaces as an [`SfcError`] so the sweep harness can record it
+//! and carry on instead of aborting a multi-hour regeneration run.
+
+use sfc_particles::WorkloadError;
+
+/// Errors raised by experiment validation and the fault-tolerant sweep
+/// runner.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SfcError {
+    /// The processor count is not a power of four (every topology in a
+    /// sweep must be constructible: square grids and quadtrees need a
+    /// power of four).
+    NonPowerOfFourProcessors {
+        /// The offending count.
+        num_processors: u64,
+    },
+    /// The near-field radius is at least the grid side, so every cell's
+    /// neighborhood would wrap the whole domain.
+    RadiusExceedsGrid {
+        /// Requested neighborhood radius.
+        radius: u32,
+        /// Grid side `2^order`.
+        side: u64,
+    },
+    /// The experiment asks for zero trials, which can only produce empty
+    /// sample sets.
+    NoTrials,
+    /// The workload description is unsatisfiable (grid order out of range,
+    /// particle count exceeding the grid's capacity).
+    Workload(WorkloadError),
+    /// A statistics summary was requested over an empty sample set — after
+    /// a partial sweep, a configuration may have no completed trials.
+    EmptySamples,
+    /// A sweep cell kept panicking after the bounded retries.
+    CellFailed {
+        /// Cell name.
+        cell: String,
+        /// The captured panic message of the final attempt.
+        error: String,
+        /// How many attempts were made.
+        attempts: u32,
+    },
+    /// A journal file exists but does not belong to this sweep
+    /// configuration (different sweep name or fingerprint).
+    JournalMismatch {
+        /// Journal path.
+        path: String,
+        /// What differed.
+        reason: String,
+    },
+    /// A journal file could not be read or written.
+    JournalIo {
+        /// Journal path.
+        path: String,
+        /// The underlying I/O error, stringified.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for SfcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SfcError::NonPowerOfFourProcessors { num_processors } => write!(
+                f,
+                "processor count must be a power of four, got {num_processors}"
+            ),
+            SfcError::RadiusExceedsGrid { radius, side } => write!(
+                f,
+                "near-field radius {radius} does not fit a {side}x{side} grid"
+            ),
+            SfcError::NoTrials => write!(f, "experiment requires at least one trial"),
+            SfcError::Workload(e) => write!(f, "{e}"),
+            SfcError::EmptySamples => write!(f, "no samples to summarize"),
+            SfcError::CellFailed {
+                cell,
+                error,
+                attempts,
+            } => write!(f, "cell `{cell}` failed after {attempts} attempts: {error}"),
+            SfcError::JournalMismatch { path, reason } => {
+                write!(f, "journal {path} belongs to a different sweep: {reason}")
+            }
+            SfcError::JournalIo { path, reason } => {
+                write!(f, "journal {path}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SfcError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SfcError::Workload(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WorkloadError> for SfcError {
+    fn from(e: WorkloadError) -> Self {
+        SfcError::Workload(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_name_the_problem() {
+        let e = SfcError::NonPowerOfFourProcessors { num_processors: 48 };
+        assert!(e.to_string().contains("power of four"));
+        assert!(e.to_string().contains("48"));
+
+        let e = SfcError::RadiusExceedsGrid { radius: 70, side: 64 };
+        assert!(e.to_string().contains("radius 70"));
+
+        assert!(SfcError::EmptySamples.to_string().contains("no samples"));
+
+        let e = SfcError::CellFailed {
+            cell: "uniform/t0/Hilbert".into(),
+            error: "boom".into(),
+            attempts: 3,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("uniform/t0/Hilbert") && msg.contains("boom"));
+    }
+
+    #[test]
+    fn workload_errors_convert() {
+        let w = WorkloadError::GridOrderOutOfRange { order: 99 };
+        let e: SfcError = w.into();
+        assert!(e.to_string().contains("grid order out of range"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

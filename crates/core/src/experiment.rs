@@ -15,6 +15,7 @@
 //! the curves/network, not sampling noise.
 
 use crate::assignment::Assignment;
+use crate::error::SfcError;
 use crate::ffi::{ffi_acd_with_tree, FfiResult, OwnerTree};
 use crate::machine::Machine;
 use crate::nfi::{nfi_acd, NfiResult};
@@ -76,8 +77,43 @@ impl AcdExperiment {
         self
     }
 
+    /// Check every parameter before any work happens: processor count a
+    /// power of four, workload satisfiable (grid order in range, particle
+    /// count within the grid's capacity), near-field radius smaller than
+    /// the grid side, at least one trial. Misconfigurations surface as
+    /// typed [`SfcError`]s a sweep harness can record instead of panicking
+    /// deep inside a run.
+    pub fn validate(&self) -> Result<(), SfcError> {
+        if !self.num_processors.is_power_of_two()
+            || !self.num_processors.trailing_zeros().is_multiple_of(2)
+        {
+            return Err(SfcError::NonPowerOfFourProcessors {
+                num_processors: self.num_processors,
+            });
+        }
+        self.workload.validate()?;
+        if u64::from(self.radius) >= self.workload.side() {
+            return Err(SfcError::RadiusExceedsGrid {
+                radius: self.radius,
+                side: self.workload.side(),
+            });
+        }
+        if self.trials == 0 {
+            return Err(SfcError::NoTrials);
+        }
+        Ok(())
+    }
+
     /// Run all trials, measuring both interaction models.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration; use [`AcdExperiment::validate`]
+    /// first to get a typed error instead.
     pub fn run(&self) -> AcdMeasurement {
+        if let Err(e) = self.validate() {
+            panic!("invalid experiment: {e}");
+        }
         let machine = self.machine();
         let mut nfi_acds = Vec::with_capacity(self.trials as usize);
         let mut nfi_locals = Vec::with_capacity(self.trials as usize);
@@ -214,6 +250,46 @@ mod tests {
             hil < row,
             "expected Hilbert ({hil}) below row-major ({row}) on NFI ACD"
         );
+    }
+
+    #[test]
+    fn validate_catches_each_misconfiguration() {
+        let good = small_experiment(CurveKind::Hilbert, CurveKind::Hilbert, TopologyKind::Torus);
+        assert_eq!(good.validate(), Ok(()));
+
+        let mut bad = good;
+        bad.num_processors = 48;
+        assert!(matches!(
+            bad.validate(),
+            Err(SfcError::NonPowerOfFourProcessors { num_processors: 48 })
+        ));
+
+        let mut bad = good;
+        bad.workload.grid_order = 40;
+        assert!(matches!(bad.validate(), Err(SfcError::Workload(_))));
+
+        let mut bad = good;
+        bad.workload.n = 1 << 20; // far beyond a 64x64 grid
+        assert!(matches!(bad.validate(), Err(SfcError::Workload(_))));
+
+        let mut bad = good;
+        bad.radius = 64; // grid side is 2^6 = 64
+        assert!(matches!(
+            bad.validate(),
+            Err(SfcError::RadiusExceedsGrid { radius: 64, side: 64 })
+        ));
+
+        let mut bad = good;
+        bad.trials = 0;
+        assert_eq!(bad.validate(), Err(SfcError::NoTrials));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid experiment")]
+    fn run_rejects_invalid_configuration() {
+        let mut e = small_experiment(CurveKind::Hilbert, CurveKind::Hilbert, TopologyKind::Torus);
+        e.num_processors = 48;
+        let _ = e.run();
     }
 
     #[test]

@@ -52,18 +52,23 @@ pub mod anns;
 pub mod anns3d;
 pub mod assignment;
 pub mod clustering;
+pub mod error;
 pub mod experiment;
 pub mod ffi;
+pub mod journal;
 pub mod load;
 pub mod machine;
 pub mod model3d;
 pub mod nfi;
 pub mod pattern;
 pub mod report;
+pub mod runner;
 pub mod stats;
 
 pub use anns::{anns_radius, StretchResult};
 pub use assignment::Assignment;
+pub use error::SfcError;
 pub use experiment::{AcdExperiment, AcdMeasurement};
 pub use machine::Machine;
+pub use runner::{CellResult, ChaosInjector, RunnerOptions, SweepRunner, SweepSummary};
 pub use stats::Stats;

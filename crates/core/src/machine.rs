@@ -6,6 +6,7 @@
 //! loops, which call [`Machine::distance`] tens of millions of times per
 //! trial, pay only a table load and a closed-form hop computation per call.
 
+use crate::error::SfcError;
 use sfc_curves::CurveKind;
 use sfc_topology::{RankMap, SfcRankMap, Topology, TopologyKind};
 
@@ -27,6 +28,22 @@ impl Machine {
     pub fn new(kind: TopologyKind, num_ranks: u64, processor_curve: CurveKind) -> Self {
         let topo = kind.build(num_ranks);
         Self::on_topology(topo, processor_curve)
+    }
+
+    /// Fallible variant of [`Machine::new`]: reports a processor count that
+    /// is not a power of four as a typed error instead of panicking, so
+    /// sweep harnesses can validate a configuration before running it.
+    pub fn try_new(
+        kind: TopologyKind,
+        num_ranks: u64,
+        processor_curve: CurveKind,
+    ) -> Result<Self, SfcError> {
+        if !num_ranks.is_power_of_two() || !num_ranks.trailing_zeros().is_multiple_of(2) {
+            return Err(SfcError::NonPowerOfFourProcessors {
+                num_processors: num_ranks,
+            });
+        }
+        Ok(Self::new(kind, num_ranks, processor_curve))
     }
 
     /// Build a machine on a grid topology with an SFC rank placement.
@@ -144,6 +161,21 @@ mod tests {
     #[should_panic(expected = "expects a mesh or torus")]
     fn grid_constructor_rejects_non_grids() {
         let _ = Machine::grid(TopologyKind::Hypercube, 64, CurveKind::Hilbert);
+    }
+
+    #[test]
+    fn try_new_validates_processor_count() {
+        use crate::error::SfcError;
+        for bad in [0u64, 3, 32, 48, 100] {
+            match Machine::try_new(TopologyKind::Torus, bad, CurveKind::Hilbert) {
+                Err(SfcError::NonPowerOfFourProcessors { num_processors }) => {
+                    assert_eq!(num_processors, bad)
+                }
+                other => panic!("expected error for {bad}, got {other:?}"),
+            }
+        }
+        let m = Machine::try_new(TopologyKind::Torus, 64, CurveKind::Hilbert).unwrap();
+        assert_eq!(m.num_ranks(), 64);
     }
 
     #[test]

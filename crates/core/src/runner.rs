@@ -1,0 +1,424 @@
+//! Fault-tolerant sweep execution.
+//!
+//! A regeneration sweep is decomposed into named *cells* — one
+//! `(configuration, trial)` unit each. [`SweepRunner::run_cell`] executes a
+//! cell under [`std::panic::catch_unwind`] with bounded deterministic
+//! retries, journals every completed cell (see [`crate::journal`]), and
+//! replays journaled cells on restart so interrupted sweeps resume instead
+//! of recomputing. A wall-clock `time_budget` stops *scheduling* new cells
+//! once exhausted (the cell in flight finishes), and a deterministic chaos
+//! hook injects panics into selected cells for fault-injection tests.
+//!
+//! Cells that still panic after the retries become structured
+//! [`SfcError::CellFailed`] values in the [`SweepSummary`] — the sweep keeps
+//! going and reports them at the end, rather than aborting a multi-hour run
+//! on the last configuration.
+
+use crate::error::SfcError;
+use crate::journal::{CellOutcome, Journal};
+use serde_json::Value;
+use std::panic::AssertUnwindSafe;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+/// Default number of attempts per cell (1 initial + 2 retries).
+pub const DEFAULT_MAX_ATTEMPTS: u32 = 3;
+
+/// Deterministic fault injection: cells whose name contains one of the
+/// patterns panic before their closure runs.
+#[derive(Debug, Clone, Default)]
+pub struct ChaosInjector {
+    /// Substring patterns of cell names to sabotage.
+    pub patterns: Vec<String>,
+    /// `false`: panic only on the first attempt (the retry succeeds).
+    /// `true`: panic on every attempt (the cell becomes a structured
+    /// failure).
+    pub persistent: bool,
+}
+
+impl ChaosInjector {
+    /// New injector over comma-separated substring patterns.
+    pub fn new(patterns: &[String], persistent: bool) -> Self {
+        ChaosInjector {
+            patterns: patterns.to_vec(),
+            persistent,
+        }
+    }
+
+    fn should_panic(&self, cell: &str, attempt: u32) -> bool {
+        (self.persistent || attempt == 0)
+            && self.patterns.iter().any(|p| !p.is_empty() && cell.contains(p))
+    }
+}
+
+/// Configuration of a [`SweepRunner`].
+#[derive(Debug, Default)]
+pub struct RunnerOptions {
+    /// Journal file to append to / resume from (`--journal`).
+    pub journal: Option<std::path::PathBuf>,
+    /// Attempts per cell before recording a failure; 0 is treated as 1.
+    pub max_attempts: u32,
+    /// Wall-clock budget; once exceeded, no new cells start
+    /// (`--time-budget`).
+    pub time_budget: Option<Duration>,
+    /// Fault injection for tests (`--chaos`).
+    pub chaos: Option<ChaosInjector>,
+}
+
+impl RunnerOptions {
+    /// Options with the default retry bound and everything else off.
+    pub fn new() -> Self {
+        RunnerOptions {
+            max_attempts: DEFAULT_MAX_ATTEMPTS,
+            ..Default::default()
+        }
+    }
+}
+
+/// How one cell was resolved.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellResult {
+    /// Computed in this run (possibly after retries).
+    Computed(Vec<f64>),
+    /// Replayed from the journal without recomputation.
+    Replayed(Vec<f64>),
+    /// Panicked on every attempt; the sweep continues without it.
+    Failed(SfcError),
+    /// Not started: the time budget was exhausted.
+    Skipped,
+}
+
+impl CellResult {
+    /// The cell's values, if it completed (now or in a previous run).
+    pub fn values(&self) -> Option<&[f64]> {
+        match self {
+            CellResult::Computed(v) | CellResult::Replayed(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// One failed cell, for reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailedCell {
+    /// Cell name.
+    pub cell: String,
+    /// Captured panic message of the final attempt.
+    pub error: String,
+    /// Attempts made.
+    pub attempts: u32,
+}
+
+/// End-of-sweep accounting.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SweepSummary {
+    /// Cells computed in this run.
+    pub computed: usize,
+    /// Cells replayed from the journal.
+    pub replayed: usize,
+    /// Cells that failed after retries (this run or a journaled one).
+    pub failed: Vec<FailedCell>,
+    /// Cells never started because the time budget ran out.
+    pub skipped: Vec<String>,
+}
+
+impl SweepSummary {
+    /// True when every scheduled cell completed.
+    pub fn complete(&self) -> bool {
+        self.failed.is_empty() && self.skipped.is_empty()
+    }
+
+    /// Names of all cells missing from the results (failed or skipped).
+    pub fn missing(&self) -> Vec<String> {
+        let mut out: Vec<String> = self.failed.iter().map(|f| f.cell.clone()).collect();
+        out.extend(self.skipped.iter().cloned());
+        out
+    }
+}
+
+/// Executes sweep cells with journaling, retries, chaos and a time budget.
+#[derive(Debug)]
+pub struct SweepRunner {
+    journal: Option<Journal>,
+    max_attempts: u32,
+    time_budget: Option<Duration>,
+    chaos: Option<ChaosInjector>,
+    started: Instant,
+    summary: SweepSummary,
+}
+
+impl SweepRunner {
+    /// Create a runner for the sweep `name` under the given configuration
+    /// `fingerprint`. When `options.journal` is set, the journal is opened
+    /// (resuming any completed cells); a journal written under a different
+    /// name/fingerprint is rejected.
+    pub fn new(name: &str, fingerprint: &Value, options: RunnerOptions) -> Result<Self, SfcError> {
+        let journal = match &options.journal {
+            Some(path) => Some(Journal::open(Path::new(path), name, fingerprint)?),
+            None => None,
+        };
+        Ok(SweepRunner {
+            journal,
+            max_attempts: options.max_attempts.max(1),
+            time_budget: options.time_budget,
+            chaos: options.chaos,
+            started: Instant::now(),
+            summary: SweepSummary::default(),
+        })
+    }
+
+    /// A runner with no journal, no budget and no chaos — plain bounded
+    /// retry. Useful for tests and ad-hoc sweeps.
+    pub fn ephemeral() -> Self {
+        SweepRunner::new("ephemeral", &Value::Null, RunnerOptions::new())
+            .expect("no journal to fail on")
+    }
+
+    /// Number of cells already present in the journal (0 without one).
+    pub fn journaled(&self) -> usize {
+        self.journal.as_ref().map_or(0, |j| j.len())
+    }
+
+    /// True once the wall-clock budget is spent: no further cell will run.
+    pub fn out_of_time(&self) -> bool {
+        self.time_budget
+            .is_some_and(|budget| self.started.elapsed() >= budget)
+    }
+
+    /// Run (or replay) one named cell.
+    ///
+    /// The closure must be callable repeatedly (retries) and is executed
+    /// under [`catch_unwind`](std::panic::catch_unwind); a panic is retried
+    /// up to the configured bound, then recorded as a structured failure.
+    /// The caller decides how to assemble returned values — a [`Skipped`]
+    /// or [`Failed`](CellResult::Failed) cell simply contributes no samples.
+    pub fn run_cell<F: Fn() -> Vec<f64>>(&mut self, cell: &str, f: F) -> CellResult {
+        if let Some(outcome) = self.journal.as_ref().and_then(|j| j.lookup(cell)).cloned() {
+            return match outcome {
+                CellOutcome::Ok(values) => {
+                    self.summary.replayed += 1;
+                    CellResult::Replayed(values)
+                }
+                CellOutcome::Failed { error, attempts } => {
+                    self.fail(cell, error, attempts, false)
+                }
+            };
+        }
+        if self.out_of_time() {
+            self.summary.skipped.push(cell.to_string());
+            return CellResult::Skipped;
+        }
+
+        let mut last_error = String::new();
+        for attempt in 0..self.max_attempts {
+            let chaos_hit = self
+                .chaos
+                .as_ref()
+                .is_some_and(|c| c.should_panic(cell, attempt));
+            let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                if chaos_hit {
+                    panic!("chaos injection");
+                }
+                f()
+            }));
+            match result {
+                Ok(values) => {
+                    self.summary.computed += 1;
+                    if let Some(j) = self.journal.as_mut() {
+                        j.record(cell, CellOutcome::Ok(values.clone()))
+                            .unwrap_or_else(|e| eprintln!("warning: {e}"));
+                    }
+                    return CellResult::Computed(values);
+                }
+                Err(payload) => last_error = panic_message(payload.as_ref()),
+            }
+        }
+        self.fail(cell, last_error, self.max_attempts, true)
+    }
+
+    fn fail(&mut self, cell: &str, error: String, attempts: u32, journal_it: bool) -> CellResult {
+        if journal_it {
+            if let Some(j) = self.journal.as_mut() {
+                j.record(
+                    cell,
+                    CellOutcome::Failed {
+                        error: error.clone(),
+                        attempts,
+                    },
+                )
+                .unwrap_or_else(|e| eprintln!("warning: {e}"));
+            }
+        }
+        self.summary.failed.push(FailedCell {
+            cell: cell.to_string(),
+            error: error.clone(),
+            attempts,
+        });
+        CellResult::Failed(SfcError::CellFailed {
+            cell: cell.to_string(),
+            error,
+            attempts,
+        })
+    }
+
+    /// Finish the sweep, returning the accounting.
+    pub fn finish(self) -> SweepSummary {
+        self.summary
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("sfc_runner_{}_{tag}.jsonl", std::process::id()))
+    }
+
+    #[test]
+    fn plain_cells_compute() {
+        let mut r = SweepRunner::ephemeral();
+        let out = r.run_cell("a", || vec![1.0, 2.0]);
+        assert_eq!(out, CellResult::Computed(vec![1.0, 2.0]));
+        let summary = r.finish();
+        assert_eq!(summary.computed, 1);
+        assert!(summary.complete());
+    }
+
+    #[test]
+    fn panicking_cell_is_retried_then_recorded() {
+        let calls = AtomicU32::new(0);
+        let mut r = SweepRunner::ephemeral();
+        // Fails twice, succeeds on the bounded third attempt.
+        let out = r.run_cell("flaky", || {
+            if calls.fetch_add(1, Ordering::SeqCst) < 2 {
+                panic!("transient");
+            }
+            vec![9.0]
+        });
+        assert_eq!(out, CellResult::Computed(vec![9.0]));
+        assert_eq!(calls.load(Ordering::SeqCst), 3);
+
+        // Fails on every attempt: structured failure, sweep continues.
+        let out = r.run_cell("doomed", || panic!("hard failure"));
+        match out {
+            CellResult::Failed(SfcError::CellFailed {
+                cell,
+                error,
+                attempts,
+            }) => {
+                assert_eq!(cell, "doomed");
+                assert_eq!(error, "hard failure");
+                assert_eq!(attempts, DEFAULT_MAX_ATTEMPTS);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let after = r.run_cell("after", || vec![1.0]);
+        assert_eq!(after, CellResult::Computed(vec![1.0]));
+        let summary = r.finish();
+        assert_eq!(summary.failed.len(), 1);
+        assert_eq!(summary.missing(), vec!["doomed".to_string()]);
+    }
+
+    #[test]
+    fn chaos_once_retries_to_success() {
+        let mut opts = RunnerOptions::new();
+        opts.chaos = Some(ChaosInjector::new(&["t1".into()], false));
+        let mut r = SweepRunner::new("chaos", &Value::Null, opts).unwrap();
+        assert_eq!(r.run_cell("x/t0", || vec![1.0]), CellResult::Computed(vec![1.0]));
+        // Sabotaged on attempt 0, clean on attempt 1.
+        assert_eq!(r.run_cell("x/t1", || vec![2.0]), CellResult::Computed(vec![2.0]));
+        assert!(r.finish().complete());
+    }
+
+    #[test]
+    fn persistent_chaos_becomes_structured_failure() {
+        let mut opts = RunnerOptions::new();
+        opts.chaos = Some(ChaosInjector::new(&["t1".into()], true));
+        let mut r = SweepRunner::new("chaos", &Value::Null, opts).unwrap();
+        assert!(matches!(r.run_cell("x/t1", || vec![2.0]), CellResult::Failed(_)));
+        assert_eq!(r.run_cell("x/t2", || vec![3.0]), CellResult::Computed(vec![3.0]));
+        let summary = r.finish();
+        assert_eq!(summary.failed.len(), 1);
+        assert_eq!(summary.failed[0].error, "chaos injection");
+    }
+
+    #[test]
+    fn zero_time_budget_skips_everything() {
+        let mut opts = RunnerOptions::new();
+        opts.time_budget = Some(Duration::ZERO);
+        let mut r = SweepRunner::new("budget", &Value::Null, opts).unwrap();
+        assert_eq!(r.run_cell("a", || vec![1.0]), CellResult::Skipped);
+        assert_eq!(r.run_cell("b", || vec![2.0]), CellResult::Skipped);
+        let summary = r.finish();
+        assert_eq!(summary.computed, 0);
+        assert_eq!(summary.skipped, vec!["a".to_string(), "b".to_string()]);
+        assert!(!summary.complete());
+    }
+
+    #[test]
+    fn journaled_cells_replay_bit_identically() {
+        let path = temp_path("replay");
+        std::fs::remove_file(&path).ok();
+        let fingerprint = json!({ "seed": 7 });
+        let values = vec![1.0 / 3.0, -0.0, 6.02e23];
+
+        let mut opts = RunnerOptions::new();
+        opts.journal = Some(path.clone());
+        let mut r = SweepRunner::new("sweep", &fingerprint, opts).unwrap();
+        assert!(matches!(r.run_cell("c", || values.clone()), CellResult::Computed(_)));
+        drop(r);
+
+        let mut opts = RunnerOptions::new();
+        opts.journal = Some(path.clone());
+        let mut r = SweepRunner::new("sweep", &fingerprint, opts).unwrap();
+        assert_eq!(r.journaled(), 1);
+        match r.run_cell("c", || panic!("must not recompute")) {
+            CellResult::Replayed(back) => {
+                for (a, b) in values.iter().zip(&back) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(r.finish().replayed, 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn journaled_failure_replays_without_rerun() {
+        let path = temp_path("failure");
+        std::fs::remove_file(&path).ok();
+        let mut opts = RunnerOptions::new();
+        opts.journal = Some(path.clone());
+        let mut r = SweepRunner::new("sweep", &Value::Null, opts).unwrap();
+        let _ = r.run_cell("bad", || panic!("deterministic bug"));
+        drop(r);
+
+        let mut opts = RunnerOptions::new();
+        opts.journal = Some(path.clone());
+        let mut r = SweepRunner::new("sweep", &Value::Null, opts).unwrap();
+        let out = r.run_cell("bad", || panic!("must not rerun"));
+        match out {
+            CellResult::Failed(SfcError::CellFailed { error, .. }) => {
+                assert_eq!(error, "deterministic bug");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

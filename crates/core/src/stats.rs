@@ -4,10 +4,10 @@
 //! of parameters" (Section VI); [`Stats`] captures mean, spread and extrema
 //! of a trial series so regenerated tables can also report uncertainty.
 
-use serde::{Deserialize, Serialize};
+use crate::error::SfcError;
 
 /// Summary of a series of trial measurements.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Stats {
     /// Number of trials.
     pub n: u64,
@@ -24,7 +24,18 @@ pub struct Stats {
 impl Stats {
     /// Summarize a non-empty slice of samples.
     pub fn from_samples(samples: &[f64]) -> Self {
-        assert!(!samples.is_empty(), "no samples to summarize");
+        Self::try_from_samples(samples).expect("no samples to summarize")
+    }
+
+    /// Summarize a slice of samples, or report [`SfcError::EmptySamples`]
+    /// on an empty one. After a partial sweep (time budget hit, cells
+    /// failed), a configuration may have no completed trials; callers use
+    /// this to carry `None` through to the rendered tables instead of
+    /// panicking.
+    pub fn try_from_samples(samples: &[f64]) -> Result<Self, SfcError> {
+        if samples.is_empty() {
+            return Err(SfcError::EmptySamples);
+        }
         let n = samples.len() as f64;
         let mean = samples.iter().sum::<f64>() / n;
         let var = if samples.len() > 1 {
@@ -34,13 +45,13 @@ impl Stats {
         };
         let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
         let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        Stats {
+        Ok(Stats {
             n: samples.len() as u64,
             mean,
             std_dev: var.sqrt(),
             min,
             max,
-        }
+        })
     }
 
     /// Standard error of the mean.
@@ -85,6 +96,13 @@ mod tests {
     #[should_panic(expected = "no samples")]
     fn empty_rejected() {
         let _ = Stats::from_samples(&[]);
+    }
+
+    #[test]
+    fn try_from_samples_reports_empty_as_error() {
+        assert_eq!(Stats::try_from_samples(&[]), Err(SfcError::EmptySamples));
+        let s = Stats::try_from_samples(&[3.0]).unwrap();
+        assert_eq!(s.mean, 3.0);
     }
 
     #[test]

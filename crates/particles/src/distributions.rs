@@ -14,10 +14,9 @@
 //! depending on distribution crates.
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Tag identifying a distribution family.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum DistributionKind {
     /// Uniform over all grid cells.
     Uniform,
@@ -82,7 +81,7 @@ pub const DEFAULT_SIGMA_FRACTION: f64 = 1.0 / 6.0;
 pub const DEFAULT_EXP_SCALE_FRACTION: f64 = 1.0 / 8.0;
 
 /// A fully parameterized input distribution.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Distribution {
     /// The family.
     pub kind: DistributionKind,

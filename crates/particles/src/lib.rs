@@ -39,4 +39,4 @@ pub mod workload;
 pub use cellmap::CellMap;
 pub use distributions::{Distribution, DistributionKind};
 pub use sampler::{sample, sample_with, Sampler};
-pub use workload::Workload;
+pub use workload::{Workload, WorkloadError};

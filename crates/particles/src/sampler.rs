@@ -16,7 +16,7 @@ use std::collections::HashSet;
 /// Fraction of the grid that a sample may occupy before we refuse to
 /// rejection-sample (beyond this, collision rates make rejection sampling
 /// pathological and the experiment design is questionable anyway).
-const MAX_FILL: f64 = 0.9;
+pub const MAX_FILL: f64 = 0.9;
 
 /// Hard cap on rejected draws, as a multiple of `n`, before giving up. With
 /// `MAX_FILL = 0.9` the expected number of draws is well below this for the

@@ -7,12 +7,51 @@
 //! 6, Figure 7) are provided as constructors.
 
 use crate::distributions::{Distribution, DistributionKind};
-use crate::sampler::Sampler;
-use serde::{Deserialize, Serialize};
+use crate::sampler::{Sampler, MAX_FILL};
 use sfc_curves::Point2;
 
+/// Ways a [`Workload`] description can be unsatisfiable. Construction stays
+/// infallible (the plain-old-data struct is convenient to write down);
+/// [`Workload::validate`] reports these before any sampling begins, so sweep
+/// harnesses can record a structured error instead of panicking mid-run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadError {
+    /// The grid order is outside the supported `1..=31` range.
+    GridOrderOutOfRange {
+        /// The offending order.
+        order: u32,
+    },
+    /// More particles were requested than distinct grid cells can hold
+    /// (the sampler refuses beyond 90% fill; see [`crate::sampler`]).
+    TooManyParticles {
+        /// Requested particle count.
+        n: usize,
+        /// Largest admissible count for the grid.
+        limit: u64,
+        /// Grid side `2^order`.
+        side: u64,
+    },
+}
+
+impl std::fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            WorkloadError::GridOrderOutOfRange { order } => {
+                write!(f, "grid order out of range: {order} (supported: 1..=31)")
+            }
+            WorkloadError::TooManyParticles { n, limit, side } => write!(
+                f,
+                "cannot place {n} distinct particles on a {side}x{side} grid \
+                 (limit is {limit})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
 /// A reproducible problem instance description.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Workload {
     /// Grid order `k`: the spatial resolution is `2^k × 2^k`.
     pub grid_order: u32,
@@ -69,6 +108,28 @@ impl Workload {
             dist: self.dist,
             seed: self.seed,
         }
+    }
+
+    /// Check that this workload can actually be sampled: the grid order is
+    /// in range and the particle count fits under the sampler's fill limit.
+    /// The sampler enforces the same constraints by panicking; validating up
+    /// front lets harnesses reject a configuration before work starts.
+    pub fn validate(&self) -> Result<(), WorkloadError> {
+        if !(1..=31).contains(&self.grid_order) {
+            return Err(WorkloadError::GridOrderOutOfRange {
+                order: self.grid_order,
+            });
+        }
+        let side = self.side();
+        let limit = ((side * side) as f64 * MAX_FILL) as u64;
+        if self.n as u64 > limit {
+            return Err(WorkloadError::TooManyParticles {
+                n: self.n,
+                limit,
+                side,
+            });
+        }
+        Ok(())
     }
 
     /// Side of the grid, `2^grid_order`.

@@ -10,7 +10,7 @@ use sfc_analysis::curves::{point::Norm, CurveKind};
 use sfc_analysis::particles::{DistributionKind, Workload};
 use sfc_analysis::topology::TopologyKind;
 
-const SCALE: u32 = 3; // 128x128 grid, ~3.9k particles, 1024 processors
+const SCALE: u32 = 2; // 256x256 grid, ~15.6k particles, 4096 processors
 const TRIALS: u64 = 3;
 
 /// Mean NFI/FFI ACD over trials for a (particle curve, processor curve,
@@ -108,7 +108,10 @@ fn figure6_topology_ordering() {
     let quadtree = nfi(TopologyKind::Quadtree);
     let bus = nfi(TopologyKind::Bus);
     let ring = nfi(TopologyKind::Ring);
-    assert!(cube <= torus && cube <= mesh && cube <= quadtree, "hypercube should win NFI");
+    assert!(
+        cube <= torus && cube <= mesh && cube <= quadtree,
+        "hypercube should win NFI: cube={cube:.3} torus={torus:.3} mesh={mesh:.3} quadtree={quadtree:.3}"
+    );
     assert!(bus > 3.0 * torus, "bus ({bus:.2}) should dwarf torus ({torus:.2})");
     assert!(ring > 2.0 * torus);
     let mesh_torus_gap = (mesh - torus).abs() / torus;

@@ -1,0 +1,259 @@
+//! Offline stand-in for the subset of the `rayon` crate API this workspace
+//! uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the few external crates it depends on. This crate mirrors the
+//! `par_iter`/`into_par_iter` adapter names but executes **sequentially**:
+//! every kernel in the workspace is written so its reduction is
+//! order-independent, which makes a sequential stand-in observationally
+//! identical (and bit-identical for the integer reductions) to a parallel
+//! run — only wall-clock differs. Swapping real rayon back in is a
+//! one-line change in the workspace manifest.
+
+/// The adapter entry points, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+}
+
+/// A "parallel" iterator: a thin wrapper over a sequential iterator
+/// exposing rayon's method names.
+pub struct ParIter<I> {
+    inner: I,
+}
+
+/// Conversion by value, mirroring `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item;
+    /// Underlying sequential iterator.
+    type SeqIter: Iterator<Item = Self::Item>;
+    /// Wrap into a [`ParIter`].
+    fn into_par_iter(self) -> ParIter<Self::SeqIter>;
+}
+
+impl<C: IntoIterator> IntoParallelIterator for C {
+    type Item = C::Item;
+    type SeqIter = C::IntoIter;
+    fn into_par_iter(self) -> ParIter<C::IntoIter> {
+        ParIter {
+            inner: self.into_iter(),
+        }
+    }
+}
+
+/// Conversion by reference, mirroring `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type (a reference).
+    type Item: 'a;
+    /// Underlying sequential iterator.
+    type SeqIter: Iterator<Item = Self::Item>;
+    /// Wrap `&self` into a [`ParIter`].
+    fn par_iter(&'a self) -> ParIter<Self::SeqIter>;
+}
+
+impl<'a, C: 'a + ?Sized> IntoParallelRefIterator<'a> for C
+where
+    &'a C: IntoIterator,
+{
+    type Item = <&'a C as IntoIterator>::Item;
+    type SeqIter = <&'a C as IntoIterator>::IntoIter;
+    fn par_iter(&'a self) -> ParIter<Self::SeqIter> {
+        ParIter {
+            inner: self.into_iter(),
+        }
+    }
+}
+
+impl<I: Iterator> ParIter<I> {
+    /// Map each element.
+    pub fn map<U, F: FnMut(I::Item) -> U>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+        ParIter {
+            inner: self.inner.map(f),
+        }
+    }
+
+    /// Pair each element with its index.
+    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+        ParIter {
+            inner: self.inner.enumerate(),
+        }
+    }
+
+    /// Keep elements matching a predicate.
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParIter<std::iter::Filter<I, F>> {
+        ParIter {
+            inner: self.inner.filter(f),
+        }
+    }
+
+    /// Map each element to an iterator and flatten.
+    pub fn flat_map<U: IntoIterator, F: FnMut(I::Item) -> U>(
+        self,
+        f: F,
+    ) -> ParIter<std::iter::FlatMap<I, U, F>> {
+        ParIter {
+            inner: self.inner.flat_map(f),
+        }
+    }
+
+    /// Rayon's `fold`: produce per-chunk accumulators (a single chunk
+    /// here), yielding an iterator of accumulators to `reduce`.
+    pub fn fold<T, ID: Fn() -> T, F: FnMut(T, I::Item) -> T>(
+        self,
+        identity: ID,
+        fold_op: F,
+    ) -> ParIter<std::iter::Once<T>> {
+        ParIter {
+            inner: std::iter::once(self.inner.fold(identity(), fold_op)),
+        }
+    }
+
+    /// Rayon's `reduce`: combine all elements starting from `identity()`.
+    pub fn reduce<ID: Fn() -> I::Item, F: FnMut(I::Item, I::Item) -> I::Item>(
+        self,
+        identity: ID,
+        reduce_op: F,
+    ) -> I::Item {
+        self.inner.fold(identity(), reduce_op)
+    }
+
+    /// Sum the elements.
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.inner.sum()
+    }
+
+    /// Collect into any `FromIterator` collection.
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.inner.collect()
+    }
+
+    /// Run a side effect per element.
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.inner.for_each(f)
+    }
+
+    /// Count the elements.
+    pub fn count(self) -> usize {
+        self.inner.count()
+    }
+
+    /// Largest element by a comparison key.
+    pub fn max_by<F: FnMut(&I::Item, &I::Item) -> std::cmp::Ordering>(
+        self,
+        compare: F,
+    ) -> Option<I::Item> {
+        self.inner.max_by(compare)
+    }
+
+    /// Smallest element by a comparison key.
+    pub fn min_by<F: FnMut(&I::Item, &I::Item) -> std::cmp::Ordering>(
+        self,
+        compare: F,
+    ) -> Option<I::Item> {
+        self.inner.min_by(compare)
+    }
+}
+
+/// No-op thread pool configuration, mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    _threads: usize,
+}
+
+/// Error type of [`ThreadPoolBuilder::build`]; never produced.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error (unreachable in the sequential stand-in)")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// Start building.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accepted and ignored: execution is sequential.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self._threads = n;
+        self
+    }
+
+    /// Build a (sequential) pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool)
+    }
+
+    /// Install globally; a no-op.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        Ok(())
+    }
+}
+
+/// A handle mirroring `rayon::ThreadPool`; runs closures on the calling
+/// thread.
+pub struct ThreadPool;
+
+impl ThreadPool {
+    /// Run `op` "inside" the pool (directly, here).
+    pub fn install<R, F: FnOnce() -> R>(&self, op: F) -> R {
+        op()
+    }
+}
+
+/// The number of worker threads (always 1 in the sequential stand-in).
+pub fn current_num_threads() -> usize {
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_reduce_matches_sequential() {
+        let v: Vec<u64> = (0..100).collect();
+        let sum: u64 = v.par_iter().map(|&x| x * 2).sum();
+        assert_eq!(sum, 9900);
+        let (a, b) = v
+            .par_iter()
+            .map(|&x| (x, x))
+            .reduce(|| (0, 0), |x, y| (x.0 + y.0, x.1.max(y.1)));
+        assert_eq!((a, b), (4950, 99));
+    }
+
+    #[test]
+    fn fold_then_reduce() {
+        let total = (0u64..10)
+            .into_par_iter()
+            .fold(|| 0u64, |acc, x| acc + x)
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 45);
+    }
+
+    #[test]
+    fn enumerate_filter_collect() {
+        let v = vec!["a", "b", "c", "d"];
+        let picked: Vec<(usize, &&str)> = v
+            .par_iter()
+            .enumerate()
+            .filter(|(i, _)| i % 2 == 0)
+            .collect();
+        assert_eq!(picked.len(), 2);
+        assert_eq!(*picked[1].1, "c");
+    }
+
+    #[test]
+    fn pool_install_runs_closure() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        assert_eq!(pool.install(|| 7), 7);
+    }
+}
