@@ -25,6 +25,12 @@ pub struct Args {
     pub chaos: Vec<String>,
     /// Make `--chaos` panic on every attempt instead of only the first.
     pub chaos_persistent: bool,
+    /// Worker threads for sweep cells; `None` = all cores. Output bytes are
+    /// identical at every value.
+    pub jobs: Option<u64>,
+    /// Journal fault injection: after this many record writes, every
+    /// further write fails (testing only).
+    pub chaos_journal: Option<u64>,
 }
 
 impl Default for Args {
@@ -39,6 +45,8 @@ impl Default for Args {
             time_budget: None,
             chaos: Vec::new(),
             chaos_persistent: false,
+            jobs: None,
+            chaos_journal: None,
         }
     }
 }
@@ -82,6 +90,16 @@ impl Args {
                         .extend(list.split(',').filter(|p| !p.is_empty()).map(String::from));
                 }
                 "--chaos-persistent" => out.chaos_persistent = true,
+                "--jobs" => {
+                    let n = next_num(&mut it, "--jobs")?;
+                    if n == 0 {
+                        return Err("--jobs must be at least 1".into());
+                    }
+                    out.jobs = Some(n);
+                }
+                "--chaos-journal" => {
+                    out.chaos_journal = Some(next_num(&mut it, "--chaos-journal")?)
+                }
                 "--help" | "-h" => return Err(usage()),
                 other => return Err(format!("unknown flag `{other}`\n{}", usage())),
             }
@@ -116,11 +134,13 @@ fn next_num<I: Iterator<Item = String>>(it: &mut I, flag: &str) -> Result<u64, S
 }
 
 fn usage() -> String {
-    "usage: <bin> [--scale S] [--trials T] [--seed X] [--markdown] [--json PATH]\n\
-     \u{20}          [--journal PATH] [--time-budget SECS] [--chaos LIST] [--chaos-persistent]\n\
+    "usage: <bin> [--scale S] [--trials T] [--seed X] [--jobs N] [--markdown] [--json PATH]\n\
+     \u{20}          [--journal PATH] [--time-budget SECS] [--chaos LIST] [--chaos-persistent] [--chaos-journal N]\n\
      --scale S            shrink the paper workload by 4^S (default 2; 0 = full size)\n\
      --trials T           independent trials to average (default 3)\n\
      --seed X             base RNG seed (default 20130701)\n\
+     --jobs N             worker threads for sweep cells (default: all cores);\n\
+     \u{20}                    output bytes are identical for every N\n\
      --markdown           print Markdown tables\n\
      --json PATH          also write the artifact as JSON\n\
      --journal PATH       append completed sweep cells to a JSONL journal and\n\
@@ -129,7 +149,9 @@ fn usage() -> String {
      \u{20}                    results are flushed and missing cells reported\n\
      --chaos LIST         comma-separated cell-name substrings to fault-inject\n\
      \u{20}                    (panic on first attempt; testing only)\n\
-     --chaos-persistent   make --chaos panic on every attempt"
+     --chaos-persistent   make --chaos panic on every attempt\n\
+     --chaos-journal N    fail every journal write after the first N\n\
+     \u{20}                    (testing only)"
         .to_string()
 }
 
@@ -151,6 +173,8 @@ mod tests {
         assert_eq!(a.journal, None);
         assert_eq!(a.time_budget, None);
         assert!(a.chaos.is_empty());
+        assert_eq!(a.jobs, None);
+        assert_eq!(a.chaos_journal, None);
     }
 
     #[test]
@@ -172,6 +196,10 @@ mod tests {
             "--chaos",
             "uniform/t0,t1",
             "--chaos-persistent",
+            "--jobs",
+            "4",
+            "--chaos-journal",
+            "2",
         ])
         .unwrap();
         assert_eq!(a.scale, 0);
@@ -183,6 +211,8 @@ mod tests {
         assert_eq!(a.time_budget, Some(90));
         assert_eq!(a.chaos, vec!["uniform/t0".to_string(), "t1".to_string()]);
         assert!(a.chaos_persistent);
+        assert_eq!(a.jobs, Some(4));
+        assert_eq!(a.chaos_journal, Some(2));
     }
 
     #[test]
@@ -195,6 +225,9 @@ mod tests {
         assert!(parse(&["--journal"]).is_err());
         assert!(parse(&["--time-budget", "soon"]).is_err());
         assert!(parse(&["--chaos"]).is_err());
+        assert!(parse(&["--jobs"]).is_err());
+        assert!(parse(&["--jobs", "0"]).is_err());
+        assert!(parse(&["--chaos-journal", "many"]).is_err());
     }
 
     #[test]

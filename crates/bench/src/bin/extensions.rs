@@ -34,8 +34,9 @@ use sfc_curves::point::Norm;
 use sfc_curves::CurveKind;
 use sfc_particles::sampler3d::sample3d;
 use sfc_particles::{Distribution, DistributionKind, Workload};
+use sfc_core::runner::BatchCell;
 use sfc_topology::TopologyKind;
-use std::cell::OnceCell;
+use std::sync::OnceLock;
 
 /// Format one cell's values with the given per-column formatters, or a row
 /// of `—` when the cell failed or was skipped.
@@ -78,26 +79,49 @@ fn main() {
             "NFI link congestion — torus, {} particles, {procs} processors",
             workload.n
         ),
-        &["Curve", "ACD", "max link load", "mean link load", "imbalance"],
+        &[
+            "Curve",
+            "ACD",
+            "max link load",
+            "mean link load",
+            "mean active load",
+            "imbalance",
+        ],
     );
-    let particles = OnceCell::new();
-    for curve in CurveKind::PAPER {
-        let result = runner.run_cell(&format!("congestion/{}", curve.short_name()), || {
-            let particles = particles.get_or_init(|| workload.particles(0));
-            let asg = Assignment::new(particles, workload.grid_order, curve, procs);
-            let machine = Machine::grid(TopologyKind::Torus, procs, curve);
-            let load = nfi_link_load(&asg, &machine, 1, Norm::Chebyshev);
-            let acd = if load.messages == 0 {
-                0.0
-            } else {
-                load.crossings as f64 / load.messages as f64
-            };
-            vec![acd, load.max_load() as f64, load.mean_load(), load.imbalance()]
-        });
+    let particles = OnceLock::new();
+    let congestion_cells: Vec<BatchCell> = CurveKind::PAPER
+        .iter()
+        .map(|&curve| {
+            let particles = &particles;
+            let workload = &workload;
+            BatchCell::new(format!("congestion/{}", curve.short_name()), move || {
+                let particles = particles.get_or_init(|| workload.particles(0));
+                let asg = Assignment::new(particles, workload.grid_order, curve, procs);
+                let machine = Machine::grid(TopologyKind::Torus, procs, curve);
+                let load = nfi_link_load(&asg, &machine, 1, Norm::Chebyshev);
+                let acd = if load.messages == 0 {
+                    0.0
+                } else {
+                    load.crossings as f64 / load.messages as f64
+                };
+                vec![
+                    acd,
+                    load.max_load() as f64,
+                    load.mean_load(),
+                    load.mean_active_load(),
+                    load.imbalance(),
+                ]
+            })
+        })
+        .collect();
+    for (curve, result) in CurveKind::PAPER
+        .iter()
+        .zip(runner.run_cells(congestion_cells))
+    {
         congestion.push_row(row_or_missing(
             curve.short_name(),
             result.values(),
-            &[f3, f0, f2, f2],
+            &[f3, f0, f2, f2, f2],
         ));
     }
     print!("\n{}", congestion.render());
@@ -107,13 +131,19 @@ fn main() {
         "3-D ANNS (radius-1 Manhattan) — future work item ii",
         &["Cube", "Hilbert", "Z", "Gray", "RowMajor"],
     );
-    for order in 2..=5u32 {
-        let result = runner.run_cell(&format!("anns3d/o{order}"), || {
-            Curve3dKind::ALL
-                .iter()
-                .map(|&k| anns3d(k, order).average())
-                .collect()
-        });
+    let orders3d: Vec<u32> = (2..=5).collect();
+    let anns3d_cells: Vec<BatchCell> = orders3d
+        .iter()
+        .map(|&order| {
+            BatchCell::new(format!("anns3d/o{order}"), move || {
+                Curve3dKind::ALL
+                    .iter()
+                    .map(|&k| anns3d(k, order).average())
+                    .collect()
+            })
+        })
+        .collect();
+    for (&order, result) in orders3d.iter().zip(runner.run_cells(anns3d_cells)) {
         let side = 1u64 << order;
         table3d.push_row(row_or_missing(
             &format!("{side}^3"),
@@ -128,26 +158,33 @@ fn main() {
     let cube_order = 6u32; // 64^3 cells
     let n3 = 20_000usize;
     let procs3 = 4096u64; // 16^3 torus / 2^12 hypercube
-    let particles3 = OnceCell::new();
+    let particles3 = OnceLock::new();
     let mut acd3 = Table::new(
         format!("3-D ACD — {n3} uniform particles in a 64^3 cube, {procs3} processors"),
         &["Curve", "NFI mesh3d", "NFI torus3d", "NFI hypercube", "FFI torus3d"],
     );
-    for curve in Curve3dKind::ALL {
-        let result = runner.run_cell(&format!("acd3d/{}", curve.short_name()), || {
-            let particles3 = particles3
-                .get_or_init(|| sample3d(Distribution::uniform(), cube_order, n3, args.seed));
-            let asg = Assignment3::new(particles3, cube_order, curve, procs3);
-            let mut row = Vec::new();
-            for topo in Topology3Kind::ALL {
-                let machine = Machine3::new(topo, procs3, curve);
-                row.push(nfi_acd_3d(&asg, &machine, 1).acd());
-            }
-            // Reorder: ALL = [Mesh3d, Torus3d, Hypercube] matches headers.
-            let torus = Machine3::new(Topology3Kind::Torus3d, procs3, curve);
-            row.push(ffi_acd_3d(&asg, &torus).acd());
-            row
-        });
+    let seed = args.seed;
+    let acd3_cells: Vec<BatchCell> = Curve3dKind::ALL
+        .iter()
+        .map(|&curve| {
+            let particles3 = &particles3;
+            BatchCell::new(format!("acd3d/{}", curve.short_name()), move || {
+                let particles3 = particles3
+                    .get_or_init(|| sample3d(Distribution::uniform(), cube_order, n3, seed));
+                let asg = Assignment3::new(particles3, cube_order, curve, procs3);
+                let mut row = Vec::new();
+                for topo in Topology3Kind::ALL {
+                    let machine = Machine3::new(topo, procs3, curve);
+                    row.push(nfi_acd_3d(&asg, &machine, 1).acd());
+                }
+                // Reorder: ALL = [Mesh3d, Torus3d, Hypercube] matches headers.
+                let torus = Machine3::new(Topology3Kind::Torus3d, procs3, curve);
+                row.push(ffi_acd_3d(&asg, &torus).acd());
+                row
+            })
+        })
+        .collect();
+    for (curve, result) in Curve3dKind::ALL.iter().zip(runner.run_cells(acd3_cells)) {
         acd3.push_row(row_or_missing(
             curve.short_name(),
             result.values(),
@@ -161,10 +198,15 @@ fn main() {
         "Clustering (4x4 queries) vs ANNS at 64x64 — the metric inversion",
         &["Curve", "avg clusters (lower=better)", "ANNS (lower=better)"],
     );
-    for curve in CurveKind::PAPER {
-        let result = runner.run_cell(&format!("metrics/{}", curve.short_name()), || {
-            vec![average_clusters(curve, 6, 4), anns(curve, 6).average()]
-        });
+    let metric_cells: Vec<BatchCell> = CurveKind::PAPER
+        .iter()
+        .map(|&curve| {
+            BatchCell::new(format!("metrics/{}", curve.short_name()), move || {
+                vec![average_clusters(curve, 6, 4), anns(curve, 6).average()]
+            })
+        })
+        .collect();
+    for (curve, result) in CurveKind::PAPER.iter().zip(runner.run_cells(metric_cells)) {
         metrics.push_row(row_or_missing(curve.short_name(), result.values(), &[f3, f3]));
     }
     print!("\n{}", metrics.render());
@@ -175,18 +217,26 @@ fn main() {
         "Closed-curve study — Hilbert vs Moore on a torus",
         &["Curve", "NFI ACD", "FFI ACD", "cyclic max stretch (64x64)"],
     );
-    let particles = OnceCell::new();
-    for curve in [CurveKind::Hilbert, CurveKind::Moore] {
-        let result = runner.run_cell(&format!("moore/{}", curve.short_name()), || {
-            let particles = particles.get_or_init(|| workload.particles(1));
-            let asg = Assignment::new(particles, workload.grid_order, curve, procs);
-            let machine = Machine::grid(TopologyKind::Torus, procs, curve);
-            vec![
-                nfi_acd(&asg, &machine, 1, Norm::Chebyshev).acd(),
-                ffi_acd(&asg, &machine).acd(),
-                anns_cyclic(curve, 6, 1, Norm::Manhattan).max_stretch,
-            ]
-        });
+    let closed_curves = [CurveKind::Hilbert, CurveKind::Moore];
+    let moore_particles = OnceLock::new();
+    let moore_cells: Vec<BatchCell> = closed_curves
+        .iter()
+        .map(|&curve| {
+            let particles = &moore_particles;
+            let workload = &workload;
+            BatchCell::new(format!("moore/{}", curve.short_name()), move || {
+                let particles = particles.get_or_init(|| workload.particles(1));
+                let asg = Assignment::new(particles, workload.grid_order, curve, procs);
+                let machine = Machine::grid(TopologyKind::Torus, procs, curve);
+                vec![
+                    nfi_acd(&asg, &machine, 1, Norm::Chebyshev).acd(),
+                    ffi_acd(&asg, &machine).acd(),
+                    anns_cyclic(curve, 6, 1, Norm::Manhattan).max_stretch,
+                ]
+            })
+        })
+        .collect();
+    for (curve, result) in closed_curves.iter().zip(runner.run_cells(moore_cells)) {
         moore.push_row(row_or_missing(curve.short_name(), result.values(), &[f3, f3, f0]));
     }
     print!("\n{}", moore.render());

@@ -12,13 +12,13 @@ use sfc_core::anns::anns_radius;
 use sfc_core::ffi::{ffi_acd_with_tree, OwnerTree};
 use sfc_core::nfi::nfi_acd;
 use sfc_core::report::Table;
-use sfc_core::runner::SweepRunner;
+use sfc_core::runner::{BatchCell, CellResult, SweepRunner};
 use sfc_core::{Assignment, Machine, Stats};
 use sfc_curves::point::Norm;
 use sfc_curves::{CurveKind, Point2};
 use sfc_particles::{DistributionKind, Workload};
 use sfc_topology::TopologyKind;
-use std::cell::OnceCell;
+use std::sync::OnceLock;
 
 /// Format an optional mean to the paper's three decimals, `—` when the
 /// partial sweep left it uncomputed.
@@ -56,20 +56,20 @@ pub struct AnnsSweep {
 /// single stretch value for that resolution.
 pub fn run_anns_sweep(radius: u32, max_order: u32, runner: &mut SweepRunner) -> AnnsSweep {
     let orders: Vec<u32> = (1..=max_order).collect();
-    let values = CurveKind::PAPER
-        .iter()
-        .map(|&curve| {
-            orders
-                .iter()
-                .map(|&order| {
-                    let cell = format!("r{radius}/{}/o{order}", curve.short_name());
-                    runner
-                        .run_cell(&cell, || {
-                            vec![anns_radius(curve, order, radius, Norm::Manhattan).average()]
-                        })
-                        .values()
-                        .map(|v| v[0])
-                })
+    let mut cells = Vec::with_capacity(4 * orders.len());
+    for &curve in CurveKind::PAPER.iter() {
+        for &order in &orders {
+            let name = format!("r{radius}/{}/o{order}", curve.short_name());
+            cells.push(BatchCell::new(name, move || {
+                vec![anns_radius(curve, order, radius, Norm::Manhattan).average()]
+            }));
+        }
+    }
+    let results = runner.run_cells(cells);
+    let values = (0..4)
+        .map(|c| {
+            (0..orders.len())
+                .map(|oi| results[c * orders.len() + oi].values().map(|v| v[0]))
                 .collect()
         })
         .collect();
@@ -130,29 +130,38 @@ pub fn run_topology_sweep(args: &Args, runner: &mut SweepRunner) -> TopologySwee
     let topologies: Vec<TopologyKind> = TopologyKind::PAPER.to_vec();
     let nt = topologies.len();
 
-    let mut nfi = vec![vec![Vec::new(); 4]; nt];
-    let mut ffi = vec![vec![Vec::new(); 4]; nt];
+    let trial_particles: Vec<OnceLock<Vec<Point2>>> =
+        (0..args.trials).map(|_| OnceLock::new()).collect();
+    let mut cells = Vec::with_capacity(args.trials as usize * 4);
     for t in 0..args.trials {
-        let particles = OnceCell::new();
-        for (ci, &curve) in CurveKind::PAPER.iter().enumerate() {
-            let cell = format!("t{t}/{}", curve.short_name());
-            let result = runner.run_cell(&cell, || {
+        let particles = &trial_particles[t as usize];
+        for &curve in CurveKind::PAPER.iter() {
+            let name = format!("t{t}/{}", curve.short_name());
+            let workload = &workload;
+            let topologies = &topologies;
+            cells.push(BatchCell::new(name, move || {
                 let particles = particles.get_or_init(|| workload.particles(t));
                 let asg = Assignment::new(particles, workload.grid_order, curve, num_procs);
                 let tree = OwnerTree::build(&asg);
                 let mut values = Vec::with_capacity(2 * nt);
-                for &topo in &topologies {
+                for &topo in topologies {
                     let machine = Machine::new(topo, num_procs, curve);
                     values.push(nfi_acd(&asg, &machine, FIG6_RADIUS, Norm::Chebyshev).acd());
                     values.push(ffi_acd_with_tree(&asg, &machine, &tree).acd());
                 }
                 values
-            });
-            if let Some(values) = result.values() {
-                for ti in 0..nt {
-                    nfi[ti][ci].push(values[2 * ti]);
-                    ffi[ti][ci].push(values[2 * ti + 1]);
-                }
+            }));
+        }
+    }
+
+    let mut nfi = vec![vec![Vec::new(); 4]; nt];
+    let mut ffi = vec![vec![Vec::new(); 4]; nt];
+    for (i, result) in runner.run_cells(cells).iter().enumerate() {
+        let ci = i % 4;
+        if let Some(values) = result.values() {
+            for ti in 0..nt {
+                nfi[ti][ci].push(values[2 * ti]);
+                ffi[ti][ci].push(values[2 * ti + 1]);
             }
         }
     }
@@ -228,14 +237,17 @@ pub fn run_processor_sweep(args: &Args, runner: &mut SweepRunner) -> ProcessorSw
     }
     processors.reverse();
 
-    let mut nfi = vec![vec![Vec::new(); 4]; processors.len()];
-    let mut ffi = vec![vec![Vec::new(); 4]; processors.len()];
+    let trial_particles: Vec<OnceLock<Vec<Point2>>> =
+        (0..args.trials).map(|_| OnceLock::new()).collect();
+    let np = processors.len();
+    let mut cells = Vec::with_capacity(args.trials as usize * 4 * np);
     for t in 0..args.trials {
-        let particles = OnceCell::new();
-        for (ci, &curve) in CurveKind::PAPER.iter().enumerate() {
-            for (pi, &procs) in processors.iter().enumerate() {
-                let cell = format!("t{t}/{}/p{procs}", curve.short_name());
-                let result = runner.run_cell(&cell, || {
+        let particles = &trial_particles[t as usize];
+        for &curve in CurveKind::PAPER.iter() {
+            for &procs in &processors {
+                let name = format!("t{t}/{}/p{procs}", curve.short_name());
+                let workload = &workload;
+                cells.push(BatchCell::new(name, move || {
                     let particles = particles.get_or_init(|| workload.particles(t));
                     let asg = Assignment::new(particles, workload.grid_order, curve, procs);
                     let tree = OwnerTree::build(&asg);
@@ -244,12 +256,19 @@ pub fn run_processor_sweep(args: &Args, runner: &mut SweepRunner) -> ProcessorSw
                         nfi_acd(&asg, &machine, 1, Norm::Chebyshev).acd(),
                         ffi_acd_with_tree(&asg, &machine, &tree).acd(),
                     ]
-                });
-                if let Some(values) = result.values() {
-                    nfi[pi][ci].push(values[0]);
-                    ffi[pi][ci].push(values[1]);
-                }
+                }));
             }
+        }
+    }
+
+    let mut nfi = vec![vec![Vec::new(); 4]; np];
+    let mut ffi = vec![vec![Vec::new(); 4]; np];
+    for (i, result) in runner.run_cells(cells).iter().enumerate() {
+        let ci = (i / np) % 4;
+        let pi = i % np;
+        if let Some(values) = result.values() {
+            nfi[pi][ci].push(values[0]);
+            ffi[pi][ci].push(values[1]);
         }
     }
     let collect = |data: Vec<Vec<Vec<f64>>>| -> Vec<Vec<Option<Stats>>> {
@@ -288,17 +307,18 @@ pub fn render_processors(sweep: &ProcessorSweep, near_field: bool) -> Table {
 // ---------------------------------------------------------------------------
 
 /// Per-trial particle sets of one workload, sampled lazily so replayed
-/// cells cost nothing.
+/// cells cost nothing. Thread-safe: the cells of one trial may run on
+/// different workers, and whichever asks first samples the set.
 struct TrialCache<'a> {
     workload: &'a Workload,
-    sets: Vec<OnceCell<Vec<Point2>>>,
+    sets: Vec<OnceLock<Vec<Point2>>>,
 }
 
 impl<'a> TrialCache<'a> {
     fn new(workload: &'a Workload, trials: u64) -> Self {
         TrialCache {
             workload,
-            sets: (0..trials).map(|_| OnceCell::new()).collect(),
+            sets: (0..trials).map(|_| OnceLock::new()).collect(),
         }
     }
 
@@ -314,31 +334,43 @@ pub fn run_radius_sweep(args: &Args, radii: &[u32], runner: &mut SweepRunner) ->
         .scaled_down(args.scale);
     let num_procs = (65_536u64 >> (2 * args.scale)).max(4);
     let cache = TrialCache::new(&workload, args.trials);
-    let mut header = vec!["Radius"];
-    header.extend(CurveKind::PAPER.iter().map(|c| c.name()));
-    let mut table = Table::new("Section VI-C — NFI ACD vs neighborhood radius", &header);
+    let mut cells = Vec::with_capacity(radii.len() * 4 * args.trials as usize);
     for &radius in radii {
-        let mut row = vec![radius.to_string()];
         for &curve in &CurveKind::PAPER {
-            let mut acds = Vec::new();
             for t in 0..args.trials {
-                let cell = format!("r{radius}/{}/t{t}", curve.short_name());
-                let result = runner.run_cell(&cell, || {
+                let name = format!("r{radius}/{}/t{t}", curve.short_name());
+                let cache = &cache;
+                let workload = &workload;
+                cells.push(BatchCell::new(name, move || {
                     let particles = cache.get(t);
                     let asg =
                         Assignment::new(particles, workload.grid_order, curve, num_procs);
                     let machine = Machine::new(TopologyKind::Torus, num_procs, curve);
                     vec![nfi_acd(&asg, &machine, radius, Norm::Chebyshev).acd()]
-                });
-                if let Some(values) = result.values() {
-                    acds.push(values[0]);
-                }
+                }));
             }
+        }
+    }
+    let results = runner.run_cells(cells);
+
+    let mut header = vec!["Radius"];
+    header.extend(CurveKind::PAPER.iter().map(|c| c.name()));
+    let mut table = Table::new("Section VI-C — NFI ACD vs neighborhood radius", &header);
+    let mut it = results.chunks(args.trials as usize);
+    for &radius in radii {
+        let mut row = vec![radius.to_string()];
+        for _curve in &CurveKind::PAPER {
+            let acds = collect_first_values(it.next().unwrap());
             row.push(fmt_cell(mean_of(&acds)));
         }
         table.push_row(row);
     }
     table
+}
+
+/// First value of every completed cell in a chunk of batch results.
+fn collect_first_values(results: &[CellResult]) -> Vec<f64> {
+    results.iter().filter_map(|r| r.values().map(|v| v[0])).collect()
 }
 
 /// ACD as the input size varies at a fixed processor count (torus, tied
@@ -360,17 +392,22 @@ pub fn run_input_size_sweep(args: &Args, sizes: &[usize], runner: &mut SweepRunn
         "Section VI-C — ACD vs input size (NFI columns then FFI columns)",
         &header_refs,
     );
-    for &n in sizes {
-        let workload = Workload::new(base.grid_order, n, base.dist, base.seed);
-        let cache = TrialCache::new(&workload, args.trials);
-        let mut row = vec![n.to_string()];
-        let mut ffi_cols = Vec::with_capacity(4);
+    let workloads: Vec<Workload> = sizes
+        .iter()
+        .map(|&n| Workload::new(base.grid_order, n, base.dist, base.seed))
+        .collect();
+    let caches: Vec<TrialCache> = workloads
+        .iter()
+        .map(|w| TrialCache::new(w, args.trials))
+        .collect();
+    let mut cells = Vec::with_capacity(sizes.len() * 4 * args.trials as usize);
+    for (si, &n) in sizes.iter().enumerate() {
         for &curve in &CurveKind::PAPER {
-            let mut nfi_s = Vec::new();
-            let mut ffi_s = Vec::new();
             for t in 0..args.trials {
-                let cell = format!("n{n}/{}/t{t}", curve.short_name());
-                let result = runner.run_cell(&cell, || {
+                let name = format!("n{n}/{}/t{t}", curve.short_name());
+                let cache = &caches[si];
+                let workload = &workloads[si];
+                cells.push(BatchCell::new(name, move || {
                     let particles = cache.get(t);
                     let asg =
                         Assignment::new(particles, workload.grid_order, curve, num_procs);
@@ -380,12 +417,21 @@ pub fn run_input_size_sweep(args: &Args, sizes: &[usize], runner: &mut SweepRunn
                         nfi_acd(&asg, &machine, 1, Norm::Chebyshev).acd(),
                         ffi_acd_with_tree(&asg, &machine, &tree).acd(),
                     ]
-                });
-                if let Some(values) = result.values() {
-                    nfi_s.push(values[0]);
-                    ffi_s.push(values[1]);
-                }
+                }));
             }
+        }
+    }
+    let results = runner.run_cells(cells);
+
+    let mut it = results.chunks(args.trials as usize);
+    for &n in sizes {
+        let mut row = vec![n.to_string()];
+        let mut ffi_cols = Vec::with_capacity(4);
+        for _curve in &CurveKind::PAPER {
+            let chunk = it.next().unwrap();
+            let nfi_s = collect_first_values(chunk);
+            let ffi_s: Vec<f64> =
+                chunk.iter().filter_map(|r| r.values().map(|v| v[1])).collect();
             row.push(fmt_cell(mean_of(&nfi_s)));
             ffi_cols.push(fmt_cell(mean_of(&ffi_s)));
         }
@@ -410,17 +456,23 @@ pub fn run_distribution_comparison(args: &Args, runner: &mut SweepRunner) -> Tab
     }
     let header: Vec<&str> = owned.iter().map(|s| s.as_str()).collect();
     let mut table = Table::new("Section VI-C — ACD by input distribution (tied curves)", &header);
-    for dist in DistributionKind::ALL {
-        let workload = Workload::tables_1_2(dist, args.seed).scaled_down(args.scale);
-        let cache = TrialCache::new(&workload, args.trials);
-        let mut nfi_row = vec![dist.name().to_string()];
-        let mut ffi_row = Vec::with_capacity(4);
+    let workloads: Vec<Workload> = DistributionKind::ALL
+        .iter()
+        .map(|&dist| Workload::tables_1_2(dist, args.seed).scaled_down(args.scale))
+        .collect();
+    let caches: Vec<TrialCache> = workloads
+        .iter()
+        .map(|w| TrialCache::new(w, args.trials))
+        .collect();
+    let mut cells =
+        Vec::with_capacity(DistributionKind::ALL.len() * 4 * args.trials as usize);
+    for (di, dist) in DistributionKind::ALL.iter().enumerate() {
         for &curve in &CurveKind::PAPER {
-            let mut nfi_s = Vec::new();
-            let mut ffi_s = Vec::new();
             for t in 0..args.trials {
-                let cell = format!("{dist}/{}/t{t}", curve.short_name());
-                let result = runner.run_cell(&cell, || {
+                let name = format!("{dist}/{}/t{t}", curve.short_name());
+                let cache = &caches[di];
+                let workload = &workloads[di];
+                cells.push(BatchCell::new(name, move || {
                     let particles = cache.get(t);
                     let asg =
                         Assignment::new(particles, workload.grid_order, curve, num_procs);
@@ -430,12 +482,21 @@ pub fn run_distribution_comparison(args: &Args, runner: &mut SweepRunner) -> Tab
                         nfi_acd(&asg, &machine, 1, Norm::Chebyshev).acd(),
                         ffi_acd_with_tree(&asg, &machine, &tree).acd(),
                     ]
-                });
-                if let Some(values) = result.values() {
-                    nfi_s.push(values[0]);
-                    ffi_s.push(values[1]);
-                }
+                }));
             }
+        }
+    }
+    let results = runner.run_cells(cells);
+
+    let mut it = results.chunks(args.trials as usize);
+    for dist in DistributionKind::ALL {
+        let mut nfi_row = vec![dist.name().to_string()];
+        let mut ffi_row = Vec::with_capacity(4);
+        for _curve in &CurveKind::PAPER {
+            let chunk = it.next().unwrap();
+            let nfi_s = collect_first_values(chunk);
+            let ffi_s: Vec<f64> =
+                chunk.iter().filter_map(|r| r.values().map(|v| v[1])).collect();
             nfi_row.push(fmt_cell(mean_of(&nfi_s)));
             ffi_row.push(fmt_cell(mean_of(&ffi_s)));
         }

@@ -12,10 +12,10 @@ use std::path::PathBuf;
 use std::time::Duration;
 
 /// The configuration fingerprint stored in a journal header: a journal can
-/// only resume a sweep with the same scale, trials and seed. Chaos and
-/// budget flags are deliberately excluded — interrupting a run with a
-/// different budget (or sabotaging it in a test) must not orphan the
-/// journal.
+/// only resume a sweep with the same scale, trials and seed. Chaos, budget
+/// and jobs flags are deliberately excluded — interrupting a run with a
+/// different budget or thread count (or sabotaging it in a test) must not
+/// orphan the journal.
 pub fn fingerprint(args: &Args) -> Value {
     json!({
         "scale": args.scale,
@@ -34,6 +34,8 @@ pub fn runner(sweep: &str, args: &Args) -> SweepRunner {
     if !args.chaos.is_empty() {
         opts.chaos = Some(ChaosInjector::new(&args.chaos, args.chaos_persistent));
     }
+    opts.jobs = args.jobs.unwrap_or(0) as usize; // 0 = all cores
+    opts.journal_fail_after = args.chaos_journal;
     match SweepRunner::new(sweep, &fingerprint(args), opts) {
         Ok(r) => r,
         Err(e) => {
@@ -67,6 +69,13 @@ pub fn report(sweep: &str, summary: &SweepSummary) {
         }
         eprintln!("# rerun with the same --journal to compute them");
     }
+    if summary.journal_degraded {
+        eprintln!(
+            "# sweep {sweep}: JOURNAL DEGRADED — one or more journal writes \
+             failed; the journal under-reports this run's coverage and a \
+             resume will recompute the unrecorded cells"
+        );
+    }
 }
 
 #[cfg(test)]
@@ -97,8 +106,10 @@ mod tests {
         let b = Args {
             chaos: vec!["anything".into()],
             time_budget: Some(5),
+            jobs: Some(8),
             ..Args::default()
         };
+        // A journal written at one thread count must resume at any other.
         assert_eq!(fingerprint(&a), fingerprint(&b));
         let c = Args { seed: 1, ..Args::default() };
         assert_ne!(fingerprint(&a), fingerprint(&c));

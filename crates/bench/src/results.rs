@@ -55,6 +55,7 @@ fn cells_json(summary: &SweepSummary) -> Value {
     json!({
         "failed": failed,
         "skipped": summary.skipped,
+        "journal_degraded": summary.journal_degraded,
     })
 }
 
@@ -312,11 +313,13 @@ mod tests {
                 attempts: 3,
             }],
             skipped: vec!["Uniform/t1/Z".into()],
+            journal_degraded: true,
         };
         let v = envelope("table1", &args, &summary, json!([]));
         assert_eq!(v["cells"]["failed"][0]["cell"], "Uniform/t0/Hilbert");
         assert_eq!(v["cells"]["failed"][0]["attempts"], 3);
         assert_eq!(v["cells"]["skipped"][0], "Uniform/t1/Z");
+        assert_eq!(v["cells"]["journal_degraded"], true);
         // Counts stay out of the envelope: a resumed complete run must be
         // byte-identical to an uninterrupted one.
         assert_eq!(v["cells"]["computed"], Value::Null);

@@ -18,12 +18,13 @@ use crate::args::Args;
 use sfc_core::ffi::{ffi_acd_with_tree, OwnerTree};
 use sfc_core::nfi::nfi_acd;
 use sfc_core::report::Table;
-use sfc_core::runner::SweepRunner;
+use sfc_core::runner::{BatchCell, SweepRunner};
 use sfc_core::{Assignment, Machine, Stats};
 use sfc_curves::point::Norm;
 use sfc_curves::CurveKind;
 use sfc_particles::{DistributionKind, Workload};
 use sfc_topology::TopologyKind;
+use std::sync::OnceLock;
 
 /// Results of the 4 × 4 curve-pair grid for one distribution:
 /// `values[processor_curve][particle_curve]`. A cell is `None` when every
@@ -63,33 +64,43 @@ pub fn run_distribution(
         .map(|&proc_curve| Machine::new(TopologyKind::Torus, num_procs, proc_curve))
         .collect();
 
-    let mut nfi_samples = vec![vec![Vec::new(); 4]; 4];
-    let mut ffi_samples = vec![vec![Vec::new(); 4]; 4];
+    // Per-trial particle sets, sampled lazily and shared by the trial's
+    // four cells (which may run on different worker threads): a fully
+    // replayed trial never materializes its particles.
+    let trial_particles: Vec<OnceLock<Vec<sfc_curves::point::Point2>>> =
+        (0..args.trials).map(|_| OnceLock::new()).collect();
+    let mut cells = Vec::with_capacity(args.trials as usize * 4);
     for t in 0..args.trials {
-        // Sampled lazily: a fully replayed trial never materializes its
-        // particle set.
-        let particles = std::cell::OnceCell::new();
-        for (pi, &particle_curve) in CurveKind::PAPER.iter().enumerate() {
-            let cell = format!("{dist}/t{t}/{}", particle_curve.short_name());
-            let result = runner.run_cell(&cell, || {
+        let particles = &trial_particles[t as usize];
+        for &particle_curve in CurveKind::PAPER.iter() {
+            let name = format!("{dist}/t{t}/{}", particle_curve.short_name());
+            let workload = &workload;
+            let machines = &machines;
+            cells.push(BatchCell::new(name, move || {
                 let particles = particles.get_or_init(|| workload.particles(t));
                 let asg =
                     Assignment::new(particles, workload.grid_order, particle_curve, num_procs);
                 let tree = OwnerTree::build(&asg);
                 let mut values = Vec::with_capacity(8);
-                for machine in &machines {
+                for machine in machines {
                     values.push(nfi_acd(&asg, machine, 1, Norm::Chebyshev).acd());
                 }
-                for machine in &machines {
+                for machine in machines {
                     values.push(ffi_acd_with_tree(&asg, machine, &tree).acd());
                 }
                 values
-            });
-            if let Some(values) = result.values() {
-                for ri in 0..4 {
-                    nfi_samples[ri][pi].push(values[ri]);
-                    ffi_samples[ri][pi].push(values[4 + ri]);
-                }
+            }));
+        }
+    }
+
+    let mut nfi_samples = vec![vec![Vec::new(); 4]; 4];
+    let mut ffi_samples = vec![vec![Vec::new(); 4]; 4];
+    for (i, result) in runner.run_cells(cells).iter().enumerate() {
+        let pi = i % 4;
+        if let Some(values) = result.values() {
+            for ri in 0..4 {
+                nfi_samples[ri][pi].push(values[ri]);
+                ffi_samples[ri][pi].push(values[4 + ri]);
             }
         }
     }

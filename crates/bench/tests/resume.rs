@@ -199,6 +199,116 @@ fn exhausted_time_budget_skips_then_resumes_to_identical_artifact() {
 }
 
 #[test]
+fn parallel_run_is_byte_identical_to_serial() {
+    let json1 = tmp("jobs1.json");
+    let json8 = tmp("jobs8.json");
+
+    let (stdout1, _, ok) = run_table1(&["--jobs", "1", "--json", json1.to_str().unwrap()]);
+    assert!(ok);
+    let (stdout8, _, ok) = run_table1(&["--jobs", "8", "--json", json8.to_str().unwrap()]);
+    assert!(ok);
+
+    assert_eq!(stdout1, stdout8, "stdout differs between --jobs 1 and --jobs 8");
+    assert_eq!(
+        std::fs::read(&json1).unwrap(),
+        std::fs::read(&json8).unwrap(),
+        "JSON artifact differs between --jobs 1 and --jobs 8"
+    );
+
+    std::fs::remove_file(&json1).ok();
+    std::fs::remove_file(&json8).ok();
+}
+
+#[test]
+fn parallel_run_under_chaos_matches_serial() {
+    // Retries and failure accounting must stay deterministic on a pool:
+    // transient faults retried on worker threads leave no trace, and the
+    // artifact still matches the serial run byte for byte.
+    let json1 = tmp("chaos_jobs1.json");
+    let json8 = tmp("chaos_jobs8.json");
+
+    let chaos = &["--chaos", "Normal/"];
+    let (_, _, ok) =
+        run_table1(&[chaos, &["--jobs", "1", "--json", json1.to_str().unwrap()][..]].concat());
+    assert!(ok);
+    let (_, _, ok) =
+        run_table1(&[chaos, &["--jobs", "8", "--json", json8.to_str().unwrap()][..]].concat());
+    assert!(ok);
+
+    let bytes1 = std::fs::read(&json1).unwrap();
+    assert_eq!(bytes1, std::fs::read(&json8).unwrap());
+    assert_eq!(bytes1, baseline("chaos_jobs"));
+
+    std::fs::remove_file(&json1).ok();
+    std::fs::remove_file(&json8).ok();
+}
+
+#[test]
+fn parallel_journal_resumes_serially_after_truncation() {
+    let journal = tmp("xjobs.jsonl");
+    let json = tmp("xjobs.json");
+    std::fs::remove_file(&journal).ok();
+
+    // Journal a full run on 8 workers, then tear the tail mid-line.
+    let (_, _, ok) = run_table1(&["--jobs", "8", "--journal", journal.to_str().unwrap()]);
+    assert!(ok);
+    let bytes = std::fs::read(&journal).unwrap();
+    std::fs::write(&journal, &bytes[..bytes.len() - 40]).unwrap();
+
+    // Resume on 1 worker: replays the surviving cells, recomputes the torn
+    // ones, and the artifact matches an uninterrupted run byte for byte.
+    let (_, stderr, ok) = run_table1(&[
+        "--jobs",
+        "1",
+        "--journal",
+        journal.to_str().unwrap(),
+        "--json",
+        json.to_str().unwrap(),
+    ]);
+    assert!(ok);
+    assert!(stderr.contains("replayed from journal"), "stderr: {stderr}");
+    assert_eq!(std::fs::read(&json).unwrap(), baseline("xjobs"));
+
+    std::fs::remove_file(&journal).ok();
+    std::fs::remove_file(&json).ok();
+}
+
+#[test]
+fn degraded_journal_is_reported_not_swallowed() {
+    let journal = tmp("degraded.jsonl");
+    let json = tmp("degraded.json");
+    std::fs::remove_file(&journal).ok();
+
+    // Fail every journal write after the first 20 (of 24 cells). The first
+    // three failures degrade the journal; the fourth cell finds it dead and
+    // becomes a structured failure instead of silently losing its record.
+    let (_, stderr, ok) = run_table1(&[
+        "--jobs",
+        "1",
+        "--journal",
+        journal.to_str().unwrap(),
+        "--chaos-journal",
+        "20",
+        "--json",
+        json.to_str().unwrap(),
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stderr.contains("JOURNAL DEGRADED"), "stderr: {stderr}");
+    let v: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&json).unwrap()).unwrap();
+    assert_eq!(v["cells"]["journal_degraded"], true);
+    let failed = v["cells"]["failed"].as_array().unwrap();
+    assert_eq!(failed.len(), 1, "failed: {failed:?}");
+    assert!(
+        failed[0]["error"].as_str().unwrap().contains("journal"),
+        "failed: {failed:?}"
+    );
+
+    std::fs::remove_file(&journal).ok();
+    std::fs::remove_file(&json).ok();
+}
+
+#[test]
 fn journal_from_other_config_is_rejected() {
     let journal = tmp("mismatch.jsonl");
     std::fs::remove_file(&journal).ok();

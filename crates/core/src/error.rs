@@ -36,6 +36,12 @@ pub enum SfcError {
     /// A statistics summary was requested over an empty sample set — after
     /// a partial sweep, a configuration may have no completed trials.
     EmptySamples,
+    /// A 2D mesh/torus route was requested on a node count that is not a
+    /// perfect square, so no `side × side` grid exists to route on.
+    NonSquareMesh {
+        /// The offending node count.
+        nodes: u64,
+    },
     /// A sweep cell kept panicking after the bounded retries.
     CellFailed {
         /// Cell name.
@@ -76,6 +82,10 @@ impl std::fmt::Display for SfcError {
             SfcError::NoTrials => write!(f, "experiment requires at least one trial"),
             SfcError::Workload(e) => write!(f, "{e}"),
             SfcError::EmptySamples => write!(f, "no samples to summarize"),
+            SfcError::NonSquareMesh { nodes } => write!(
+                f,
+                "mesh/torus routing requires a square node count, got {nodes}"
+            ),
             SfcError::CellFailed {
                 cell,
                 error,
@@ -120,6 +130,9 @@ mod tests {
         assert!(e.to_string().contains("radius 70"));
 
         assert!(SfcError::EmptySamples.to_string().contains("no samples"));
+
+        let e = SfcError::NonSquareMesh { nodes: 32 };
+        assert!(e.to_string().contains("square") && e.to_string().contains("32"));
 
         let e = SfcError::CellFailed {
             cell: "uniform/t0/Hilbert".into(),

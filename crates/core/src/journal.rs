@@ -52,6 +52,10 @@ pub struct Journal {
     path: PathBuf,
     file: File,
     completed: BTreeMap<String, CellOutcome>,
+    /// Fault injection for tests: once this many records have been written
+    /// through this handle, every further write fails. `None` disables.
+    fail_after: Option<u64>,
+    records_written: u64,
 }
 
 impl Journal {
@@ -127,7 +131,17 @@ impl Journal {
             path: path.to_path_buf(),
             file,
             completed,
+            fail_after: None,
+            records_written: 0,
         })
+    }
+
+    /// Arrange for every [`record`](Journal::record) call after the first
+    /// `n` to fail with [`SfcError::JournalIo`]. Deterministic stand-in for
+    /// a disk filling up mid-sweep, used by fault-injection tests
+    /// (`--chaos-journal`).
+    pub fn inject_write_failures_after(&mut self, n: u64) {
+        self.fail_after = Some(n);
     }
 
     /// The outcome of a cell recorded in (or appended to) this journal.
@@ -152,6 +166,12 @@ impl Journal {
             path: self.path.display().to_string(),
             reason: e.to_string(),
         };
+        if self.fail_after.is_some_and(|n| self.records_written >= n) {
+            return Err(SfcError::JournalIo {
+                path: self.path.display().to_string(),
+                reason: "injected write failure".to_string(),
+            });
+        }
         let record = match &outcome {
             CellOutcome::Ok(values) => json!({
                 "cell": cell,
@@ -170,6 +190,7 @@ impl Journal {
         self.file.write_all(line.as_bytes()).map_err(io_err)?;
         self.file.flush().map_err(io_err)?;
         self.completed.insert(cell.to_string(), outcome);
+        self.records_written += 1;
         Ok(())
     }
 }
@@ -294,6 +315,27 @@ mod tests {
             Err(SfcError::JournalMismatch { .. }) => {}
             other => panic!("expected mismatch, got {other:?}"),
         }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn injected_write_failures_fire_after_threshold() {
+        let path = temp_path("inject");
+        std::fs::remove_file(&path).ok();
+        let mut j = Journal::open(&path, "demo", &fingerprint()).unwrap();
+        j.inject_write_failures_after(1);
+        j.record("a", CellOutcome::Ok(vec![1.0])).unwrap();
+        match j.record("b", CellOutcome::Ok(vec![2.0])) {
+            Err(SfcError::JournalIo { reason, .. }) => {
+                assert_eq!(reason, "injected write failure");
+            }
+            other => panic!("expected injected failure, got {other:?}"),
+        }
+        // The failed record never reached disk or the replay map.
+        assert!(j.lookup("b").is_none());
+        drop(j);
+        let j = Journal::open(&path, "demo", &fingerprint()).unwrap();
+        assert_eq!(j.len(), 1);
         std::fs::remove_file(&path).ok();
     }
 

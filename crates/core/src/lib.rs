@@ -70,5 +70,5 @@ pub use assignment::Assignment;
 pub use error::SfcError;
 pub use experiment::{AcdExperiment, AcdMeasurement};
 pub use machine::Machine;
-pub use runner::{CellResult, ChaosInjector, RunnerOptions, SweepRunner, SweepSummary};
+pub use runner::{BatchCell, CellResult, ChaosInjector, RunnerOptions, SweepRunner, SweepSummary};
 pub use stats::Stats;

@@ -20,6 +20,7 @@
 //! - quadtree: up to the lowest common ancestor, then down.
 
 use crate::assignment::Assignment;
+use crate::error::SfcError;
 use crate::machine::Machine;
 use sfc_curves::point::Norm;
 use sfc_topology::TopologyKind;
@@ -39,6 +40,11 @@ pub struct LinkLoad {
     pub messages: u64,
     /// Total link crossings (= sum of all loads = total distance).
     pub crossings: u64,
+    /// Total directed links in the topology, *including* idle ones
+    /// ([`sfc_topology::Topology::num_links`]). Averages are taken over
+    /// this: a workload that concentrates all traffic on 2 of 1000 links
+    /// must report a large imbalance, not a perfect 1.0.
+    pub total_links: u64,
 }
 
 impl LinkLoad {
@@ -47,8 +53,19 @@ impl LinkLoad {
         self.links.values().copied().max().unwrap_or(0)
     }
 
-    /// Mean load over links that carried at least one message.
+    /// Mean load over *all* links of the topology, idle ones included.
     pub fn mean_load(&self) -> f64 {
+        if self.total_links == 0 {
+            0.0
+        } else {
+            self.crossings as f64 / self.total_links as f64
+        }
+    }
+
+    /// Mean load over only the links that carried at least one message —
+    /// the quantity [`mean_load`](LinkLoad::mean_load) reported before it
+    /// was fixed to count idle links.
+    pub fn mean_active_load(&self) -> f64 {
         if self.links.is_empty() {
             0.0
         } else {
@@ -56,7 +73,8 @@ impl LinkLoad {
         }
     }
 
-    /// Ratio of max to mean load: 1.0 is perfectly balanced traffic.
+    /// Ratio of max to [`mean_load`](LinkLoad::mean_load): 1.0 means
+    /// traffic spread perfectly over the whole network.
     pub fn imbalance(&self) -> f64 {
         let mean = self.mean_load();
         if mean == 0.0 {
@@ -77,8 +95,13 @@ impl LinkLoad {
 /// Compute the shortest route between two physical nodes under the
 /// deterministic discipline for `kind`. The returned path includes both
 /// endpoints; its length minus one equals the topology's hop distance.
-pub fn route(kind: TopologyKind, nodes: u64, a: u64, b: u64) -> Vec<u64> {
-    match kind {
+///
+/// Mesh/torus routing requires `nodes` to be a perfect square — a
+/// non-square count has no `side × side` grid and is rejected as
+/// [`SfcError::NonSquareMesh`] rather than silently mis-routing on a
+/// rounded side length.
+pub fn route(kind: TopologyKind, nodes: u64, a: u64, b: u64) -> Result<Vec<u64>, SfcError> {
+    Ok(match kind {
         TopologyKind::Bus => {
             let mut path = vec![a];
             let mut cur = a;
@@ -104,8 +127,10 @@ pub fn route(kind: TopologyKind, nodes: u64, a: u64, b: u64) -> Vec<u64> {
             path
         }
         TopologyKind::Mesh | TopologyKind::Torus => {
-            let side = (nodes as f64).sqrt() as u64;
-            debug_assert_eq!(side * side, nodes);
+            let side = nodes.isqrt();
+            if side * side != nodes {
+                return Err(SfcError::NonSquareMesh { nodes });
+            }
             let (ax, ay) = (a % side, a / side);
             let (bx, by) = (b % side, b / side);
             let torus = kind == TopologyKind::Torus;
@@ -144,7 +169,7 @@ pub fn route(kind: TopologyKind, nodes: u64, a: u64, b: u64) -> Vec<u64> {
                 }
             };
             if a == b {
-                return vec![a];
+                return Ok(vec![a]);
             }
             // Climb to the LCA, then descend.
             let net = sfc_topology::QuadtreeNet::new(levels);
@@ -169,7 +194,7 @@ pub fn route(kind: TopologyKind, nodes: u64, a: u64, b: u64) -> Vec<u64> {
         TopologyKind::Mesh3d | TopologyKind::Torus3d => {
             unimplemented!("3-D routing is not part of the link-load study")
         }
-    }
+    })
 }
 
 fn axis_step(cur: u64, target: u64, side: u64, torus: bool) -> u64 {
@@ -192,7 +217,10 @@ pub fn nfi_link_load(asg: &Assignment, machine: &Machine, radius: u32, norm: Nor
     let nodes = machine.topology().num_nodes();
     let side = 1i64 << asg.grid_order();
     let r = radius as i64;
-    let mut load = LinkLoad::default();
+    let mut load = LinkLoad {
+        total_links: machine.num_links(),
+        ..LinkLoad::default()
+    };
     for (i, p) in asg.particles().iter().enumerate() {
         let rank = asg.rank_of_index(i);
         for dy in -r..=r {
@@ -215,7 +243,8 @@ pub fn nfi_link_load(asg: &Assignment, machine: &Machine, radius: u32, norm: Nor
                 if let Some(other) = asg.rank_of_cell(nx as u32, ny as u32) {
                     load.messages += 1;
                     if other != rank {
-                        let path = route(kind, nodes, machine.node_of(rank), machine.node_of(other));
+                        let path = route(kind, nodes, machine.node_of(rank), machine.node_of(other))
+                            .expect("machine topologies are square by construction");
                         load.record_path(&path);
                     }
                 }
@@ -239,7 +268,7 @@ mod tests {
             let topo = kind.build(256);
             for a in (0..256u64).step_by(23) {
                 for b in (0..256u64).step_by(17) {
-                    let path = route(kind, 256, a, b);
+                    let path = route(kind, 256, a, b).unwrap();
                     assert_eq!(
                         (path.len() - 1) as u64,
                         topo.distance(a, b),
@@ -258,7 +287,7 @@ mod tests {
         for kind in [TopologyKind::Mesh, TopologyKind::Torus, TopologyKind::Hypercube] {
             let topo = kind.build(64);
             for (a, b) in [(0u64, 63u64), (5, 40), (62, 1)] {
-                for hop in route(kind, 64, a, b).windows(2) {
+                for hop in route(kind, 64, a, b).unwrap().windows(2) {
                     assert_eq!(topo.distance(hop[0], hop[1]), 1, "{kind} hop {hop:?}");
                 }
             }
@@ -269,7 +298,7 @@ mod tests {
     #[test]
     fn self_route_is_single_node() {
         for kind in TopologyKind::PAPER {
-            assert_eq!(route(kind, 64, 7, 7), vec![7]);
+            assert_eq!(route(kind, 64, 7, 7).unwrap(), vec![7]);
         }
     }
 
@@ -312,7 +341,7 @@ mod tests {
     /// other leaves.
     #[test]
     fn quadtree_routes_use_switches() {
-        let path = route(TopologyKind::Quadtree, 64, 0, 63);
+        let path = route(TopologyKind::Quadtree, 64, 0, 63).unwrap();
         // 0 and 63 are in different top quadrants: path length = diameter.
         assert_eq!(path.len() - 1, 6);
         for &node in &path[1..path.len() - 1] {
@@ -323,16 +352,61 @@ mod tests {
     /// Imbalance statistics behave sensibly.
     #[test]
     fn load_statistics() {
-        let mut load = LinkLoad::default();
+        let mut load = LinkLoad {
+            total_links: 4,
+            ..LinkLoad::default()
+        };
         load.record_path(&[0, 1, 2]);
         load.record_path(&[0, 1]);
         assert_eq!(load.crossings, 3);
         assert_eq!(load.max_load(), 2);
-        assert!((load.mean_load() - 1.5).abs() < 1e-12);
-        assert!((load.imbalance() - 2.0 / 1.5).abs() < 1e-12);
+        // Two of four links are active: the all-links mean counts the idle
+        // pair, the active mean does not.
+        assert!((load.mean_load() - 0.75).abs() < 1e-12);
+        assert!((load.mean_active_load() - 1.5).abs() < 1e-12);
+        assert!((load.imbalance() - 2.0 / 0.75).abs() < 1e-12);
         let empty = LinkLoad::default();
         assert_eq!(empty.max_load(), 0);
         assert_eq!(empty.mean_load(), 0.0);
+        assert_eq!(empty.mean_active_load(), 0.0);
         assert_eq!(empty.imbalance(), 0.0);
+    }
+
+    /// Regression: a workload that concentrates all traffic on 2 of 1000
+    /// links used to report imbalance ≈ 1.0 ("perfectly balanced") because
+    /// idle links were left out of the mean. It must report ≫ 1.
+    #[test]
+    fn concentrated_traffic_reports_large_imbalance() {
+        let mut load = LinkLoad {
+            total_links: 1000,
+            ..LinkLoad::default()
+        };
+        for _ in 0..50 {
+            load.record_path(&[0, 1, 2]); // the same 2 links, every message
+        }
+        assert_eq!(load.max_load(), 50);
+        // The buggy active-links mean still says "balanced"...
+        assert!((load.mean_active_load() - 50.0).abs() < 1e-12);
+        // ...while the fixed mean exposes the concentration.
+        assert!((load.mean_load() - 0.1).abs() < 1e-12);
+        assert!(load.imbalance() > 100.0, "imbalance {}", load.imbalance());
+    }
+
+    /// Regression: mesh/torus routing used to derive the grid side from a
+    /// truncated f64 sqrt, silently mis-routing non-square node counts in
+    /// release builds. They are now a typed error.
+    #[test]
+    fn non_square_mesh_routing_rejected() {
+        for nodes in [2u64, 32, 48, 1000] {
+            for kind in [TopologyKind::Mesh, TopologyKind::Torus] {
+                match route(kind, nodes, 0, 1) {
+                    Err(SfcError::NonSquareMesh { nodes: got }) => assert_eq!(got, nodes),
+                    other => panic!("{kind} with {nodes} nodes: expected error, got {other:?}"),
+                }
+            }
+        }
+        // Square-but-not-power-of-four counts are legitimately routable.
+        let path = route(TopologyKind::Mesh, 25, 0, 24).unwrap();
+        assert_eq!(path.len() - 1, 8); // (0,0) -> (4,4) on a 5×5 mesh
     }
 }

@@ -79,6 +79,12 @@ impl Machine {
         self.node_of_rank.len() as u64
     }
 
+    /// Total directed links of the underlying network, idle ones included
+    /// ([`Topology::num_links`]) — the denominator for link-load averages.
+    pub fn num_links(&self) -> u64 {
+        self.topo.num_links()
+    }
+
     /// The underlying topology.
     pub fn topology(&self) -> &dyn Topology {
         self.topo.as_ref()
@@ -176,6 +182,15 @@ mod tests {
         }
         let m = Machine::try_new(TopologyKind::Torus, 64, CurveKind::Hilbert).unwrap();
         assert_eq!(m.num_ranks(), 64);
+    }
+
+    #[test]
+    fn num_links_delegates_to_topology() {
+        // 8×8 torus: 2 rings per row and column of 8 edges each.
+        let m = Machine::grid(TopologyKind::Torus, 64, CurveKind::Hilbert);
+        assert_eq!(m.num_links(), 2 * (8 * 8 + 8 * 8));
+        let m = Machine::new(TopologyKind::Hypercube, 64, CurveKind::Hilbert);
+        assert_eq!(m.num_links(), 64 * 6);
     }
 
     #[test]

@@ -1,28 +1,51 @@
-//! Fault-tolerant sweep execution.
+//! Fault-tolerant, parallel sweep execution.
 //!
 //! A regeneration sweep is decomposed into named *cells* — one
-//! `(configuration, trial)` unit each. [`SweepRunner::run_cell`] executes a
-//! cell under [`std::panic::catch_unwind`] with bounded deterministic
-//! retries, journals every completed cell (see [`crate::journal`]), and
-//! replays journaled cells on restart so interrupted sweeps resume instead
-//! of recomputing. A wall-clock `time_budget` stops *scheduling* new cells
-//! once exhausted (the cell in flight finishes), and a deterministic chaos
-//! hook injects panics into selected cells for fault-injection tests.
+//! `(configuration, trial)` unit each. Cells are submitted in batches
+//! ([`SweepRunner::run_cells`]) and executed on a pool of worker threads
+//! (`--jobs`); each cell runs under [`std::panic::catch_unwind`] with
+//! bounded deterministic retries, is journaled as it completes (see
+//! [`crate::journal`]), and is replayed from the journal on restart so
+//! interrupted sweeps resume instead of recomputing. A wall-clock
+//! `time_budget` stops *scheduling* new cells once exhausted (cells in
+//! flight finish), and a deterministic chaos hook injects panics into
+//! selected cells for fault-injection tests.
+//!
+//! ## Determinism
+//!
+//! Thread count never changes output bytes. Cells are pure functions of
+//! their name and the sweep configuration, journal writes are serialized
+//! through a single writer, and results are assembled in *submission*
+//! order, so the artifact produced under `--jobs 8` is byte-identical to
+//! the one produced under `--jobs 1` — and a journal written at one thread
+//! count replays correctly at any other (replay is by cell name, not byte
+//! offset).
 //!
 //! Cells that still panic after the retries become structured
 //! [`SfcError::CellFailed`] values in the [`SweepSummary`] — the sweep keeps
 //! going and reports them at the end, rather than aborting a multi-hour run
-//! on the last configuration.
+//! on the last configuration. Journal *write* failures are not silently
+//! swallowed: the summary records a `journal_degraded` flag on the first
+//! failed write, and once [`MAX_JOURNAL_WRITE_FAILURES`] consecutive writes
+//! fail the journal is declared dead and every subsequent cell returns a
+//! hard [`SfcError::JournalIo`] instead of computing results whose coverage
+//! the journal would falsely claim on resume.
 
 use crate::error::SfcError;
 use crate::journal::{CellOutcome, Journal};
 use serde_json::Value;
+use std::collections::VecDeque;
 use std::panic::AssertUnwindSafe;
 use std::path::Path;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Default number of attempts per cell (1 initial + 2 retries).
 pub const DEFAULT_MAX_ATTEMPTS: u32 = 3;
+
+/// Consecutive journal write failures tolerated before the journal is
+/// declared dead and the sweep starts failing cells hard.
+pub const MAX_JOURNAL_WRITE_FAILURES: u32 = 3;
 
 /// Deterministic fault injection: cells whose name contains one of the
 /// patterns panic before their closure runs.
@@ -63,6 +86,13 @@ pub struct RunnerOptions {
     pub time_budget: Option<Duration>,
     /// Fault injection for tests (`--chaos`).
     pub chaos: Option<ChaosInjector>,
+    /// Worker threads for batch-submitted cells (`--jobs`); 0 means "all
+    /// cores" ([`std::thread::available_parallelism`]). Results are
+    /// byte-identical for every value.
+    pub jobs: usize,
+    /// Journal fault injection for tests (`--chaos-journal`): after this
+    /// many successful record writes, every further write fails.
+    pub journal_fail_after: Option<u64>,
 }
 
 impl RunnerOptions {
@@ -82,7 +112,9 @@ pub enum CellResult {
     Computed(Vec<f64>),
     /// Replayed from the journal without recomputation.
     Replayed(Vec<f64>),
-    /// Panicked on every attempt; the sweep continues without it.
+    /// Panicked on every attempt ([`SfcError::CellFailed`]), or refused
+    /// because the journal died ([`SfcError::JournalIo`]); the sweep
+    /// continues without it.
     Failed(SfcError),
     /// Not started: the time budget was exhausted.
     Skipped,
@@ -98,14 +130,46 @@ impl CellResult {
     }
 }
 
+/// One named unit of sweep work, for batch submission via
+/// [`SweepRunner::run_cells`]. The closure must be callable repeatedly
+/// (retries) from any worker thread, and must be a pure function of the
+/// sweep configuration so that results are identical regardless of which
+/// thread computes them.
+pub struct BatchCell<'s> {
+    name: String,
+    work: Box<dyn Fn() -> Vec<f64> + Send + Sync + 's>,
+}
+
+impl<'s> BatchCell<'s> {
+    /// Package one named cell.
+    pub fn new<F: Fn() -> Vec<f64> + Send + Sync + 's>(name: impl Into<String>, work: F) -> Self {
+        BatchCell {
+            name: name.into(),
+            work: Box::new(work),
+        }
+    }
+
+    /// The cell's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl std::fmt::Debug for BatchCell<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchCell").field("name", &self.name).finish()
+    }
+}
+
 /// One failed cell, for reporting.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FailedCell {
     /// Cell name.
     pub cell: String,
-    /// Captured panic message of the final attempt.
+    /// Captured panic message of the final attempt, or the journal error
+    /// that refused the cell.
     pub error: String,
-    /// Attempts made.
+    /// Attempts made (0 when the cell never ran).
     pub attempts: u32,
 }
 
@@ -116,16 +180,22 @@ pub struct SweepSummary {
     pub computed: usize,
     /// Cells replayed from the journal.
     pub replayed: usize,
-    /// Cells that failed after retries (this run or a journaled one).
+    /// Cells that failed after retries (this run or a journaled one), or
+    /// were refused because the journal died.
     pub failed: Vec<FailedCell>,
     /// Cells never started because the time budget ran out.
     pub skipped: Vec<String>,
+    /// True when at least one journal write failed: the journal on disk
+    /// under-reports this run's coverage, so a resume would recompute (and
+    /// for failure records, re-retry) cells this run already resolved.
+    pub journal_degraded: bool,
 }
 
 impl SweepSummary {
-    /// True when every scheduled cell completed.
+    /// True when every scheduled cell completed and the journal (if any)
+    /// recorded all of them.
     pub fn complete(&self) -> bool {
-        self.failed.is_empty() && self.skipped.is_empty()
+        self.failed.is_empty() && self.skipped.is_empty() && !self.journal_degraded
     }
 
     /// Names of all cells missing from the results (failed or skipped).
@@ -136,13 +206,140 @@ impl SweepSummary {
     }
 }
 
-/// Executes sweep cells with journaling, retries, chaos and a time budget.
+/// Serialized journal writer shared by the worker pool: a single point
+/// through which every record write goes, tracking write health.
+#[derive(Debug)]
+struct JournalState {
+    journal: Journal,
+    /// Consecutive failed writes; reset on every success.
+    consecutive_failures: u32,
+    /// Set on the first failed write, never cleared.
+    degraded: bool,
+    /// Set once `consecutive_failures` reaches the bound: the error every
+    /// subsequent cell is refused with.
+    dead: Option<SfcError>,
+}
+
+impl JournalState {
+    /// Append one outcome; on failure, update the degradation state.
+    fn record(&mut self, cell: &str, outcome: CellOutcome) {
+        match self.journal.record(cell, outcome) {
+            Ok(()) => self.consecutive_failures = 0,
+            Err(e) => {
+                self.degraded = true;
+                self.consecutive_failures += 1;
+                eprintln!("warning: journal write failed for cell `{cell}`: {e}");
+                if self.consecutive_failures >= MAX_JOURNAL_WRITE_FAILURES && self.dead.is_none() {
+                    eprintln!(
+                        "error: {} consecutive journal writes failed; refusing further cells",
+                        self.consecutive_failures
+                    );
+                    self.dead = Some(e);
+                }
+            }
+        }
+    }
+}
+
+/// Shared per-batch execution context for the worker pool.
+struct BatchCtx<'a, 'env> {
+    cells: &'a [BatchCell<'env>],
+    /// Indices of cells not resolved by replay, in submission order.
+    queue: Mutex<VecDeque<usize>>,
+    /// One slot per submitted cell, filled as workers finish.
+    results: Mutex<Vec<Option<CellResult>>>,
+    journal: &'a Mutex<Option<JournalState>>,
+    chaos: &'a Option<ChaosInjector>,
+    max_attempts: u32,
+    time_budget: Option<Duration>,
+    started: Instant,
+}
+
+impl BatchCtx<'_, '_> {
+    fn out_of_time(&self) -> bool {
+        self.time_budget
+            .is_some_and(|budget| self.started.elapsed() >= budget)
+    }
+
+    /// The journal's hard error, if writes have persistently failed.
+    fn journal_dead(&self) -> Option<SfcError> {
+        let guard = self.journal.lock().expect("journal lock");
+        guard.as_ref().and_then(|s| s.dead.clone())
+    }
+
+    fn record(&self, cell: &str, outcome: CellOutcome) {
+        let mut guard = self.journal.lock().expect("journal lock");
+        if let Some(state) = guard.as_mut() {
+            state.record(cell, outcome);
+        }
+    }
+
+    /// Claim-and-run loop executed by every worker thread (and inline by
+    /// the calling thread when one worker suffices).
+    fn worker_loop(&self) {
+        loop {
+            let i = match self.queue.lock().expect("queue lock").pop_front() {
+                Some(i) => i,
+                None => break,
+            };
+            let result = self.run_one(&self.cells[i]);
+            self.results.lock().expect("results lock")[i] = Some(result);
+        }
+    }
+
+    /// Execute one cell: journal-health gate, budget gate, then the bounded
+    /// retry loop under `catch_unwind`.
+    fn run_one(&self, cell: &BatchCell<'_>) -> CellResult {
+        if let Some(err) = self.journal_dead() {
+            return CellResult::Failed(err);
+        }
+        if self.out_of_time() {
+            return CellResult::Skipped;
+        }
+        let mut last_error = String::new();
+        for attempt in 0..self.max_attempts {
+            let chaos_hit = self
+                .chaos
+                .as_ref()
+                .is_some_and(|c| c.should_panic(&cell.name, attempt));
+            let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                if chaos_hit {
+                    panic!("chaos injection");
+                }
+                (cell.work)()
+            }));
+            match result {
+                Ok(values) => {
+                    self.record(&cell.name, CellOutcome::Ok(values.clone()));
+                    return CellResult::Computed(values);
+                }
+                Err(payload) => last_error = panic_message(payload.as_ref()),
+            }
+        }
+        self.record(
+            &cell.name,
+            CellOutcome::Failed {
+                error: last_error.clone(),
+                attempts: self.max_attempts,
+            },
+        );
+        CellResult::Failed(SfcError::CellFailed {
+            cell: cell.name.clone(),
+            error: last_error,
+            attempts: self.max_attempts,
+        })
+    }
+}
+
+/// Executes sweep cells on a worker pool with journaling, retries, chaos
+/// and a time budget.
 #[derive(Debug)]
 pub struct SweepRunner {
-    journal: Option<Journal>,
+    journal: Mutex<Option<JournalState>>,
     max_attempts: u32,
     time_budget: Option<Duration>,
     chaos: Option<ChaosInjector>,
+    jobs: usize,
     started: Instant,
     summary: SweepSummary,
 }
@@ -154,21 +351,38 @@ impl SweepRunner {
     /// name/fingerprint is rejected.
     pub fn new(name: &str, fingerprint: &Value, options: RunnerOptions) -> Result<Self, SfcError> {
         let journal = match &options.journal {
-            Some(path) => Some(Journal::open(Path::new(path), name, fingerprint)?),
+            Some(path) => {
+                let mut journal = Journal::open(Path::new(path), name, fingerprint)?;
+                if let Some(n) = options.journal_fail_after {
+                    journal.inject_write_failures_after(n);
+                }
+                Some(JournalState {
+                    journal,
+                    consecutive_failures: 0,
+                    degraded: false,
+                    dead: None,
+                })
+            }
             None => None,
         };
+        let jobs = match options.jobs {
+            0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            n => n,
+        };
         Ok(SweepRunner {
-            journal,
+            journal: Mutex::new(journal),
             max_attempts: options.max_attempts.max(1),
             time_budget: options.time_budget,
             chaos: options.chaos,
+            jobs,
             started: Instant::now(),
             summary: SweepSummary::default(),
         })
     }
 
     /// A runner with no journal, no budget and no chaos — plain bounded
-    /// retry. Useful for tests and ad-hoc sweeps.
+    /// retry on the default worker pool. Useful for tests and ad-hoc
+    /// sweeps.
     pub fn ephemeral() -> Self {
         SweepRunner::new("ephemeral", &Value::Null, RunnerOptions::new())
             .expect("no journal to fail on")
@@ -176,7 +390,13 @@ impl SweepRunner {
 
     /// Number of cells already present in the journal (0 without one).
     pub fn journaled(&self) -> usize {
-        self.journal.as_ref().map_or(0, |j| j.len())
+        let guard = self.journal.lock().expect("journal lock");
+        guard.as_ref().map_or(0, |s| s.journal.len())
+    }
+
+    /// Worker threads cells are scheduled on.
+    pub fn jobs(&self) -> usize {
+        self.jobs
     }
 
     /// True once the wall-clock budget is spent: no further cell will run.
@@ -185,80 +405,116 @@ impl SweepRunner {
             .is_some_and(|budget| self.started.elapsed() >= budget)
     }
 
-    /// Run (or replay) one named cell.
+    /// Run (or replay) a batch of independent cells on the worker pool.
+    ///
+    /// Cells execute concurrently (up to the configured `jobs`), but the
+    /// returned results — and the summary accounting — are in *submission*
+    /// order, and every cell's values are independent of scheduling, so a
+    /// sweep's artifact is byte-identical at any thread count. Journaled
+    /// cells are replayed without being scheduled; a spent time budget
+    /// skips cells not yet claimed (cells in flight finish); a dead journal
+    /// fails remaining cells hard with [`SfcError::JournalIo`].
+    pub fn run_cells(&mut self, cells: Vec<BatchCell<'_>>) -> Vec<CellResult> {
+        let n = cells.len();
+        let mut slots: Vec<Option<CellResult>> = vec![None; n];
+        let mut pending: VecDeque<usize> = VecDeque::new();
+        {
+            let guard = self.journal.lock().expect("journal lock");
+            for (i, cell) in cells.iter().enumerate() {
+                let replay = guard
+                    .as_ref()
+                    .and_then(|s| s.journal.lookup(&cell.name))
+                    .cloned();
+                match replay {
+                    Some(CellOutcome::Ok(values)) => {
+                        slots[i] = Some(CellResult::Replayed(values));
+                    }
+                    Some(CellOutcome::Failed { error, attempts }) => {
+                        slots[i] = Some(CellResult::Failed(SfcError::CellFailed {
+                            cell: cell.name.clone(),
+                            error,
+                            attempts,
+                        }));
+                    }
+                    None => pending.push_back(i),
+                }
+            }
+        }
+
+        if !pending.is_empty() {
+            let workers = self.jobs.min(pending.len()).max(1);
+            let ctx = BatchCtx {
+                cells: &cells,
+                queue: Mutex::new(pending),
+                results: Mutex::new(slots),
+                journal: &self.journal,
+                chaos: &self.chaos,
+                max_attempts: self.max_attempts,
+                time_budget: self.time_budget,
+                started: self.started,
+            };
+            if workers == 1 {
+                ctx.worker_loop();
+            } else {
+                std::thread::scope(|s| {
+                    for _ in 0..workers {
+                        let ctx = &ctx;
+                        s.spawn(move || ctx.worker_loop());
+                    }
+                });
+            }
+            slots = ctx.results.into_inner().expect("results lock");
+        }
+
+        // Summary accounting in submission order, so partial-sweep reports
+        // and the JSON envelope are deterministic at any thread count.
+        let mut out = Vec::with_capacity(n);
+        for (i, slot) in slots.into_iter().enumerate() {
+            let result = slot.expect("every submitted cell resolves");
+            match &result {
+                CellResult::Computed(_) => self.summary.computed += 1,
+                CellResult::Replayed(_) => self.summary.replayed += 1,
+                CellResult::Failed(SfcError::CellFailed {
+                    cell,
+                    error,
+                    attempts,
+                }) => self.summary.failed.push(FailedCell {
+                    cell: cell.clone(),
+                    error: error.clone(),
+                    attempts: *attempts,
+                }),
+                CellResult::Failed(other) => self.summary.failed.push(FailedCell {
+                    cell: cells[i].name.clone(),
+                    error: other.to_string(),
+                    attempts: 0,
+                }),
+                CellResult::Skipped => self.summary.skipped.push(cells[i].name.clone()),
+            }
+            out.push(result);
+        }
+        let guard = self.journal.lock().expect("journal lock");
+        if guard.as_ref().is_some_and(|s| s.degraded) {
+            self.summary.journal_degraded = true;
+        }
+        drop(guard);
+        out
+    }
+
+    /// Run (or replay) one named cell — a single-cell [`run_cells`]
+    /// batch, kept for small ad-hoc sweeps and tests.
     ///
     /// The closure must be callable repeatedly (retries) and is executed
     /// under [`catch_unwind`](std::panic::catch_unwind); a panic is retried
     /// up to the configured bound, then recorded as a structured failure.
     /// The caller decides how to assemble returned values — a [`Skipped`]
     /// or [`Failed`](CellResult::Failed) cell simply contributes no samples.
-    pub fn run_cell<F: Fn() -> Vec<f64>>(&mut self, cell: &str, f: F) -> CellResult {
-        if let Some(outcome) = self.journal.as_ref().and_then(|j| j.lookup(cell)).cloned() {
-            return match outcome {
-                CellOutcome::Ok(values) => {
-                    self.summary.replayed += 1;
-                    CellResult::Replayed(values)
-                }
-                CellOutcome::Failed { error, attempts } => {
-                    self.fail(cell, error, attempts, false)
-                }
-            };
-        }
-        if self.out_of_time() {
-            self.summary.skipped.push(cell.to_string());
-            return CellResult::Skipped;
-        }
-
-        let mut last_error = String::new();
-        for attempt in 0..self.max_attempts {
-            let chaos_hit = self
-                .chaos
-                .as_ref()
-                .is_some_and(|c| c.should_panic(cell, attempt));
-            let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                if chaos_hit {
-                    panic!("chaos injection");
-                }
-                f()
-            }));
-            match result {
-                Ok(values) => {
-                    self.summary.computed += 1;
-                    if let Some(j) = self.journal.as_mut() {
-                        j.record(cell, CellOutcome::Ok(values.clone()))
-                            .unwrap_or_else(|e| eprintln!("warning: {e}"));
-                    }
-                    return CellResult::Computed(values);
-                }
-                Err(payload) => last_error = panic_message(payload.as_ref()),
-            }
-        }
-        self.fail(cell, last_error, self.max_attempts, true)
-    }
-
-    fn fail(&mut self, cell: &str, error: String, attempts: u32, journal_it: bool) -> CellResult {
-        if journal_it {
-            if let Some(j) = self.journal.as_mut() {
-                j.record(
-                    cell,
-                    CellOutcome::Failed {
-                        error: error.clone(),
-                        attempts,
-                    },
-                )
-                .unwrap_or_else(|e| eprintln!("warning: {e}"));
-            }
-        }
-        self.summary.failed.push(FailedCell {
-            cell: cell.to_string(),
-            error: error.clone(),
-            attempts,
-        });
-        CellResult::Failed(SfcError::CellFailed {
-            cell: cell.to_string(),
-            error,
-            attempts,
-        })
+    ///
+    /// [`run_cells`]: SweepRunner::run_cells
+    /// [`Skipped`]: CellResult::Skipped
+    pub fn run_cell<F: Fn() -> Vec<f64> + Send + Sync>(&mut self, cell: &str, f: F) -> CellResult {
+        self.run_cells(vec![BatchCell::new(cell, f)])
+            .pop()
+            .expect("one cell in, one result out")
     }
 
     /// Finish the sweep, returning the accounting.
@@ -420,5 +676,144 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn batch_results_keep_submission_order() {
+        for jobs in [1usize, 8] {
+            let mut opts = RunnerOptions::new();
+            opts.jobs = jobs;
+            let mut r = SweepRunner::new("batch", &Value::Null, opts).unwrap();
+            let cells: Vec<BatchCell> = (0..20)
+                .map(|i| BatchCell::new(format!("cell{i}"), move || vec![i as f64 * 1.5]))
+                .collect();
+            let results = r.run_cells(cells);
+            assert_eq!(results.len(), 20);
+            for (i, result) in results.iter().enumerate() {
+                assert_eq!(result, &CellResult::Computed(vec![i as f64 * 1.5]), "cell {i}");
+            }
+            let summary = r.finish();
+            assert_eq!(summary.computed, 20);
+            assert!(summary.complete());
+        }
+    }
+
+    #[test]
+    fn batch_failures_and_chaos_match_serial_accounting() {
+        let run = |jobs: usize| -> SweepSummary {
+            let mut opts = RunnerOptions::new();
+            opts.jobs = jobs;
+            opts.chaos = Some(ChaosInjector::new(&["odd".into()], true));
+            let mut r = SweepRunner::new("batch", &Value::Null, opts).unwrap();
+            let cells: Vec<BatchCell> = (0..12)
+                .map(|i| {
+                    let tag = if i % 2 == 1 { "odd" } else { "even" };
+                    BatchCell::new(format!("{tag}/c{i}"), move || vec![i as f64])
+                })
+                .collect();
+            let _ = r.run_cells(cells);
+            r.finish()
+        };
+        let serial = run(1);
+        let parallel = run(8);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.computed, 6);
+        assert_eq!(serial.failed.len(), 6);
+        // Failure list is in submission order regardless of thread count.
+        assert_eq!(serial.failed[0].cell, "odd/c1");
+        assert_eq!(serial.failed[5].cell, "odd/c11");
+    }
+
+    #[test]
+    fn parallel_journal_replays_under_any_thread_count() {
+        let path = temp_path("parallel_replay");
+        std::fs::remove_file(&path).ok();
+        let cells = |r: &mut SweepRunner| {
+            let batch: Vec<BatchCell> = (0..16)
+                .map(|i| BatchCell::new(format!("c{i}"), move || vec![i as f64 / 3.0]))
+                .collect();
+            r.run_cells(batch)
+        };
+
+        let mut opts = RunnerOptions::new();
+        opts.journal = Some(path.clone());
+        opts.jobs = 8;
+        let mut r = SweepRunner::new("par", &Value::Null, opts).unwrap();
+        let first = cells(&mut r);
+        drop(r);
+
+        let mut opts = RunnerOptions::new();
+        opts.journal = Some(path.clone());
+        opts.jobs = 1;
+        let mut r = SweepRunner::new("par", &Value::Null, opts).unwrap();
+        assert_eq!(r.journaled(), 16);
+        let second = cells(&mut r);
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.values().unwrap(), b.values().unwrap());
+        }
+        assert_eq!(r.finish().replayed, 16);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn journal_write_failure_sets_degraded_flag() {
+        let path = temp_path("degraded");
+        std::fs::remove_file(&path).ok();
+        let mut opts = RunnerOptions::new();
+        opts.journal = Some(path.clone());
+        // First record lands; the second fails but is below the death
+        // bound, so the cell still returns its values.
+        opts.journal_fail_after = Some(1);
+        let mut r = SweepRunner::new("degraded", &Value::Null, opts).unwrap();
+        assert!(matches!(r.run_cell("a", || vec![1.0]), CellResult::Computed(_)));
+        assert!(matches!(r.run_cell("b", || vec![2.0]), CellResult::Computed(_)));
+        let summary = r.finish();
+        assert!(summary.journal_degraded);
+        assert!(!summary.complete());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn persistent_journal_failure_is_a_hard_error() {
+        let path = temp_path("dead");
+        std::fs::remove_file(&path).ok();
+        let mut opts = RunnerOptions::new();
+        opts.journal = Some(path.clone());
+        opts.journal_fail_after = Some(0); // every write fails
+        let mut r = SweepRunner::new("dead", &Value::Null, opts).unwrap();
+        // The first MAX_JOURNAL_WRITE_FAILURES cells still compute (their
+        // values are valid in this run) while the writer degrades...
+        for i in 0..MAX_JOURNAL_WRITE_FAILURES {
+            let name = format!("warm{i}");
+            assert!(
+                matches!(r.run_cell(&name, || vec![1.0]), CellResult::Computed(_)),
+                "cell {i} should compute while the journal degrades"
+            );
+        }
+        // ...after which the journal is dead and cells are refused hard.
+        match r.run_cell("refused", || vec![1.0]) {
+            CellResult::Failed(SfcError::JournalIo { reason, .. }) => {
+                assert!(reason.contains("injected"), "reason: {reason}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let summary = r.finish();
+        assert!(summary.journal_degraded);
+        assert_eq!(summary.failed.len(), 1);
+        assert_eq!(summary.failed[0].cell, "refused");
+        assert_eq!(summary.failed[0].attempts, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn jobs_zero_resolves_to_available_parallelism() {
+        let mut opts = RunnerOptions::new();
+        opts.jobs = 0;
+        let r = SweepRunner::new("auto", &Value::Null, opts).unwrap();
+        assert!(r.jobs() >= 1);
+        let mut opts = RunnerOptions::new();
+        opts.jobs = 3;
+        let r = SweepRunner::new("three", &Value::Null, opts).unwrap();
+        assert_eq!(r.jobs(), 3);
     }
 }

@@ -3,11 +3,14 @@
 
 use proptest::prelude::*;
 use sfc_core::ffi::{ffi_acd, OwnerTree};
+use sfc_core::load::route;
 use sfc_core::nfi::nfi_acd;
 use sfc_core::{Assignment, Machine};
 use sfc_curves::point::Norm;
 use sfc_curves::{CurveKind, Point2};
-use sfc_topology::TopologyKind;
+use sfc_topology::bfs::bfs_distances;
+use sfc_topology::{Bus, Hypercube, Mesh2d, Ring, Torus2d, TopologyKind};
+use std::collections::{HashMap, VecDeque};
 
 /// Generate a set of distinct cells on a `2^order` grid.
 fn distinct_cells(order: u32, raws: &[(u32, u32)]) -> Vec<Point2> {
@@ -143,6 +146,97 @@ proptest! {
         let r2 = nfi_acd(&asg, &machine, 2, Norm::Chebyshev);
         prop_assert!(r2.num_comms >= r1.num_comms);
         prop_assert!(r2.total_distance >= r1.total_distance);
+    }
+
+    /// Deterministic routing is truly shortest-path: for every topology and
+    /// arbitrary endpoints, the routed path length equals the BFS hop
+    /// distance over the explicit link graph, and every step is a physical
+    /// link. (Regression guard for the mesh/torus side-length derivation,
+    /// which used to truncate a floating-point sqrt.)
+    #[test]
+    fn route_length_matches_bfs_for_every_topology(a in 0u64..64, b in 0u64..64) {
+        let nodes = 64u64;
+        type Neighbors = Box<dyn Fn(u64) -> Vec<u64>>;
+        let direct: [(TopologyKind, Neighbors); 5] = [
+            (TopologyKind::Bus, {
+                let t = Bus::new(nodes);
+                Box::new(move |n| t.neighbors(n))
+            }),
+            (TopologyKind::Ring, {
+                let t = Ring::new(nodes);
+                Box::new(move |n| t.neighbors(n))
+            }),
+            (TopologyKind::Mesh, {
+                let t = Mesh2d::square(3);
+                Box::new(move |n| t.neighbors(n))
+            }),
+            (TopologyKind::Torus, {
+                let t = Torus2d::square(3);
+                Box::new(move |n| t.neighbors(n))
+            }),
+            (TopologyKind::Hypercube, {
+                let t = Hypercube::new(6);
+                Box::new(move |n| t.neighbors(n))
+            }),
+        ];
+        for (kind, neighbors) in &direct {
+            let path = route(*kind, nodes, a, b).unwrap();
+            prop_assert_eq!(path[0], a, "{}", kind);
+            prop_assert_eq!(*path.last().unwrap(), b, "{}", kind);
+            let dist = bfs_distances(nodes, a, &**neighbors);
+            prop_assert_eq!((path.len() - 1) as u64, dist[b as usize], "{}", kind);
+            for hop in path.windows(2) {
+                prop_assert!(
+                    neighbors(hop[0]).contains(&hop[1]),
+                    "{}: {} -> {} is not a physical link",
+                    kind, hop[0], hop[1]
+                );
+            }
+        }
+
+        // The quadtree is indirect: BFS over the explicit leaf/switch graph,
+        // using the same switch-node encoding as `route`.
+        let levels = 3u32; // 64 leaves
+        let encode = |level: u32, idx: u64| -> u64 {
+            if level == levels {
+                idx
+            } else {
+                ((level as u64 + 1) << 56) | idx
+            }
+        };
+        let mut adj: HashMap<u64, Vec<u64>> = HashMap::new();
+        for level in 0..levels {
+            for idx in 0..(1u64 << (2 * level)) {
+                let parent = encode(level, idx);
+                for k in 0..4 {
+                    let child = encode(level + 1, 4 * idx + k);
+                    adj.entry(parent).or_default().push(child);
+                    adj.entry(child).or_default().push(parent);
+                }
+            }
+        }
+        let mut dist: HashMap<u64, u64> = HashMap::from([(a, 0)]);
+        let mut queue = VecDeque::from([a]);
+        while let Some(n) = queue.pop_front() {
+            let d = dist[&n];
+            for &nb in &adj[&n] {
+                if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(nb) {
+                    e.insert(d + 1);
+                    queue.push_back(nb);
+                }
+            }
+        }
+        let path = route(TopologyKind::Quadtree, nodes, a, b).unwrap();
+        prop_assert_eq!(path[0], a);
+        prop_assert_eq!(*path.last().unwrap(), b);
+        prop_assert_eq!((path.len() - 1) as u64, dist[&b], "quadtree");
+        for hop in path.windows(2) {
+            prop_assert!(
+                adj[&hop[0]].contains(&hop[1]),
+                "quadtree: {} -> {} is not a physical link",
+                hop[0], hop[1]
+            );
+        }
     }
 
     /// The Chebyshev ball contains the Manhattan ball: comm counts dominate.

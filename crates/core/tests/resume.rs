@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 use serde_json::json;
-use sfc_core::runner::{RunnerOptions, SweepRunner};
+use sfc_core::runner::{BatchCell, RunnerOptions, SweepRunner};
 use std::path::PathBuf;
 
 const NUM_CELLS: usize = 12;
@@ -43,6 +43,24 @@ fn run_sweep(journal: Option<PathBuf>) -> Vec<Vec<f64>> {
                 .expect("cell completes")
                 .to_vec()
         })
+        .collect();
+    assert!(runner.finish().complete());
+    out
+}
+
+/// Run the synthetic sweep as one batch on `jobs` worker threads.
+fn run_sweep_jobs(journal: Option<PathBuf>, jobs: usize) -> Vec<Vec<f64>> {
+    let mut opts = RunnerOptions::new();
+    opts.journal = journal;
+    opts.jobs = jobs;
+    let mut runner = SweepRunner::new("prop", &json!({ "n": NUM_CELLS }), opts).unwrap();
+    let cells = (0..NUM_CELLS)
+        .map(|i| BatchCell::new(cell_name(i), move || cell_values(i)))
+        .collect();
+    let out = runner
+        .run_cells(cells)
+        .iter()
+        .map(|r| r.values().expect("cell completes").to_vec())
         .collect();
     assert!(runner.finish().complete());
     out
@@ -101,6 +119,52 @@ proptest! {
 
         let resumed = run_sweep(Some(path.clone()));
         let uninterrupted = run_sweep(None);
+        prop_assert_eq!(bits(&resumed), bits(&uninterrupted));
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Thread count never changes the results: the same batch run on any
+    /// number of workers is bit-identical to the serial run, in the same
+    /// submission order.
+    #[test]
+    fn parallel_batch_is_bit_identical_to_serial(jobs in 2usize..9) {
+        let serial = run_sweep_jobs(None, 1);
+        let parallel = run_sweep_jobs(None, jobs);
+        prop_assert_eq!(bits(&serial), bits(&parallel));
+    }
+
+    /// Cross-thread-count resume: an arbitrary prefix of the sweep journaled
+    /// on 8 workers, the journal torn mid-line, resumed on `jobs` workers —
+    /// still bit-identical to an uninterrupted serial run.
+    #[test]
+    fn torn_parallel_journal_resumes_on_any_thread_count(
+        complete in 0usize..=NUM_CELLS,
+        cut_back in 0usize..120,
+        jobs in 1usize..9,
+    ) {
+        let path = temp_path("xjobs", (complete * 1000 + cut_back * 10 + jobs) as u64);
+        std::fs::remove_file(&path).ok();
+
+        // Interrupted run on 8 workers: only the first `complete` cells.
+        {
+            let mut opts = RunnerOptions::new();
+            opts.journal = Some(path.clone());
+            opts.jobs = 8;
+            let mut runner =
+                SweepRunner::new("prop", &json!({ "n": NUM_CELLS }), opts).unwrap();
+            let cells = (0..complete)
+                .map(|i| BatchCell::new(cell_name(i), move || cell_values(i)))
+                .collect();
+            runner.run_cells(cells);
+        }
+
+        // Tear the journal tail mid-line (keep at least the header).
+        let bytes = std::fs::read(&path).unwrap();
+        let keep = bytes.len().saturating_sub(cut_back).max(1);
+        std::fs::write(&path, &bytes[..keep]).unwrap();
+
+        let resumed = run_sweep_jobs(Some(path.clone()), jobs);
+        let uninterrupted = run_sweep_jobs(None, 1);
         prop_assert_eq!(bits(&resumed), bits(&uninterrupted));
         std::fs::remove_file(&path).ok();
     }

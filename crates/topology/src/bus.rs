@@ -55,6 +55,10 @@ impl Topology for Bus {
     fn kind(&self) -> TopologyKind {
         TopologyKind::Bus
     }
+
+    fn num_links(&self) -> u64 {
+        2 * (self.nodes - 1)
+    }
 }
 
 #[cfg(test)]
@@ -91,5 +95,14 @@ mod tests {
     fn matches_bfs() {
         let bus = Bus::new(17);
         check_against_bfs(&bus, |a| bus.neighbors(a));
+    }
+
+    #[test]
+    fn num_links_equals_neighbor_degree_sum() {
+        for p in [1u64, 2, 5, 16] {
+            let bus = Bus::new(p);
+            let degree_sum: u64 = (0..p).map(|n| bus.neighbors(n).len() as u64).sum();
+            assert_eq!(bus.num_links(), degree_sum, "bus of {p}");
+        }
     }
 }

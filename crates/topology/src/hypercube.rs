@@ -66,6 +66,11 @@ impl Topology for Hypercube {
     fn kind(&self) -> TopologyKind {
         TopologyKind::Hypercube
     }
+
+    fn num_links(&self) -> u64 {
+        // Every node has `dim` neighbors; each directed link counted once.
+        self.num_nodes() * self.dim as u64
+    }
 }
 
 #[cfg(test)]
@@ -110,6 +115,17 @@ mod tests {
     fn matches_bfs() {
         let cube = Hypercube::new(6);
         check_against_bfs(&cube, |a| cube.neighbors(a));
+    }
+
+    #[test]
+    fn num_links_equals_neighbor_degree_sum() {
+        for dim in [0u32, 1, 3, 5] {
+            let cube = Hypercube::new(dim);
+            let degree_sum: u64 = (0..cube.num_nodes())
+                .map(|n| cube.neighbors(n).len() as u64)
+                .sum();
+            assert_eq!(cube.num_links(), degree_sum, "dim {dim}");
+        }
     }
 
     #[test]

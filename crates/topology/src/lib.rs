@@ -83,11 +83,35 @@ pub trait Topology: Send + Sync {
     /// The kind tag for this topology.
     fn kind(&self) -> TopologyKind;
 
+    /// Total number of *directed* links in the network: every physical
+    /// channel counted once per direction, matching how
+    /// [`bfs`](crate::bfs) and the link-load model treat `(from, to)`
+    /// pairs. Load statistics normalize by this, so an idle link counts
+    /// toward the mean — a workload concentrating traffic on 2 of 1000
+    /// links must report a large imbalance, not a perfect one.
+    ///
+    /// For indirect topologies (the quadtree), switch-to-switch links are
+    /// counted too, consistent with [`Topology::distance`] counting hops
+    /// through switches.
+    fn num_links(&self) -> u64;
+
     /// Side length of the processor grid if this topology *is* a 2-D grid
     /// (mesh/torus); `None` otherwise. Processor-order SFCs apply only to
     /// grid topologies (Section IV, step 3 of the paper).
     fn grid_side(&self) -> Option<u64> {
         None
+    }
+}
+
+/// Directed links contributed by the wrap-around rings of a torus: a ring
+/// of side `s` has `s` undirected edges, except the degenerate sides where
+/// the wrap coincides with the direct link (`s == 2`) or does not exist
+/// (`s <= 1`).
+pub(crate) fn ring_undirected_edges(s: u64) -> u64 {
+    match s {
+        0 | 1 => 0,
+        2 => 1,
+        s => s,
     }
 }
 
@@ -107,6 +131,9 @@ impl<T: Topology + ?Sized> Topology for &T {
     }
     fn kind(&self) -> TopologyKind {
         (**self).kind()
+    }
+    fn num_links(&self) -> u64 {
+        (**self).num_links()
     }
     fn grid_side(&self) -> Option<u64> {
         (**self).grid_side()
@@ -129,6 +156,9 @@ impl Topology for Box<dyn Topology> {
     fn kind(&self) -> TopologyKind {
         (**self).kind()
     }
+    fn num_links(&self) -> u64 {
+        (**self).num_links()
+    }
     fn grid_side(&self) -> Option<u64> {
         (**self).grid_side()
     }
@@ -145,6 +175,7 @@ mod tests {
         assert_eq!(boxed.distance(0, 5), 3);
         assert_eq!(boxed.diameter(), 4);
         assert_eq!(boxed.kind(), TopologyKind::Ring);
+        assert_eq!(boxed.num_links(), 16);
         assert_eq!(boxed.grid_side(), None);
         let by_ref: &dyn Topology = &*boxed;
         assert_eq!(by_ref.distance(1, 2), 1);

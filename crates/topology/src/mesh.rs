@@ -102,6 +102,11 @@ impl Topology for Mesh2d {
         TopologyKind::Mesh
     }
 
+    fn num_links(&self) -> u64 {
+        // Each row has sx-1 undirected edges, each column sy-1.
+        2 * (self.sy * (self.sx - 1) + self.sx * (self.sy - 1))
+    }
+
     fn grid_side(&self) -> Option<u64> {
         (self.sx == self.sy).then_some(self.sx)
     }
@@ -185,6 +190,11 @@ impl Topology for Torus2d {
         TopologyKind::Torus
     }
 
+    fn num_links(&self) -> u64 {
+        2 * (self.sy * crate::ring_undirected_edges(self.sx)
+            + self.sx * crate::ring_undirected_edges(self.sy))
+    }
+
     fn grid_side(&self) -> Option<u64> {
         (self.sx == self.sy).then_some(self.sx)
     }
@@ -255,6 +265,18 @@ mod tests {
         for (sx, sy) in [(4u64, 4u64), (5, 3), (2, 6), (1, 5)] {
             let torus = Torus2d::new(sx, sy);
             check_against_bfs(&torus, |a| torus.neighbors(a));
+        }
+    }
+
+    #[test]
+    fn num_links_equals_neighbor_degree_sum() {
+        for (sx, sy) in [(1u64, 1u64), (1, 4), (2, 2), (4, 4), (5, 3)] {
+            let mesh = Mesh2d::new(sx, sy);
+            let sum: u64 = (0..mesh.num_nodes()).map(|n| mesh.neighbors(n).len() as u64).sum();
+            assert_eq!(mesh.num_links(), sum, "mesh {sx}x{sy}");
+            let torus = Torus2d::new(sx, sy);
+            let sum: u64 = (0..torus.num_nodes()).map(|n| torus.neighbors(n).len() as u64).sum();
+            assert_eq!(torus.num_links(), sum, "torus {sx}x{sy}");
         }
     }
 

@@ -131,6 +131,12 @@ impl Topology for Mesh3d {
     fn kind(&self) -> TopologyKind {
         TopologyKind::Mesh3d
     }
+
+    fn num_links(&self) -> u64 {
+        2 * (self.sy * self.sz * (self.sx - 1)
+            + self.sx * self.sz * (self.sy - 1)
+            + self.sx * self.sy * (self.sz - 1))
+    }
 }
 
 impl Topology for Torus3d {
@@ -158,6 +164,12 @@ impl Topology for Torus3d {
 
     fn kind(&self) -> TopologyKind {
         TopologyKind::Torus3d
+    }
+
+    fn num_links(&self) -> u64 {
+        2 * (self.sy * self.sz * crate::ring_undirected_edges(self.sx)
+            + self.sx * self.sz * crate::ring_undirected_edges(self.sy)
+            + self.sx * self.sy * crate::ring_undirected_edges(self.sz))
     }
 }
 
@@ -205,5 +217,17 @@ mod tests {
     fn torus3d_matches_bfs() {
         let torus = Torus3d::new(3, 4, 2);
         check_against_bfs(&torus, |a| torus.neighbors(a));
+    }
+
+    #[test]
+    fn num_links_equals_neighbor_degree_sum() {
+        for (sx, sy, sz) in [(1u64, 1u64, 1u64), (2, 2, 2), (3, 4, 2), (4, 4, 4)] {
+            let mesh = Mesh3d::new(sx, sy, sz);
+            let sum: u64 = (0..mesh.num_nodes()).map(|n| mesh.neighbors(n).len() as u64).sum();
+            assert_eq!(mesh.num_links(), sum, "mesh {sx}x{sy}x{sz}");
+            let torus = Torus3d::new(sx, sy, sz);
+            let sum: u64 = (0..torus.num_nodes()).map(|n| torus.neighbors(n).len() as u64).sum();
+            assert_eq!(torus.num_links(), sum, "torus {sx}x{sy}x{sz}");
+        }
     }
 }

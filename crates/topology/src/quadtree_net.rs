@@ -83,6 +83,15 @@ impl Topology for QuadtreeNet {
     fn kind(&self) -> TopologyKind {
         TopologyKind::Quadtree
     }
+
+    fn num_links(&self) -> u64 {
+        // The full tree (switches + leaves) has (4^(levels+1) - 1) / 3
+        // nodes and, being a tree, one undirected edge per non-root node.
+        // Computed in u128: 4^(levels+1) overflows u64 at levels == 31,
+        // though the final directed count still fits.
+        let tree_nodes = ((1u128 << (2 * (self.levels + 1))) - 1) / 3;
+        (2 * (tree_nodes - 1)) as u64
+    }
 }
 
 #[cfg(test)]
@@ -164,6 +173,17 @@ mod tests {
     #[should_panic(expected = "power of four")]
     fn power_of_two_but_not_four_rejected() {
         let _ = QuadtreeNet::with_nodes(32);
+    }
+
+    #[test]
+    fn num_links_counts_tree_edges_both_ways() {
+        // levels=0: single processor, no links. levels=1: root + 4 leaves,
+        // 4 undirected edges. levels=2: 21 tree nodes, 20 undirected edges.
+        assert_eq!(QuadtreeNet::new(0).num_links(), 0);
+        assert_eq!(QuadtreeNet::new(1).num_links(), 8);
+        assert_eq!(QuadtreeNet::new(2).num_links(), 40);
+        // Max depth computes without overflow.
+        assert!(QuadtreeNet::new(31).num_links() > 0);
     }
 
     #[test]

@@ -54,6 +54,10 @@ impl Topology for Ring {
     fn kind(&self) -> TopologyKind {
         TopologyKind::Ring
     }
+
+    fn num_links(&self) -> u64 {
+        2 * crate::ring_undirected_edges(self.nodes)
+    }
 }
 
 #[cfg(test)]
@@ -91,5 +95,14 @@ mod tests {
         let ring = Ring::new(2);
         assert_eq!(ring.neighbors(0), vec![1]);
         assert_eq!(ring.distance(0, 1), 1);
+    }
+
+    #[test]
+    fn num_links_equals_neighbor_degree_sum() {
+        for p in [1u64, 2, 3, 10] {
+            let ring = Ring::new(p);
+            let degree_sum: u64 = (0..p).map(|n| ring.neighbors(n).len() as u64).sum();
+            assert_eq!(ring.num_links(), degree_sum, "ring of {p}");
+        }
     }
 }
