@@ -1,0 +1,112 @@
+//! Ablation bench (BENCH_PR3.json): the hop-distance oracle against the
+//! closed-form fallback (`Machine::without_oracle`).
+//!
+//! Two views, both over the same Figure-6 style workload:
+//!
+//! 1. **Metric kernel** — sum `Machine::distance` over the exact multiset
+//!    of rank pairs the radius-4 NFI scan visits. This isolates what the
+//!    oracle changes: the per-pair virtual dispatch + `node_of_rank`
+//!    indirection collapse to one row load. The BENCH_PR3 ≥2× claim is
+//!    measured here.
+//! 2. **End to end** — the full `nfi_acd` + `ffi_acd_with_tree` calls,
+//!    where cell-map probing and pair enumeration dominate; the oracle's
+//!    effect is correspondingly smaller. Reported for honesty.
+//!
+//! Both configurations produce bit-identical values — asserted before
+//! timing.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sfc_core::ffi::{ffi_acd_with_tree, OwnerTree};
+use sfc_core::nfi::nfi_acd;
+use sfc_core::{Assignment, Machine};
+use sfc_curves::point::Norm;
+use sfc_curves::CurveKind;
+use sfc_particles::Workload;
+use sfc_topology::TopologyKind;
+
+const RADIUS: i64 = 4;
+
+/// The rank pairs whose hop distances the radius-4 Chebyshev NFI scan
+/// sums: every ordered particle pair within the neighborhood that lands on
+/// two different ranks.
+fn nfi_pair_stream(asg: &Assignment) -> Vec<(u32, u32)> {
+    let particles = asg.particles();
+    let mut pairs = Vec::new();
+    for (i, p) in particles.iter().enumerate() {
+        for (j, q) in particles.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            let dx = (p.x as i64 - q.x as i64).abs();
+            let dy = (p.y as i64 - q.y as i64).abs();
+            if dx.max(dy) <= RADIUS {
+                let (a, b) = (asg.rank_of_index(i), asg.rank_of_index(j));
+                if a != b {
+                    pairs.push((a, b));
+                }
+            }
+        }
+    }
+    pairs
+}
+
+fn bench_oracle_ablation(c: &mut Criterion) {
+    let workload = Workload::figure6(1).scaled_down(4);
+    let procs = 1024u64;
+    let particles = workload.particles(0);
+    let asg = Assignment::new(&particles, workload.grid_order, CurveKind::Hilbert, procs);
+    let tree = OwnerTree::build(&asg);
+    let pairs = nfi_pair_stream(&asg);
+
+    for topo in [TopologyKind::Torus, TopologyKind::Quadtree] {
+        let cached = Machine::new(topo, procs, CurveKind::Hilbert);
+        let fallback = Machine::new(topo, procs, CurveKind::Hilbert).without_oracle();
+        assert!(cached.has_oracle() && !fallback.has_oracle());
+
+        // The guarantee BENCH_PR3.json cites: identical values either way.
+        assert_eq!(
+            pairs.iter().map(|&(a, b)| cached.distance(a, b)).sum::<u64>(),
+            pairs.iter().map(|&(a, b)| fallback.distance(a, b)).sum::<u64>(),
+        );
+        assert_eq!(
+            nfi_acd(&asg, &cached, RADIUS as u32, Norm::Chebyshev),
+            nfi_acd(&asg, &fallback, RADIUS as u32, Norm::Chebyshev),
+        );
+        assert_eq!(
+            ffi_acd_with_tree(&asg, &cached, &tree),
+            ffi_acd_with_tree(&asg, &fallback, &tree),
+        );
+
+        let kernel_name = format!("distance_kernel_{}", topo.name());
+        let mut kernel = c.benchmark_group(&kernel_name);
+        kernel.sample_size(20);
+        for (label, machine) in [("oracle_on", &cached), ("oracle_off", &fallback)] {
+            kernel.bench_function(label, |b| {
+                b.iter(|| {
+                    pairs
+                        .iter()
+                        .map(|&(a, b)| machine.distance(black_box(a), b))
+                        .sum::<u64>()
+                })
+            });
+        }
+        kernel.finish();
+
+        let e2e_name = format!("end_to_end_{}", topo.name());
+        let mut e2e = c.benchmark_group(&e2e_name);
+        e2e.sample_size(15);
+        for (label, machine) in [("oracle_on", &cached), ("oracle_off", &fallback)] {
+            e2e.bench_function(label, |b| {
+                b.iter(|| {
+                    let nfi = nfi_acd(&asg, machine, RADIUS as u32, Norm::Chebyshev);
+                    let ffi = ffi_acd_with_tree(&asg, machine, &tree);
+                    nfi.acd() + ffi.acd()
+                })
+            });
+        }
+        e2e.finish();
+    }
+}
+
+criterion_group!(benches, bench_oracle_ablation);
+criterion_main!(benches);

@@ -31,6 +31,15 @@ pub struct Args {
     /// Journal fault injection: after this many record writes, every
     /// further write fails (testing only).
     pub chaos_journal: Option<u64>,
+    /// Write the per-cell timing envelope (wall-clock and phase breakdown
+    /// for every cell computed this run) as JSON to this path. Kept
+    /// separate from `--json`: timings are wall-clock facts about one run,
+    /// while the artifact must stay byte-identical across runs.
+    pub timing: Option<String>,
+    /// Disable the precomputed hop-distance oracle and fall back to the
+    /// closed-form topology distances (ablation/verification only; output
+    /// bytes are identical either way).
+    pub no_oracle: bool,
 }
 
 impl Default for Args {
@@ -47,6 +56,8 @@ impl Default for Args {
             chaos_persistent: false,
             jobs: None,
             chaos_journal: None,
+            timing: None,
+            no_oracle: false,
         }
     }
 }
@@ -100,6 +111,13 @@ impl Args {
                 "--chaos-journal" => {
                     out.chaos_journal = Some(next_num(&mut it, "--chaos-journal")?)
                 }
+                "--timing" => {
+                    out.timing = Some(
+                        it.next()
+                            .ok_or_else(|| "--timing needs a path".to_string())?,
+                    )
+                }
+                "--no-oracle" => out.no_oracle = true,
                 "--help" | "-h" => return Err(usage()),
                 other => return Err(format!("unknown flag `{other}`\n{}", usage())),
             }
@@ -134,7 +152,7 @@ fn next_num<I: Iterator<Item = String>>(it: &mut I, flag: &str) -> Result<u64, S
 }
 
 fn usage() -> String {
-    "usage: <bin> [--scale S] [--trials T] [--seed X] [--jobs N] [--markdown] [--json PATH]\n\
+    "usage: <bin> [--scale S] [--trials T] [--seed X] [--jobs N] [--markdown] [--json PATH] [--timing PATH] [--no-oracle]\n\
      \u{20}          [--journal PATH] [--time-budget SECS] [--chaos LIST] [--chaos-persistent] [--chaos-journal N]\n\
      --scale S            shrink the paper workload by 4^S (default 2; 0 = full size)\n\
      --trials T           independent trials to average (default 3)\n\
@@ -143,6 +161,10 @@ fn usage() -> String {
      \u{20}                    output bytes are identical for every N\n\
      --markdown           print Markdown tables\n\
      --json PATH          also write the artifact as JSON\n\
+     --timing PATH        write the per-cell timing envelope (wall-clock and\n\
+     \u{20}                    sample/assign/nfi/ffi phase breakdown) as JSON\n\
+     --no-oracle          skip the precomputed hop-distance oracle and use\n\
+     \u{20}                    closed-form distances (output bytes identical)\n\
      --journal PATH       append completed sweep cells to a JSONL journal and\n\
      \u{20}                    resume from it on restart\n\
      --time-budget SECS   stop scheduling new cells after SECS seconds; partial\n\
@@ -175,6 +197,8 @@ mod tests {
         assert!(a.chaos.is_empty());
         assert_eq!(a.jobs, None);
         assert_eq!(a.chaos_journal, None);
+        assert_eq!(a.timing, None);
+        assert!(!a.no_oracle);
     }
 
     #[test]
@@ -200,6 +224,9 @@ mod tests {
             "4",
             "--chaos-journal",
             "2",
+            "--timing",
+            "/tmp/x.timing.json",
+            "--no-oracle",
         ])
         .unwrap();
         assert_eq!(a.scale, 0);
@@ -213,6 +240,8 @@ mod tests {
         assert!(a.chaos_persistent);
         assert_eq!(a.jobs, Some(4));
         assert_eq!(a.chaos_journal, Some(2));
+        assert_eq!(a.timing.as_deref(), Some("/tmp/x.timing.json"));
+        assert!(a.no_oracle);
     }
 
     #[test]
@@ -228,6 +257,7 @@ mod tests {
         assert!(parse(&["--jobs"]).is_err());
         assert!(parse(&["--jobs", "0"]).is_err());
         assert!(parse(&["--chaos-journal", "many"]).is_err());
+        assert!(parse(&["--timing"]).is_err());
     }
 
     #[test]

@@ -28,6 +28,7 @@ use sfc_core::load::nfi_link_load;
 use sfc_core::model3d::{ffi_acd_3d, nfi_acd_3d, Assignment3, Machine3, Topology3Kind};
 use sfc_core::nfi::nfi_acd;
 use sfc_core::report::Table;
+use sfc_core::timing;
 use sfc_core::{anns::anns, Assignment, Machine};
 use sfc_curves::curve3d::Curve3dKind;
 use sfc_curves::point::Norm;
@@ -65,10 +66,21 @@ fn f0(v: f64) -> String {
     format!("{v:.0}")
 }
 
+/// Torus machine honoring `--no-oracle` (values identical either way).
+fn torus_machine(procs: u64, curve: CurveKind, no_oracle: bool) -> Machine {
+    let m = Machine::grid(TopologyKind::Torus, procs, curve);
+    if no_oracle {
+        m.without_oracle()
+    } else {
+        m
+    }
+}
+
 fn main() {
     let args = Args::from_env();
     println!("{}", args.banner("Extension studies (paper Section VIII future work)"));
     let mut runner = harness::runner("extensions", &args);
+    let no_oracle = args.no_oracle;
 
     // 1. Link congestion on the torus at a scaled Table I configuration.
     let scale = args.scale.max(2); // routing every message is heavy
@@ -95,10 +107,14 @@ fn main() {
             let particles = &particles;
             let workload = &workload;
             BatchCell::new(format!("congestion/{}", curve.short_name()), move || {
-                let particles = particles.get_or_init(|| workload.particles(0));
-                let asg = Assignment::new(particles, workload.grid_order, curve, procs);
-                let machine = Machine::grid(TopologyKind::Torus, procs, curve);
-                let load = nfi_link_load(&asg, &machine, 1, Norm::Chebyshev);
+                let particles =
+                    timing::phase("sample", || particles.get_or_init(|| workload.particles(0)));
+                let asg = timing::phase("assign", || {
+                    Assignment::new(particles, workload.grid_order, curve, procs)
+                });
+                let machine = torus_machine(procs, curve, no_oracle);
+                let load =
+                    timing::phase("nfi", || nfi_link_load(&asg, &machine, 1, Norm::Chebyshev));
                 let acd = if load.messages == 0 {
                     0.0
                 } else {
@@ -225,12 +241,15 @@ fn main() {
             let particles = &moore_particles;
             let workload = &workload;
             BatchCell::new(format!("moore/{}", curve.short_name()), move || {
-                let particles = particles.get_or_init(|| workload.particles(1));
-                let asg = Assignment::new(particles, workload.grid_order, curve, procs);
-                let machine = Machine::grid(TopologyKind::Torus, procs, curve);
+                let particles =
+                    timing::phase("sample", || particles.get_or_init(|| workload.particles(1)));
+                let asg = timing::phase("assign", || {
+                    Assignment::new(particles, workload.grid_order, curve, procs)
+                });
+                let machine = torus_machine(procs, curve, no_oracle);
                 vec![
-                    nfi_acd(&asg, &machine, 1, Norm::Chebyshev).acd(),
-                    ffi_acd(&asg, &machine).acd(),
+                    timing::phase("nfi", || nfi_acd(&asg, &machine, 1, Norm::Chebyshev).acd()),
+                    timing::phase("ffi", || ffi_acd(&asg, &machine).acd()),
                     anns_cyclic(curve, 6, 1, Norm::Manhattan).max_stretch,
                 ]
             })
@@ -243,6 +262,7 @@ fn main() {
 
     let summary = runner.finish();
     harness::report("extensions", &summary);
+    harness::write_timing("extensions", &args, &summary);
     if let Some(path) = &args.json {
         let tables = [congestion, table3d, acd3, metrics, moore];
         sfc_bench::results::write_json(

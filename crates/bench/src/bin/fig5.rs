@@ -25,6 +25,7 @@ fn main() {
         .collect();
     let summary = runner.finish();
     harness::report("figure5", &summary);
+    harness::write_timing("figure5", &args, &summary);
     if let Some(path) = &args.json {
         write_json(path, &anns_json(&sweeps, &args, &summary)).expect("write JSON");
     }

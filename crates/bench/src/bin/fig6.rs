@@ -19,6 +19,7 @@ fn main() {
     let sweep = run_topology_sweep(&args, &mut runner);
     let summary = runner.finish();
     harness::report("figure6", &summary);
+    harness::write_timing("figure6", &args, &summary);
     if let Some(path) = &args.json {
         write_json(path, &topology_json(&sweep, &args, &summary)).expect("write JSON");
     }

@@ -14,6 +14,7 @@ fn main() {
     let sweep = run_processor_sweep(&args, &mut runner);
     let summary = runner.finish();
     harness::report("figure7", &summary);
+    harness::write_timing("figure7", &args, &summary);
     if let Some(path) = &args.json {
         write_json(path, &processors_json(&sweep, &args, &summary)).expect("write JSON");
     }

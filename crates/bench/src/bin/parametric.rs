@@ -23,6 +23,7 @@ fn main() {
 
     let summary = runner.finish();
     harness::report("parametric", &summary);
+    harness::write_timing("parametric", &args, &summary);
     let tables = [radius_table, size_table, dist_table];
     if let Some(path) = &args.json {
         write_json(path, &tables_json(&tables, &args, &summary, "parametric"))

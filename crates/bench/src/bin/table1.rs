@@ -19,6 +19,7 @@ fn main() {
     let grids = run_tables(&args, &mut runner);
     let summary = runner.finish();
     harness::report("tables", &summary);
+    harness::write_timing("table1", &args, &summary);
     if let Some(path) = &args.json {
         write_json(path, &grid_json(&grids, &args, &summary, "table1")).expect("write JSON");
     }

@@ -18,6 +18,7 @@ fn main() {
     let grids = run_tables(&args, &mut runner);
     let summary = runner.finish();
     harness::report("tables", &summary);
+    harness::write_timing("table2", &args, &summary);
     if let Some(path) = &args.json {
         write_json(path, &grid_json(&grids, &args, &summary, "table2")).expect("write JSON");
     }

@@ -13,7 +13,8 @@ use sfc_core::ffi::{ffi_acd_with_tree, OwnerTree};
 use sfc_core::nfi::nfi_acd;
 use sfc_core::report::Table;
 use sfc_core::runner::{BatchCell, CellResult, SweepRunner};
-use sfc_core::{Assignment, Machine, Stats};
+use sfc_core::timing;
+use sfc_core::{Assignment, Stats};
 use sfc_curves::point::Norm;
 use sfc_curves::{CurveKind, Point2};
 use sfc_particles::{DistributionKind, Workload};
@@ -61,7 +62,9 @@ pub fn run_anns_sweep(radius: u32, max_order: u32, runner: &mut SweepRunner) -> 
         for &order in &orders {
             let name = format!("r{radius}/{}/o{order}", curve.short_name());
             cells.push(BatchCell::new(name, move || {
-                vec![anns_radius(curve, order, radius, Norm::Manhattan).average()]
+                timing::phase("anns", || {
+                    vec![anns_radius(curve, order, radius, Norm::Manhattan).average()]
+                })
             }));
         }
     }
@@ -140,14 +143,22 @@ pub fn run_topology_sweep(args: &Args, runner: &mut SweepRunner) -> TopologySwee
             let workload = &workload;
             let topologies = &topologies;
             cells.push(BatchCell::new(name, move || {
-                let particles = particles.get_or_init(|| workload.particles(t));
-                let asg = Assignment::new(particles, workload.grid_order, curve, num_procs);
-                let tree = OwnerTree::build(&asg);
+                let particles =
+                    timing::phase("sample", || particles.get_or_init(|| workload.particles(t)));
+                let (asg, tree) = timing::phase("assign", || {
+                    let asg = Assignment::new(particles, workload.grid_order, curve, num_procs);
+                    let tree = OwnerTree::build(&asg);
+                    (asg, tree)
+                });
                 let mut values = Vec::with_capacity(2 * nt);
                 for &topo in topologies {
-                    let machine = Machine::new(topo, num_procs, curve);
-                    values.push(nfi_acd(&asg, &machine, FIG6_RADIUS, Norm::Chebyshev).acd());
-                    values.push(ffi_acd_with_tree(&asg, &machine, &tree).acd());
+                    let machine = crate::harness::machine(args, topo, num_procs, curve);
+                    values.push(timing::phase("nfi", || {
+                        nfi_acd(&asg, &machine, FIG6_RADIUS, Norm::Chebyshev).acd()
+                    }));
+                    values.push(timing::phase("ffi", || {
+                        ffi_acd_with_tree(&asg, &machine, &tree).acd()
+                    }));
                 }
                 values
             }));
@@ -248,13 +259,24 @@ pub fn run_processor_sweep(args: &Args, runner: &mut SweepRunner) -> ProcessorSw
                 let name = format!("t{t}/{}/p{procs}", curve.short_name());
                 let workload = &workload;
                 cells.push(BatchCell::new(name, move || {
-                    let particles = particles.get_or_init(|| workload.particles(t));
-                    let asg = Assignment::new(particles, workload.grid_order, curve, procs);
-                    let tree = OwnerTree::build(&asg);
-                    let machine = Machine::new(TopologyKind::Torus, procs, curve);
+                    let particles = timing::phase("sample", || {
+                        particles.get_or_init(|| workload.particles(t))
+                    });
+                    let (asg, tree) = timing::phase("assign", || {
+                        let asg =
+                            Assignment::new(particles, workload.grid_order, curve, procs);
+                        let tree = OwnerTree::build(&asg);
+                        (asg, tree)
+                    });
+                    let machine =
+                        crate::harness::machine(args, TopologyKind::Torus, procs, curve);
                     vec![
-                        nfi_acd(&asg, &machine, 1, Norm::Chebyshev).acd(),
-                        ffi_acd_with_tree(&asg, &machine, &tree).acd(),
+                        timing::phase("nfi", || {
+                            nfi_acd(&asg, &machine, 1, Norm::Chebyshev).acd()
+                        }),
+                        timing::phase("ffi", || {
+                            ffi_acd_with_tree(&asg, &machine, &tree).acd()
+                        }),
                     ]
                 }));
             }
@@ -342,11 +364,15 @@ pub fn run_radius_sweep(args: &Args, radii: &[u32], runner: &mut SweepRunner) ->
                 let cache = &cache;
                 let workload = &workload;
                 cells.push(BatchCell::new(name, move || {
-                    let particles = cache.get(t);
-                    let asg =
-                        Assignment::new(particles, workload.grid_order, curve, num_procs);
-                    let machine = Machine::new(TopologyKind::Torus, num_procs, curve);
-                    vec![nfi_acd(&asg, &machine, radius, Norm::Chebyshev).acd()]
+                    let particles = timing::phase("sample", || cache.get(t));
+                    let asg = timing::phase("assign", || {
+                        Assignment::new(particles, workload.grid_order, curve, num_procs)
+                    });
+                    let machine =
+                        crate::harness::machine(args, TopologyKind::Torus, num_procs, curve);
+                    vec![timing::phase("nfi", || {
+                        nfi_acd(&asg, &machine, radius, Norm::Chebyshev).acd()
+                    })]
                 }));
             }
         }
@@ -408,14 +434,22 @@ pub fn run_input_size_sweep(args: &Args, sizes: &[usize], runner: &mut SweepRunn
                 let cache = &caches[si];
                 let workload = &workloads[si];
                 cells.push(BatchCell::new(name, move || {
-                    let particles = cache.get(t);
-                    let asg =
-                        Assignment::new(particles, workload.grid_order, curve, num_procs);
-                    let tree = OwnerTree::build(&asg);
-                    let machine = Machine::new(TopologyKind::Torus, num_procs, curve);
+                    let particles = timing::phase("sample", || cache.get(t));
+                    let (asg, tree) = timing::phase("assign", || {
+                        let asg =
+                            Assignment::new(particles, workload.grid_order, curve, num_procs);
+                        let tree = OwnerTree::build(&asg);
+                        (asg, tree)
+                    });
+                    let machine =
+                        crate::harness::machine(args, TopologyKind::Torus, num_procs, curve);
                     vec![
-                        nfi_acd(&asg, &machine, 1, Norm::Chebyshev).acd(),
-                        ffi_acd_with_tree(&asg, &machine, &tree).acd(),
+                        timing::phase("nfi", || {
+                            nfi_acd(&asg, &machine, 1, Norm::Chebyshev).acd()
+                        }),
+                        timing::phase("ffi", || {
+                            ffi_acd_with_tree(&asg, &machine, &tree).acd()
+                        }),
                     ]
                 }));
             }
@@ -473,14 +507,22 @@ pub fn run_distribution_comparison(args: &Args, runner: &mut SweepRunner) -> Tab
                 let cache = &caches[di];
                 let workload = &workloads[di];
                 cells.push(BatchCell::new(name, move || {
-                    let particles = cache.get(t);
-                    let asg =
-                        Assignment::new(particles, workload.grid_order, curve, num_procs);
-                    let tree = OwnerTree::build(&asg);
-                    let machine = Machine::new(TopologyKind::Torus, num_procs, curve);
+                    let particles = timing::phase("sample", || cache.get(t));
+                    let (asg, tree) = timing::phase("assign", || {
+                        let asg =
+                            Assignment::new(particles, workload.grid_order, curve, num_procs);
+                        let tree = OwnerTree::build(&asg);
+                        (asg, tree)
+                    });
+                    let machine =
+                        crate::harness::machine(args, TopologyKind::Torus, num_procs, curve);
                     vec![
-                        nfi_acd(&asg, &machine, 1, Norm::Chebyshev).acd(),
-                        ffi_acd_with_tree(&asg, &machine, &tree).acd(),
+                        timing::phase("nfi", || {
+                            nfi_acd(&asg, &machine, 1, Norm::Chebyshev).acd()
+                        }),
+                        timing::phase("ffi", || {
+                            ffi_acd_with_tree(&asg, &machine, &tree).acd()
+                        }),
                     ]
                 }));
             }

@@ -8,14 +8,18 @@
 use crate::args::Args;
 use serde_json::{json, Value};
 use sfc_core::runner::{ChaosInjector, RunnerOptions, SweepRunner, SweepSummary};
+use sfc_core::Machine;
+use sfc_curves::CurveKind;
+use sfc_topology::TopologyKind;
 use std::path::PathBuf;
 use std::time::Duration;
 
 /// The configuration fingerprint stored in a journal header: a journal can
-/// only resume a sweep with the same scale, trials and seed. Chaos, budget
-/// and jobs flags are deliberately excluded — interrupting a run with a
-/// different budget or thread count (or sabotaging it in a test) must not
-/// orphan the journal.
+/// only resume a sweep with the same scale, trials and seed. Chaos, budget,
+/// jobs, timing and oracle flags are deliberately excluded — interrupting a
+/// run with a different budget or thread count (or sabotaging it in a test)
+/// must not orphan the journal, and `--timing`/`--no-oracle` do not change
+/// any computed value.
 pub fn fingerprint(args: &Args) -> Value {
     json!({
         "scale": args.scale,
@@ -28,6 +32,16 @@ pub fn fingerprint(args: &Args) -> Value {
 /// journal cannot be opened (unwritable path, or written by a different
 /// sweep/configuration).
 pub fn runner(sweep: &str, args: &Args) -> SweepRunner {
+    // One shared rayon pool for the whole process, sized off `--jobs` (0 =
+    // all cores). Without this the kernels' internal `par_iter` would size
+    // its own pool off the core count and oversubscribe the `--jobs` cell
+    // workers. `build_global` succeeds once per process; later calls (tests
+    // build many runners) mean the pool is already sized, which is fine —
+    // results are bit-identical at every thread count either way.
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(args.jobs.unwrap_or(0) as usize)
+        .build_global()
+        .ok();
     let mut opts = RunnerOptions::new();
     opts.journal = args.journal.as_ref().map(PathBuf::from);
     opts.time_budget = args.time_budget.map(Duration::from_secs);
@@ -42,6 +56,28 @@ pub fn runner(sweep: &str, args: &Args) -> SweepRunner {
             eprintln!("error: {e}");
             std::process::exit(2);
         }
+    }
+}
+
+/// Build a machine for a sweep cell, honoring `--no-oracle`: the default
+/// machine precomputes the dense hop-distance oracle, the flag falls back
+/// to closed-form distances. Both produce identical values — the flag
+/// exists for ablation and byte-identity verification.
+pub fn machine(args: &Args, topo: TopologyKind, num_procs: u64, curve: CurveKind) -> Machine {
+    let m = Machine::new(topo, num_procs, curve);
+    if args.no_oracle {
+        m.without_oracle()
+    } else {
+        m
+    }
+}
+
+/// Write the per-cell timing envelope to `--timing PATH` when set. Called
+/// after `SweepRunner::finish`; a run without the flag writes nothing.
+pub fn write_timing(artifact: &str, args: &Args, summary: &SweepSummary) {
+    if let Some(path) = &args.timing {
+        let doc = crate::results::timing_json(artifact, args, summary);
+        crate::results::write_json(path, &doc).expect("write timing envelope");
     }
 }
 

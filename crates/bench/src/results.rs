@@ -200,6 +200,41 @@ pub fn processors_json(sweep: &ProcessorSweep, args: &Args, summary: &SweepSumma
     )
 }
 
+/// Export the per-cell timing envelope for one run: wall-clock and phase
+/// breakdown (sample / assign / nfi / ffi, or whatever phases the sweep
+/// recorded) for every cell **computed this run**, in submission order.
+/// Replayed, failed and skipped cells carry no timing. This is written to
+/// the separate `--timing` path, never merged into the `--json` artifact:
+/// the artifact must stay byte-identical between runs, and wall-clock
+/// measurements are not.
+pub fn timing_json(artifact: &str, args: &Args, summary: &SweepSummary) -> Value {
+    let cells: Vec<Value> = summary
+        .timings
+        .iter()
+        .map(|(name, t)| {
+            let phases: Vec<Value> = t
+                .phases
+                .iter()
+                .map(|(phase, ms)| json!({ "phase": phase, "ms": ms }))
+                .collect();
+            json!({
+                "cell": name,
+                "wall_ms": t.wall_ms,
+                "phases": phases,
+            })
+        })
+        .collect();
+    json!({
+        "artifact": format!("{artifact}-timing"),
+        "paper": "DeFord & Kalyanaraman, ICPP 2013",
+        "config": config_json(args),
+        "jobs": args.jobs,
+        "rayon_threads": rayon::current_num_threads() as u64,
+        "oracle": !args.no_oracle,
+        "cells": cells,
+    })
+}
+
 /// Export any rendered [`sfc_core::report::Table`] generically (used by the
 /// `parametric` and `extensions` binaries, whose artifacts are plain
 /// tables).
@@ -314,6 +349,7 @@ mod tests {
             }],
             skipped: vec!["Uniform/t1/Z".into()],
             journal_degraded: true,
+            ..SweepSummary::default()
         };
         let v = envelope("table1", &args, &summary, json!([]));
         assert_eq!(v["cells"]["failed"][0]["cell"], "Uniform/t0/Hilbert");
@@ -324,6 +360,33 @@ mod tests {
         // byte-identical to an uninterrupted one.
         assert_eq!(v["cells"]["computed"], Value::Null);
         assert_eq!(v["cells"]["replayed"], Value::Null);
+    }
+
+    #[test]
+    fn timing_envelope_lists_computed_cells_in_order() {
+        let args = tiny_args();
+        let mut summary = SweepSummary::default();
+        summary.timings.push((
+            "Uniform/t0/H".into(),
+            sfc_core::CellTiming {
+                wall_ms: 12.5,
+                phases: vec![("sample".into(), 3.0), ("nfi".into(), 7.25)],
+            },
+        ));
+        summary.timings.push((
+            "Uniform/t0/Z".into(),
+            sfc_core::CellTiming { wall_ms: 9.0, phases: vec![] },
+        ));
+        let v = timing_json("table1", &args, &summary);
+        assert_eq!(v["artifact"], "table1-timing");
+        assert_eq!(v["oracle"], true);
+        let cells = v["cells"].as_array().unwrap();
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0]["cell"], "Uniform/t0/H");
+        assert_eq!(cells[0]["wall_ms"], 12.5);
+        assert_eq!(cells[0]["phases"][1]["phase"], "nfi");
+        assert_eq!(cells[0]["phases"][1]["ms"], 7.25);
+        assert_eq!(cells[1]["cell"], "Uniform/t0/Z");
     }
 
     #[test]

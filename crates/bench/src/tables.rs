@@ -19,6 +19,7 @@ use sfc_core::ffi::{ffi_acd_with_tree, OwnerTree};
 use sfc_core::nfi::nfi_acd;
 use sfc_core::report::Table;
 use sfc_core::runner::{BatchCell, SweepRunner};
+use sfc_core::timing;
 use sfc_core::{Assignment, Machine, Stats};
 use sfc_curves::point::Norm;
 use sfc_curves::CurveKind;
@@ -61,7 +62,7 @@ pub fn run_distribution(
     let num_procs = (65_536u64 >> (2 * args.scale)).max(4);
     let machines: Vec<Machine> = CurveKind::PAPER
         .iter()
-        .map(|&proc_curve| Machine::new(TopologyKind::Torus, num_procs, proc_curve))
+        .map(|&proc_curve| crate::harness::machine(args, TopologyKind::Torus, num_procs, proc_curve))
         .collect();
 
     // Per-trial particle sets, sampled lazily and shared by the trial's
@@ -77,17 +78,32 @@ pub fn run_distribution(
             let workload = &workload;
             let machines = &machines;
             cells.push(BatchCell::new(name, move || {
-                let particles = particles.get_or_init(|| workload.particles(t));
-                let asg =
-                    Assignment::new(particles, workload.grid_order, particle_curve, num_procs);
-                let tree = OwnerTree::build(&asg);
+                // Phase markers feed the `--timing` envelope; "sample" is
+                // only paid by the first of a trial's four cells (the rest
+                // hit the OnceLock).
+                let particles =
+                    timing::phase("sample", || particles.get_or_init(|| workload.particles(t)));
+                let (asg, tree) = timing::phase("assign", || {
+                    let asg = Assignment::new(
+                        particles,
+                        workload.grid_order,
+                        particle_curve,
+                        num_procs,
+                    );
+                    let tree = OwnerTree::build(&asg);
+                    (asg, tree)
+                });
                 let mut values = Vec::with_capacity(8);
-                for machine in machines {
-                    values.push(nfi_acd(&asg, machine, 1, Norm::Chebyshev).acd());
-                }
-                for machine in machines {
-                    values.push(ffi_acd_with_tree(&asg, machine, &tree).acd());
-                }
+                timing::phase("nfi", || {
+                    for machine in machines {
+                        values.push(nfi_acd(&asg, machine, 1, Norm::Chebyshev).acd());
+                    }
+                });
+                timing::phase("ffi", || {
+                    for machine in machines {
+                        values.push(ffi_acd_with_tree(&asg, machine, &tree).acd());
+                    }
+                });
                 values
             }));
         }

@@ -90,3 +90,74 @@ fn bad_flag_exits_with_usage() {
     assert!(!ok);
     assert!(stderr.contains("usage:"));
 }
+
+#[test]
+fn no_oracle_artifact_is_byte_identical() {
+    // The hop-distance oracle is a pure accelerator: disabling it must not
+    // change a single byte of stdout or the JSON artifact.
+    let dir = std::env::temp_dir();
+    let with = dir.join("sfc_cli_oracle_on.json");
+    let without = dir.join("sfc_cli_oracle_off.json");
+    let mut args_on = TINY.to_vec();
+    args_on.extend(["--json", with.to_str().unwrap()]);
+    let (stdout_on, _, ok_on) = run("table1", &args_on);
+    let mut args_off = TINY.to_vec();
+    args_off.extend(["--json", without.to_str().unwrap(), "--no-oracle"]);
+    let (stdout_off, _, ok_off) = run("table1", &args_off);
+    assert!(ok_on && ok_off);
+    assert_eq!(stdout_on, stdout_off);
+    assert_eq!(
+        std::fs::read(&with).unwrap(),
+        std::fs::read(&without).unwrap(),
+        "oracle on/off artifacts differ"
+    );
+    std::fs::remove_file(with).ok();
+    std::fs::remove_file(without).ok();
+}
+
+#[test]
+fn timing_flag_writes_phase_envelope_and_leaves_artifact_alone() {
+    let dir = std::env::temp_dir();
+    let artifact = dir.join("sfc_cli_timed_artifact.json");
+    let plain = dir.join("sfc_cli_plain_artifact.json");
+    let timing = dir.join("sfc_cli_timing.json");
+    let mut args_plain = TINY.to_vec();
+    args_plain.extend(["--json", plain.to_str().unwrap()]);
+    let (_, _, ok) = run("table1", &args_plain);
+    assert!(ok);
+    let mut args_timed = TINY.to_vec();
+    args_timed.extend([
+        "--json",
+        artifact.to_str().unwrap(),
+        "--timing",
+        timing.to_str().unwrap(),
+    ]);
+    let (_, _, ok) = run("table1", &args_timed);
+    assert!(ok);
+    // `--timing` must not perturb the deterministic artifact.
+    assert_eq!(std::fs::read(&plain).unwrap(), std::fs::read(&artifact).unwrap());
+    let text = std::fs::read_to_string(&timing).expect("timing envelope written");
+    let v: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+    assert_eq!(v["artifact"], "table1-timing");
+    assert_eq!(v["oracle"], true);
+    let cells = v["cells"].as_array().unwrap();
+    assert_eq!(cells.len(), 12); // 3 distributions x 1 trial x 4 curves
+    for cell in cells {
+        assert!(cell["wall_ms"].as_f64().unwrap() > 0.0);
+        let phases: Vec<&str> = cell["phases"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|p| p["phase"].as_str().unwrap())
+            .collect();
+        assert_eq!(phases, ["sample", "assign", "nfi", "ffi"]);
+        assert!(cell["phases"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .any(|p| p["ms"].as_f64().unwrap() > 0.0));
+    }
+    std::fs::remove_file(plain).ok();
+    std::fs::remove_file(artifact).ok();
+    std::fs::remove_file(timing).ok();
+}

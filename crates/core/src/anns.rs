@@ -17,9 +17,55 @@
 //! The maximum nearest-neighbor stretch and the all-pairs stretch (the other
 //! two metrics of Xu & Tirthapura) are provided as well.
 
+use crate::error::SfcError;
 use rayon::prelude::*;
 use sfc_curves::point::Norm;
 use sfc_curves::{Curve2d, CurveKind, CurveTable, Point2};
+
+/// Largest grid order the full-grid stretch sweeps accept (`O(4^order)`
+/// cells, each scanning an `O(radius²)` neighborhood).
+pub const MAX_STRETCH_ORDER: u32 = 14;
+
+/// Largest grid order [`all_pairs_stretch`] accepts (`O(16^order)` pairs).
+pub const MAX_ALL_PAIRS_ORDER: u32 = 5;
+
+/// Enumerate each unordered pair offset once: for every cell, only the
+/// offsets that are lexicographically "forward" (dy > 0, or dy == 0 and
+/// dx > 0), tagged with the spatial distance under `norm`. Shared by the
+/// linear and cyclic stretch scans.
+fn forward_offsets(radius: u32, norm: Norm) -> Vec<(i64, i64, u64)> {
+    let r = radius as i64;
+    let mut offsets = Vec::new();
+    for dy in 0..=r {
+        for dx in -r..=r {
+            if dy == 0 && dx <= 0 {
+                continue;
+            }
+            let dist = match norm {
+                Norm::Manhattan => dx.abs() + dy.abs(),
+                Norm::Chebyshev => dx.abs().max(dy.abs()),
+            };
+            if dist <= r {
+                offsets.push((dx, dy, dist as u64));
+            }
+        }
+    }
+    offsets
+}
+
+/// Validate the shared stretch-sweep preconditions.
+fn check_stretch_params(order: u32, radius: u32, max_order: u32) -> Result<(), SfcError> {
+    if radius < 1 {
+        return Err(SfcError::ZeroRadius);
+    }
+    if order > max_order {
+        return Err(SfcError::OrderTooLarge {
+            order,
+            max_order,
+        });
+    }
+    Ok(())
+}
 
 /// Outcome of a stretch computation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -68,36 +114,27 @@ pub fn anns(curve: CurveKind, order: u32) -> StretchResult {
 /// Generalized stretch: all pairs within `radius` under `norm`, stretch =
 /// linear distance / spatial distance. `radius = 1, Manhattan` recovers the
 /// ANNS.
+///
+/// Panicking wrapper of [`try_anns_radius`] for call sites whose
+/// configuration is known valid.
 pub fn anns_radius(curve: CurveKind, order: u32, radius: u32, norm: Norm) -> StretchResult {
-    assert!(radius >= 1);
-    assert!(
-        order <= 14,
-        "full-grid stretch sweeps are limited to order <= 14"
-    );
+    try_anns_radius(curve, order, radius, norm).unwrap_or_else(|e| panic!("anns_radius: {e}"))
+}
+
+/// Fallible variant of [`anns_radius`]: a zero radius or an order above
+/// [`MAX_STRETCH_ORDER`] is a typed [`SfcError`] instead of an abort.
+pub fn try_anns_radius(
+    curve: CurveKind,
+    order: u32,
+    radius: u32,
+    norm: Norm,
+) -> Result<StretchResult, SfcError> {
+    check_stretch_params(order, radius, MAX_STRETCH_ORDER)?;
     let table = CurveTable::new(curve, order);
     let side = table.side() as i64;
-    let r = radius as i64;
+    let offsets = forward_offsets(radius, norm);
 
-    // Enumerate each unordered pair once: for every cell, look only at
-    // offsets that are lexicographically "forward" (dy > 0, or dy == 0 and
-    // dx > 0).
-    let mut offsets: Vec<(i64, i64, u64)> = Vec::new();
-    for dy in 0..=r {
-        for dx in -r..=r {
-            if dy == 0 && dx <= 0 {
-                continue;
-            }
-            let dist = match norm {
-                Norm::Manhattan => dx.abs() + dy.abs(),
-                Norm::Chebyshev => dx.abs().max(dy.abs()),
-            };
-            if dist <= r {
-                offsets.push((dx, dy, dist as u64));
-            }
-        }
-    }
-
-    (0..side)
+    let result = (0..side)
         .into_par_iter()
         .fold(StretchResult::empty, |acc, y| {
             let mut acc = acc;
@@ -120,21 +157,36 @@ pub fn anns_radius(curve: CurveKind, order: u32, radius: u32, norm: Norm) -> Str
             }
             acc
         })
-        .reduce(StretchResult::empty, StretchResult::merge)
+        .reduce(StretchResult::empty, StretchResult::merge);
+    Ok(result)
 }
 
 /// The all-pairs stretch of Xu & Tirthapura: mean of
 /// `linear distance / Manhattan distance` over *every* pair of distinct
-/// cells. `O(16^order)` — restricted to tiny grids (order ≤ 5) and used for
-/// cross-metric comparisons and tests.
+/// cells. `O(16^order)` — restricted to tiny grids
+/// ([`MAX_ALL_PAIRS_ORDER`]) and used for cross-metric comparisons and
+/// tests.
+///
+/// Panicking wrapper of [`try_all_pairs_stretch`].
 pub fn all_pairs_stretch(curve: CurveKind, order: u32) -> StretchResult {
-    assert!(order <= 5, "all-pairs stretch is O(N^2); order <= 5 only");
+    try_all_pairs_stretch(curve, order).unwrap_or_else(|e| panic!("all_pairs_stretch: {e}"))
+}
+
+/// Fallible variant of [`all_pairs_stretch`]: an order above
+/// [`MAX_ALL_PAIRS_ORDER`] is a typed [`SfcError`] instead of an abort.
+pub fn try_all_pairs_stretch(curve: CurveKind, order: u32) -> Result<StretchResult, SfcError> {
+    if order > MAX_ALL_PAIRS_ORDER {
+        return Err(SfcError::OrderTooLarge {
+            order,
+            max_order: MAX_ALL_PAIRS_ORDER,
+        });
+    }
     let table = CurveTable::new(curve, order);
     let side = table.side() as u32;
     let cells: Vec<Point2> = (0..side)
         .flat_map(|y| (0..side).map(move |x| Point2::new(x, y)))
         .collect();
-    cells
+    let result = cells
         .par_iter()
         .enumerate()
         .fold(StretchResult::empty, |mut acc, (i, &a)| {
@@ -150,7 +202,8 @@ pub fn all_pairs_stretch(curve: CurveKind, order: u32) -> StretchResult {
             }
             acc
         })
-        .reduce(StretchResult::empty, StretchResult::merge)
+        .reduce(StretchResult::empty, StretchResult::merge);
+    Ok(result)
 }
 
 #[cfg(test)]
@@ -279,6 +332,35 @@ mod tests {
         assert_eq!(a.num_pairs, b.num_pairs);
         assert!((a.total_stretch - b.total_stretch).abs() < 1e-6);
     }
+
+    #[test]
+    fn invalid_parameters_are_typed_errors() {
+        assert_eq!(
+            try_anns_radius(CurveKind::Hilbert, 4, 0, Norm::Manhattan),
+            Err(SfcError::ZeroRadius)
+        );
+        assert_eq!(
+            try_anns_radius(CurveKind::Hilbert, 15, 1, Norm::Manhattan),
+            Err(SfcError::OrderTooLarge {
+                order: 15,
+                max_order: MAX_STRETCH_ORDER
+            })
+        );
+        assert_eq!(
+            try_all_pairs_stretch(CurveKind::ZCurve, 6),
+            Err(SfcError::OrderTooLarge {
+                order: 6,
+                max_order: MAX_ALL_PAIRS_ORDER
+            })
+        );
+        assert_eq!(
+            try_anns_cyclic(CurveKind::Moore, 4, 0, Norm::Manhattan),
+            Err(SfcError::ZeroRadius)
+        );
+        // The panicking wrappers surface the same message.
+        let err = try_anns_radius(CurveKind::Hilbert, 4, 0, Norm::Manhattan).unwrap_err();
+        assert!(err.to_string().contains("at least 1"));
+    }
 }
 
 /// Cyclic variant of the generalized stretch: linear distance measured
@@ -289,28 +371,23 @@ mod tests {
 /// should — and does — shed the huge start-to-end stretch an open curve pays
 /// at its seam.
 pub fn anns_cyclic(curve: CurveKind, order: u32, radius: u32, norm: Norm) -> StretchResult {
-    assert!(radius >= 1);
-    assert!(order <= 14, "full-grid stretch sweeps are limited to order <= 14");
+    try_anns_cyclic(curve, order, radius, norm).unwrap_or_else(|e| panic!("anns_cyclic: {e}"))
+}
+
+/// Fallible variant of [`anns_cyclic`]: a zero radius or an order above
+/// [`MAX_STRETCH_ORDER`] is a typed [`SfcError`] instead of an abort.
+pub fn try_anns_cyclic(
+    curve: CurveKind,
+    order: u32,
+    radius: u32,
+    norm: Norm,
+) -> Result<StretchResult, SfcError> {
+    check_stretch_params(order, radius, MAX_STRETCH_ORDER)?;
     let table = CurveTable::new(curve, order);
     let side = table.side() as i64;
     let n = table.len();
-    let r = radius as i64;
-    let mut offsets: Vec<(i64, i64, u64)> = Vec::new();
-    for dy in 0..=r {
-        for dx in -r..=r {
-            if dy == 0 && dx <= 0 {
-                continue;
-            }
-            let dist = match norm {
-                Norm::Manhattan => dx.abs() + dy.abs(),
-                Norm::Chebyshev => dx.abs().max(dy.abs()),
-            };
-            if dist <= r {
-                offsets.push((dx, dy, dist as u64));
-            }
-        }
-    }
-    (0..side)
+    let offsets = forward_offsets(radius, norm);
+    let result = (0..side)
         .into_par_iter()
         .fold(StretchResult::empty, |mut acc, y| {
             for x in 0..side {
@@ -334,7 +411,8 @@ pub fn anns_cyclic(curve: CurveKind, order: u32, radius: u32, norm: Norm) -> Str
             }
             acc
         })
-        .reduce(StretchResult::empty, StretchResult::merge)
+        .reduce(StretchResult::empty, StretchResult::merge);
+    Ok(result)
 }
 
 #[cfg(test)]

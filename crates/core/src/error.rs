@@ -1,10 +1,13 @@
 //! Typed errors for experiment configuration and sweep execution.
 //!
-//! The metric kernels themselves stay panic-based (an out-of-range index in
-//! a hot loop is a bug, not an operating condition), but everything a *user*
-//! can get wrong — experiment parameters, journal files, cells that keep
-//! failing — surfaces as an [`SfcError`] so the sweep harness can record it
-//! and carry on instead of aborting a multi-hour regeneration run.
+//! Everything a *user* can get wrong — experiment parameters, journal
+//! files, cells that keep failing, kernel entry-point preconditions like an
+//! undersized machine or a zero near-field radius — surfaces as an
+//! [`SfcError`] so the sweep harness can record it and carry on instead of
+//! aborting a multi-hour regeneration run. The metric kernels expose
+//! `try_*` entry points returning these errors; their panicking wrappers
+//! remain for infallible call sites. Only genuinely-impossible states (an
+//! out-of-range index *inside* a validated hot loop) stay panic-based.
 
 use sfc_particles::WorkloadError;
 
@@ -66,6 +69,32 @@ pub enum SfcError {
         /// The underlying I/O error, stringified.
         reason: String,
     },
+    /// An assignment addresses more ranks than the machine has processors,
+    /// so some particles would map to nonexistent nodes.
+    MachineTooSmall {
+        /// Processors in the machine.
+        machine_ranks: u64,
+        /// Ranks the assignment partitions particles into.
+        assignment_ranks: u64,
+    },
+    /// A near-field/stretch radius of zero was requested; every neighborhood
+    /// would be empty and the metric undefined.
+    ZeroRadius,
+    /// A grid order larger than an entry point's documented ceiling was
+    /// requested (full-grid stretch sweeps and all-pairs stretch are
+    /// super-linear in the cell count).
+    OrderTooLarge {
+        /// Requested grid order.
+        order: u32,
+        /// The entry point's maximum supported order.
+        max_order: u32,
+    },
+    /// The topology's diameter does not fit the distance oracle's `u16`
+    /// cells, so a cached distance would saturate.
+    OracleDistanceOverflow {
+        /// The topology diameter that overflowed.
+        diameter: u64,
+    },
 }
 
 impl std::fmt::Display for SfcError {
@@ -97,6 +126,26 @@ impl std::fmt::Display for SfcError {
             SfcError::JournalIo { path, reason } => {
                 write!(f, "journal {path}: {reason}")
             }
+            SfcError::MachineTooSmall {
+                machine_ranks,
+                assignment_ranks,
+            } => write!(
+                f,
+                "machine has {machine_ranks} ranks but the assignment \
+                 addresses {assignment_ranks}"
+            ),
+            SfcError::ZeroRadius => {
+                write!(f, "neighborhood radius must be at least 1")
+            }
+            SfcError::OrderTooLarge { order, max_order } => write!(
+                f,
+                "grid order {order} exceeds this entry point's maximum of {max_order}"
+            ),
+            SfcError::OracleDistanceOverflow { diameter } => write!(
+                f,
+                "topology diameter {diameter} exceeds the distance oracle's \
+                 u16 range"
+            ),
         }
     }
 }
@@ -141,6 +190,22 @@ mod tests {
         };
         let msg = e.to_string();
         assert!(msg.contains("uniform/t0/Hilbert") && msg.contains("boom"));
+
+        let e = SfcError::MachineTooSmall {
+            machine_ranks: 16,
+            assignment_ranks: 64,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("16") && msg.contains("64"));
+
+        assert!(SfcError::ZeroRadius.to_string().contains("at least 1"));
+
+        let e = SfcError::OrderTooLarge { order: 20, max_order: 14 };
+        let msg = e.to_string();
+        assert!(msg.contains("20") && msg.contains("14"));
+
+        let e = SfcError::OracleDistanceOverflow { diameter: 70_000 };
+        assert!(e.to_string().contains("70000"));
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! break the total down.
 
 use crate::assignment::Assignment;
+use crate::error::SfcError;
 use crate::machine::Machine;
 use rayon::prelude::*;
 use sfc_curves::morton;
@@ -144,20 +145,37 @@ pub fn ffi_acd(asg: &Assignment, machine: &Machine) -> FfiResult {
     ffi_acd_with_tree(asg, machine, &tree)
 }
 
+/// Fallible variant of [`ffi_acd`].
+pub fn try_ffi_acd(asg: &Assignment, machine: &Machine) -> Result<FfiResult, SfcError> {
+    let tree = OwnerTree::build(asg);
+    try_ffi_acd_with_tree(asg, machine, &tree)
+}
+
 /// Compute the far-field ACD with a prebuilt [`OwnerTree`] (for callers that
 /// evaluate several machines against one assignment).
+///
+/// Panicking wrapper of [`try_ffi_acd_with_tree`] for call sites whose
+/// configuration is known valid.
 pub fn ffi_acd_with_tree(asg: &Assignment, machine: &Machine, tree: &OwnerTree) -> FfiResult {
-    assert!(
-        machine.num_ranks() >= asg.num_ranks(),
-        "machine has {} ranks but assignment targets {}",
-        machine.num_ranks(),
-        asg.num_ranks()
-    );
+    try_ffi_acd_with_tree(asg, machine, tree).unwrap_or_else(|e| panic!("ffi_acd: {e}"))
+}
+
+/// Fallible variant of [`ffi_acd_with_tree`]: a machine with fewer ranks
+/// than the assignment addresses is a typed [`SfcError`] instead of an
+/// abort.
+pub fn try_ffi_acd_with_tree(
+    asg: &Assignment,
+    machine: &Machine,
+    tree: &OwnerTree,
+) -> Result<FfiResult, SfcError> {
+    machine.check_assignment(asg)?;
     let k = asg.grid_order();
     let mut result = FfiResult::default();
 
     // Interpolation / anterpolation: every occupied cell below the root
-    // exchanges with its parent's owner.
+    // exchanges with its parent's owner. The sender's oracle row is not
+    // worth hoisting here — each cell makes exactly one exchange — but the
+    // single lookups still ride the dense table via `Machine::distance`.
     for level in 1..=k {
         let entries = tree.level_entries(level);
         let (dist, count): (u64, u64) = entries
@@ -184,11 +202,17 @@ pub fn ffi_acd_with_tree(asg: &Assignment, machine: &Machine, tree: &OwnerTree) 
             .par_iter()
             .map(|&(code, rank)| {
                 let cell = Cell::from_code(level, code);
+                // Hoist the per-cell invariant: one oracle row borrow
+                // covers the up-to-27 interaction partners of the cell.
+                let row = machine.distance_row(rank);
                 let mut d = 0u64;
                 let mut c = 0u64;
                 for other_cell in interaction_list(cell) {
                     if let Some(other) = level_map.get(other_cell.code()) {
-                        d += machine.distance(rank, other);
+                        d += match row {
+                            Some(row) => u64::from(row[other as usize]),
+                            None => machine.distance(rank, other),
+                        };
                         c += 1;
                     }
                 }
@@ -199,7 +223,7 @@ pub fn ffi_acd_with_tree(asg: &Assignment, machine: &Machine, tree: &OwnerTree) 
         result.ilist_comms += count;
     }
 
-    result
+    Ok(result)
 }
 
 #[cfg(test)]
@@ -318,5 +342,29 @@ mod tests {
         let machine = Machine::grid(TopologyKind::Mesh, 64, CurveKind::ZCurve);
         let tree = OwnerTree::build(&asg);
         assert_eq!(ffi_acd(&asg, &machine), ffi_acd_with_tree(&asg, &machine, &tree));
+    }
+
+    #[test]
+    fn undersized_machine_is_a_typed_error() {
+        use crate::error::SfcError;
+        let particles = pts(&[(0, 0), (7, 7)]);
+        let asg = Assignment::new(&particles, 3, CurveKind::Hilbert, 64);
+        let small = Machine::grid(TopologyKind::Mesh, 16, CurveKind::Hilbert);
+        match try_ffi_acd(&asg, &small) {
+            Err(SfcError::MachineTooSmall {
+                machine_ranks: 16,
+                assignment_ranks: 64,
+            }) => {}
+            other => panic!("expected MachineTooSmall, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oracle_on_and_off_agree() {
+        let particles = pts(&[(0, 0), (3, 3), (5, 5), (7, 0), (2, 6), (6, 2)]);
+        let asg = Assignment::new(&particles, 3, CurveKind::Hilbert, 16);
+        let cached = Machine::grid(TopologyKind::Torus, 16, CurveKind::Hilbert);
+        let plain = Machine::grid(TopologyKind::Torus, 16, CurveKind::Hilbert).without_oracle();
+        assert_eq!(ffi_acd(&asg, &cached), ffi_acd(&asg, &plain));
     }
 }

@@ -60,15 +60,19 @@ pub mod load;
 pub mod machine;
 pub mod model3d;
 pub mod nfi;
+pub mod oracle;
 pub mod pattern;
 pub mod report;
 pub mod runner;
 pub mod stats;
+pub mod timing;
 
 pub use anns::{anns_radius, StretchResult};
 pub use assignment::Assignment;
 pub use error::SfcError;
 pub use experiment::{AcdExperiment, AcdMeasurement};
 pub use machine::Machine;
+pub use oracle::DistanceOracle;
 pub use runner::{BatchCell, CellResult, ChaosInjector, RunnerOptions, SweepRunner, SweepSummary};
 pub use stats::Stats;
+pub use timing::CellTiming;

@@ -17,6 +17,7 @@
 //! integer sum, so results are independent of thread count.
 
 use crate::assignment::Assignment;
+use crate::error::SfcError;
 use crate::machine::Machine;
 use rayon::prelude::*;
 use sfc_curves::point::Norm;
@@ -65,14 +66,26 @@ impl NfiResult {
 
 /// Compute the near-field ACD for an assignment on a machine, with
 /// neighborhood radius `radius` under `norm`.
+///
+/// Panicking wrapper of [`try_nfi_acd`] for call sites whose configuration
+/// is known valid.
 pub fn nfi_acd(asg: &Assignment, machine: &Machine, radius: u32, norm: Norm) -> NfiResult {
-    assert!(radius >= 1, "near-field radius must be at least 1");
-    assert!(
-        machine.num_ranks() >= asg.num_ranks(),
-        "machine has {} ranks but assignment targets {}",
-        machine.num_ranks(),
-        asg.num_ranks()
-    );
+    try_nfi_acd(asg, machine, radius, norm).unwrap_or_else(|e| panic!("nfi_acd: {e}"))
+}
+
+/// Fallible variant of [`nfi_acd`]: a zero radius or a machine with fewer
+/// ranks than the assignment addresses is a typed [`SfcError`], so a sweep
+/// harness records a failed cell instead of aborting the run.
+pub fn try_nfi_acd(
+    asg: &Assignment,
+    machine: &Machine,
+    radius: u32,
+    norm: Norm,
+) -> Result<NfiResult, SfcError> {
+    if radius < 1 {
+        return Err(SfcError::ZeroRadius);
+    }
+    machine.check_assignment(asg)?;
     let side = 1i64 << asg.grid_order();
     let r = radius as i64;
     // Precompute the neighborhood offsets once.
@@ -92,11 +105,17 @@ pub fn nfi_acd(asg: &Assignment, machine: &Machine, radius: u32, norm: Norm) -> 
         }
     }
 
-    asg.particles()
+    let result = asg
+        .particles()
         .par_iter()
         .enumerate()
         .fold(NfiResult::default, |mut acc, (i, p)| {
+            // Hoist the per-particle invariants: the particle's rank and —
+            // when the machine carries the dense oracle — its whole
+            // distance row, so the neighborhood scan pays one indexed u16
+            // load per exchange instead of a virtual distance call.
             let rank = asg.rank_of_index(i);
+            let row = machine.distance_row(rank);
             for &(dx, dy) in &offsets {
                 let nx = p.x as i64 + dx;
                 let ny = p.y as i64 + dy;
@@ -108,13 +127,17 @@ pub fn nfi_acd(asg: &Assignment, machine: &Machine, radius: u32, norm: Norm) -> 
                     if other == rank {
                         acc.local_comms += 1;
                     } else {
-                        acc.total_distance += machine.distance(rank, other);
+                        acc.total_distance += match row {
+                            Some(row) => u64::from(row[other as usize]),
+                            None => machine.distance(rank, other),
+                        };
                     }
                 }
             }
             acc
         })
-        .reduce(NfiResult::default, NfiResult::merge)
+        .reduce(NfiResult::default, NfiResult::merge);
+    Ok(result)
 }
 
 #[cfg(test)]
@@ -234,5 +257,52 @@ mod tests {
         let asg = Assignment::new(&particles, 2, CurveKind::Hilbert, 1);
         let machine = Machine::grid(TopologyKind::Mesh, 16, CurveKind::Hilbert);
         let _ = nfi_acd(&asg, &machine, 0, Norm::Chebyshev);
+    }
+
+    #[test]
+    fn invalid_configurations_are_typed_errors_not_aborts() {
+        use crate::error::SfcError;
+        let particles = pts(&[(0, 0), (1, 0)]);
+        let asg = Assignment::new(&particles, 2, CurveKind::Hilbert, 4);
+        let machine = Machine::grid(TopologyKind::Mesh, 16, CurveKind::Hilbert);
+        assert_eq!(
+            try_nfi_acd(&asg, &machine, 0, Norm::Chebyshev),
+            Err(SfcError::ZeroRadius)
+        );
+        // A machine smaller than the assignment's rank space is an error,
+        // not a mid-scan panic that would abort a whole sweep.
+        let asg64 = Assignment::new(&particles, 2, CurveKind::Hilbert, 64);
+        match try_nfi_acd(&asg64, &machine, 1, Norm::Chebyshev) {
+            Err(SfcError::MachineTooSmall {
+                machine_ranks: 16,
+                assignment_ranks: 64,
+            }) => {}
+            other => panic!("expected MachineTooSmall, got {other:?}"),
+        }
+    }
+
+    /// The oracle fast path and the closed-form fallback produce
+    /// bit-identical results.
+    #[test]
+    fn oracle_on_and_off_agree() {
+        let mut coords = Vec::new();
+        for x in 0..8u32 {
+            for y in 0..8u32 {
+                coords.push((x, y));
+            }
+        }
+        let particles = pts(&coords);
+        let asg = Assignment::new(&particles, 3, CurveKind::Hilbert, 16);
+        let cached = Machine::grid(TopologyKind::Torus, 16, CurveKind::Hilbert);
+        let plain = Machine::grid(TopologyKind::Torus, 16, CurveKind::Hilbert).without_oracle();
+        for norm in [Norm::Chebyshev, Norm::Manhattan] {
+            for r in 1..=3 {
+                assert_eq!(
+                    nfi_acd(&asg, &cached, r, norm),
+                    nfi_acd(&asg, &plain, r, norm),
+                    "radius {r}"
+                );
+            }
+        }
     }
 }

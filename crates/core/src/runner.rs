@@ -33,6 +33,7 @@
 
 use crate::error::SfcError;
 use crate::journal::{CellOutcome, Journal};
+use crate::timing::{self, CellTiming};
 use serde_json::Value;
 use std::collections::VecDeque;
 use std::panic::AssertUnwindSafe;
@@ -174,7 +175,7 @@ pub struct FailedCell {
 }
 
 /// End-of-sweep accounting.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct SweepSummary {
     /// Cells computed in this run.
     pub computed: usize,
@@ -189,6 +190,22 @@ pub struct SweepSummary {
     /// under-reports this run's coverage, so a resume would recompute (and
     /// for failure records, re-retry) cells this run already resolved.
     pub journal_degraded: bool,
+    /// Wall time and kernel-phase breakdown of every cell *computed* in
+    /// this run (successful attempt only), in submission order. Replayed,
+    /// failed and skipped cells have no entry. Excluded from equality —
+    /// wall times are non-deterministic, while the rest of the summary must
+    /// be byte-identical at any thread count.
+    pub timings: Vec<(String, CellTiming)>,
+}
+
+impl PartialEq for SweepSummary {
+    fn eq(&self, other: &Self) -> bool {
+        self.computed == other.computed
+            && self.replayed == other.replayed
+            && self.failed == other.failed
+            && self.skipped == other.skipped
+            && self.journal_degraded == other.journal_degraded
+    }
 }
 
 impl SweepSummary {
@@ -248,6 +265,8 @@ struct BatchCtx<'a, 'env> {
     queue: Mutex<VecDeque<usize>>,
     /// One slot per submitted cell, filled as workers finish.
     results: Mutex<Vec<Option<CellResult>>>,
+    /// Timing of each computed cell, same indexing as `results`.
+    timings: Mutex<Vec<Option<CellTiming>>>,
     journal: &'a Mutex<Option<JournalState>>,
     chaos: &'a Option<ChaosInjector>,
     max_attempts: u32,
@@ -282,19 +301,23 @@ impl BatchCtx<'_, '_> {
                 Some(i) => i,
                 None => break,
             };
-            let result = self.run_one(&self.cells[i]);
+            let (result, timing) = self.run_one(&self.cells[i]);
             self.results.lock().expect("results lock")[i] = Some(result);
+            if timing.is_some() {
+                self.timings.lock().expect("timings lock")[i] = timing;
+            }
         }
     }
 
     /// Execute one cell: journal-health gate, budget gate, then the bounded
-    /// retry loop under `catch_unwind`.
-    fn run_one(&self, cell: &BatchCell<'_>) -> CellResult {
+    /// retry loop under `catch_unwind`. A computed cell also returns the
+    /// wall time and phase breakdown of its successful attempt.
+    fn run_one(&self, cell: &BatchCell<'_>) -> (CellResult, Option<CellTiming>) {
         if let Some(err) = self.journal_dead() {
-            return CellResult::Failed(err);
+            return (CellResult::Failed(err), None);
         }
         if self.out_of_time() {
-            return CellResult::Skipped;
+            return (CellResult::Skipped, None);
         }
         let mut last_error = String::new();
         for attempt in 0..self.max_attempts {
@@ -302,6 +325,11 @@ impl BatchCtx<'_, '_> {
                 .chaos
                 .as_ref()
                 .is_some_and(|c| c.should_panic(&cell.name, attempt));
+            // A cell runs entirely on this thread, so a thread-local phase
+            // recorder observes exactly this attempt (and discards any
+            // half-recorded phases of a panicked previous one).
+            timing::start_recording();
+            let attempt_started = Instant::now();
             let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
                 if chaos_hit {
                     panic!("chaos injection");
@@ -310,12 +338,17 @@ impl BatchCtx<'_, '_> {
             }));
             match result {
                 Ok(values) => {
+                    let cell_timing = CellTiming {
+                        wall_ms: attempt_started.elapsed().as_secs_f64() * 1e3,
+                        phases: timing::take_recording(),
+                    };
                     self.record(&cell.name, CellOutcome::Ok(values.clone()));
-                    return CellResult::Computed(values);
+                    return (CellResult::Computed(values), Some(cell_timing));
                 }
                 Err(payload) => last_error = panic_message(payload.as_ref()),
             }
         }
+        let _ = timing::take_recording();
         self.record(
             &cell.name,
             CellOutcome::Failed {
@@ -323,11 +356,14 @@ impl BatchCtx<'_, '_> {
                 attempts: self.max_attempts,
             },
         );
-        CellResult::Failed(SfcError::CellFailed {
-            cell: cell.name.clone(),
-            error: last_error,
-            attempts: self.max_attempts,
-        })
+        (
+            CellResult::Failed(SfcError::CellFailed {
+                cell: cell.name.clone(),
+                error: last_error,
+                attempts: self.max_attempts,
+            }),
+            None,
+        )
     }
 }
 
@@ -441,12 +477,14 @@ impl SweepRunner {
             }
         }
 
+        let mut cell_timings: Vec<Option<CellTiming>> = vec![None; n];
         if !pending.is_empty() {
             let workers = self.jobs.min(pending.len()).max(1);
             let ctx = BatchCtx {
                 cells: &cells,
                 queue: Mutex::new(pending),
                 results: Mutex::new(slots),
+                timings: Mutex::new(cell_timings),
                 journal: &self.journal,
                 chaos: &self.chaos,
                 max_attempts: self.max_attempts,
@@ -464,15 +502,22 @@ impl SweepRunner {
                 });
             }
             slots = ctx.results.into_inner().expect("results lock");
+            cell_timings = ctx.timings.into_inner().expect("timings lock");
         }
 
         // Summary accounting in submission order, so partial-sweep reports
-        // and the JSON envelope are deterministic at any thread count.
+        // and the JSON envelope are deterministic at any thread count (cell
+        // timings follow the same order, though their values never are).
         let mut out = Vec::with_capacity(n);
         for (i, slot) in slots.into_iter().enumerate() {
             let result = slot.expect("every submitted cell resolves");
             match &result {
-                CellResult::Computed(_) => self.summary.computed += 1,
+                CellResult::Computed(_) => {
+                    self.summary.computed += 1;
+                    if let Some(timing) = cell_timings[i].take() {
+                        self.summary.timings.push((cells[i].name.clone(), timing));
+                    }
+                }
                 CellResult::Replayed(_) => self.summary.replayed += 1,
                 CellResult::Failed(SfcError::CellFailed {
                     cell,
@@ -803,6 +848,67 @@ mod tests {
         assert_eq!(summary.failed[0].cell, "refused");
         assert_eq!(summary.failed[0].attempts, 0);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn computed_cells_carry_timings_in_submission_order() {
+        let mut opts = RunnerOptions::new();
+        opts.jobs = 4;
+        let mut r = SweepRunner::new("timed", &Value::Null, opts).unwrap();
+        let cells: Vec<BatchCell> = (0..6)
+            .map(|i| {
+                BatchCell::new(format!("cell{i}"), move || {
+                    crate::timing::phase("nfi", || {
+                        std::thread::sleep(Duration::from_millis(1));
+                    });
+                    vec![i as f64]
+                })
+            })
+            .collect();
+        let _ = r.run_cells(cells);
+        let summary = r.finish();
+        assert_eq!(summary.timings.len(), 6);
+        for (i, (name, timing)) in summary.timings.iter().enumerate() {
+            assert_eq!(name, &format!("cell{i}"));
+            assert!(timing.wall_ms >= 1.0, "{name}: wall {}", timing.wall_ms);
+            let nfi = timing.phase_ms("nfi").expect("nfi phase recorded");
+            assert!(nfi > 0.0 && nfi <= timing.wall_ms + 1e-6);
+        }
+    }
+
+    #[test]
+    fn replayed_and_failed_cells_have_no_timing() {
+        let path = temp_path("timing_replay");
+        std::fs::remove_file(&path).ok();
+        let mut opts = RunnerOptions::new();
+        opts.journal = Some(path.clone());
+        let mut r = SweepRunner::new("timed", &Value::Null, opts).unwrap();
+        assert!(matches!(r.run_cell("ok", || vec![1.0]), CellResult::Computed(_)));
+        let _ = r.run_cell("bad", || panic!("boom"));
+        assert_eq!(r.finish().timings.len(), 1);
+
+        let mut opts = RunnerOptions::new();
+        opts.journal = Some(path.clone());
+        let mut r = SweepRunner::new("timed", &Value::Null, opts).unwrap();
+        assert!(matches!(r.run_cell("ok", || vec![1.0]), CellResult::Replayed(_)));
+        let summary = r.finish();
+        assert_eq!(summary.replayed, 1);
+        assert!(summary.timings.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn summary_equality_ignores_timings() {
+        let mut a = SweepSummary {
+            computed: 2,
+            ..Default::default()
+        };
+        let b = SweepSummary {
+            computed: 2,
+            ..Default::default()
+        };
+        a.timings.push(("c".into(), CellTiming::default()));
+        assert_eq!(a, b);
     }
 
     #[test]

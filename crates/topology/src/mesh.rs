@@ -110,6 +110,21 @@ impl Topology for Mesh2d {
     fn grid_side(&self) -> Option<u64> {
         (self.sx == self.sy).then_some(self.sx)
     }
+
+    fn fill_distance_row(&self, from: NodeId, row: &mut [u64]) {
+        // Hoist `from`'s decomposition and walk the grid row-major, tracking
+        // (x, y) incrementally instead of dividing per node.
+        let (fx, fy) = self.position(from);
+        let (mut x, mut y) = (0u64, 0u64);
+        for slot in row.iter_mut() {
+            *slot = fx.abs_diff(x) + fy.abs_diff(y);
+            x += 1;
+            if x == self.sx {
+                x = 0;
+                y += 1;
+            }
+        }
+    }
 }
 
 /// A 2-D torus: a mesh with wrap-around links in both dimensions.
@@ -197,6 +212,21 @@ impl Topology for Torus2d {
 
     fn grid_side(&self) -> Option<u64> {
         (self.sx == self.sy).then_some(self.sx)
+    }
+
+    fn fill_distance_row(&self, from: NodeId, row: &mut [u64]) {
+        let (fx, fy) = self.position(from);
+        let (mut x, mut y) = (0u64, 0u64);
+        for slot in row.iter_mut() {
+            let dx = fx.abs_diff(x);
+            let dy = fy.abs_diff(y);
+            *slot = dx.min(self.sx - dx) + dy.min(self.sy - dy);
+            x += 1;
+            if x == self.sx {
+                x = 0;
+                y += 1;
+            }
+        }
     }
 }
 

@@ -157,20 +157,34 @@ impl<I: Iterator> ParIter<I> {
 /// No-op thread pool configuration, mirroring `rayon::ThreadPoolBuilder`.
 #[derive(Debug, Default)]
 pub struct ThreadPoolBuilder {
-    _threads: usize,
+    threads: usize,
 }
 
-/// Error type of [`ThreadPoolBuilder::build`]; never produced.
+/// Error type of [`ThreadPoolBuilder::build`] /
+/// [`ThreadPoolBuilder::build_global`]. Like real rayon, a second
+/// `build_global` call reports that the global pool is already initialized.
 #[derive(Debug)]
-pub struct ThreadPoolBuildError;
+pub struct ThreadPoolBuildError {
+    already_initialized: bool,
+}
 
 impl std::fmt::Display for ThreadPoolBuildError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str("thread pool build error (unreachable in the sequential stand-in)")
+        if self.already_initialized {
+            f.write_str("the global thread pool has already been initialized")
+        } else {
+            f.write_str("thread pool build error (unreachable in the sequential stand-in)")
+        }
     }
 }
 
 impl std::error::Error for ThreadPoolBuildError {}
+
+/// Configured size of the global pool: 0 while uninitialized, the
+/// `num_threads` of the first successful `build_global` afterwards (with
+/// rayon's convention that a requested 0 means "all cores").
+static GLOBAL_POOL_THREADS: std::sync::atomic::AtomicUsize =
+    std::sync::atomic::AtomicUsize::new(0);
 
 impl ThreadPoolBuilder {
     /// Start building.
@@ -178,9 +192,12 @@ impl ThreadPoolBuilder {
         Self::default()
     }
 
-    /// Accepted and ignored: execution is sequential.
+    /// Record the requested size. Execution stays sequential, but the size
+    /// is observable via [`current_num_threads`] after
+    /// [`ThreadPoolBuilder::build_global`], mirroring how callers size one
+    /// shared pool for the whole process.
     pub fn num_threads(mut self, n: usize) -> Self {
-        self._threads = n;
+        self.threads = n;
         self
     }
 
@@ -189,9 +206,27 @@ impl ThreadPoolBuilder {
         Ok(ThreadPool)
     }
 
-    /// Install globally; a no-op.
+    /// Install the global pool. Like real rayon this succeeds exactly once
+    /// per process; later calls return an error and leave the first
+    /// configuration in effect, so harnesses must treat a failure here as
+    /// "already sized" rather than fatal.
     pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
-        Ok(())
+        let requested = if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.threads
+        };
+        match GLOBAL_POOL_THREADS.compare_exchange(
+            0,
+            requested,
+            std::sync::atomic::Ordering::SeqCst,
+            std::sync::atomic::Ordering::SeqCst,
+        ) {
+            Ok(_) => Ok(()),
+            Err(_) => Err(ThreadPoolBuildError {
+                already_initialized: true,
+            }),
+        }
     }
 }
 
@@ -206,9 +241,15 @@ impl ThreadPool {
     }
 }
 
-/// The number of worker threads (always 1 in the sequential stand-in).
+/// The configured size of the global pool (1 until `build_global` runs —
+/// the stand-in always *executes* on the calling thread, but reporting the
+/// configured size lets harnesses verify that kernels share one pool sized
+/// off `--jobs` instead of each spawning their own).
 pub fn current_num_threads() -> usize {
-    1
+    match GLOBAL_POOL_THREADS.load(std::sync::atomic::Ordering::SeqCst) {
+        0 => 1,
+        n => n,
+    }
 }
 
 #[cfg(test)]
@@ -255,5 +296,21 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(pool.install(|| 7), 7);
+    }
+
+    #[test]
+    fn build_global_succeeds_once_and_fixes_the_size() {
+        // Single test process-wide touching the global pool (tests in this
+        // crate run in one process, so only this test may call
+        // build_global).
+        let first = super::ThreadPoolBuilder::new().num_threads(3).build_global();
+        assert!(first.is_ok());
+        assert_eq!(super::current_num_threads(), 3);
+        // A second installation fails like real rayon and leaves the first
+        // configuration in effect.
+        let second = super::ThreadPoolBuilder::new().num_threads(9).build_global();
+        let err = second.unwrap_err();
+        assert!(err.to_string().contains("already been initialized"));
+        assert_eq!(super::current_num_threads(), 3);
     }
 }
