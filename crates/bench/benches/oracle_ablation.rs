@@ -98,8 +98,8 @@ fn bench_oracle_ablation(c: &mut Criterion) {
         for (label, machine) in [("oracle_on", &cached), ("oracle_off", &fallback)] {
             e2e.bench_function(label, |b| {
                 b.iter(|| {
-                    let nfi = nfi_acd(&asg, machine, RADIUS as u32, Norm::Chebyshev);
-                    let ffi = ffi_acd_with_tree(&asg, machine, &tree);
+                    let nfi = nfi_acd(&asg, machine, RADIUS as u32, Norm::Chebyshev).unwrap();
+                    let ffi = ffi_acd_with_tree(&asg, machine, &tree).unwrap();
                     nfi.acd() + ffi.acd()
                 })
             });

@@ -2,10 +2,22 @@
 //!
 //! Hand-rolled on purpose: the binaries take a handful of flags, which does
 //! not justify an argument-parsing dependency.
+//!
+//! All seven binaries share this one parser: the *what to compute* flags
+//! (`--scale`, `--trials`, `--seed`) resolve to a canonical
+//! [`ExperimentSpec`] via [`SweepArgs::spec`], while the remaining flags
+//! describe *how to run it* (threads, journaling, fault injection, output
+//! paths, result cache) and deliberately stay out of the spec — they never
+//! change a computed byte.
+
+use sfc_core::{ArtifactKind, ExperimentSpec};
+
+/// Historical name of [`SweepArgs`], kept so existing imports keep working.
+pub type Args = SweepArgs;
 
 /// Parsed command-line options shared by all regeneration binaries.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Args {
+pub struct SweepArgs {
     /// Scale-down exponent: workloads shrink by `4^scale` (0 = paper size).
     pub scale: u32,
     /// Number of independent trials to average.
@@ -40,11 +52,15 @@ pub struct Args {
     /// closed-form topology distances (ablation/verification only; output
     /// bytes are identical either way).
     pub no_oracle: bool,
+    /// Content-addressed result cache directory: a repeat of an already
+    /// cached spec replays the stored artifact byte-for-byte with zero
+    /// sweep cells computed; a fresh complete run populates it.
+    pub cache: Option<String>,
 }
 
-impl Default for Args {
+impl Default for SweepArgs {
     fn default() -> Self {
-        Args {
+        SweepArgs {
             scale: 2,
             trials: 3,
             seed: 20130701, // ICPP 2013, for flavor; any constant works.
@@ -58,15 +74,16 @@ impl Default for Args {
             chaos_journal: None,
             timing: None,
             no_oracle: false,
+            cache: None,
         }
     }
 }
 
-impl Args {
+impl SweepArgs {
     /// Parse from an iterator of arguments (excluding the program name).
     /// Returns an error message on malformed input.
-    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Args, String> {
-        let mut out = Args::default();
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<SweepArgs, String> {
+        let mut out = SweepArgs::default();
         let mut it = args.into_iter();
         while let Some(flag) = it.next() {
             match flag.as_str() {
@@ -118,6 +135,12 @@ impl Args {
                     )
                 }
                 "--no-oracle" => out.no_oracle = true,
+                "--cache" => {
+                    out.cache = Some(
+                        it.next()
+                            .ok_or_else(|| "--cache needs a directory".to_string())?,
+                    )
+                }
                 "--help" | "-h" => return Err(usage()),
                 other => return Err(format!("unknown flag `{other}`\n{}", usage())),
             }
@@ -126,14 +149,22 @@ impl Args {
     }
 
     /// Parse from the process environment, exiting with a message on error.
-    pub fn from_env() -> Args {
-        match Args::parse(std::env::args().skip(1)) {
+    pub fn from_env() -> SweepArgs {
+        match SweepArgs::parse(std::env::args().skip(1)) {
             Ok(a) => a,
             Err(msg) => {
                 eprintln!("{msg}");
                 std::process::exit(2);
             }
         }
+    }
+
+    /// The canonical spec of the computation these flags describe for
+    /// `artifact` — the cache/daemon identity of the run. Only
+    /// `--scale`/`--trials`/`--seed` feed it; every other flag is a runner
+    /// option that cannot change a computed byte.
+    pub fn spec(&self, artifact: ArtifactKind) -> ExperimentSpec {
+        ExperimentSpec::for_artifact(artifact, self.scale, self.trials, self.seed)
     }
 
     /// Render a one-line description of the effective configuration.
@@ -153,7 +184,7 @@ fn next_num<I: Iterator<Item = String>>(it: &mut I, flag: &str) -> Result<u64, S
 
 fn usage() -> String {
     "usage: <bin> [--scale S] [--trials T] [--seed X] [--jobs N] [--markdown] [--json PATH] [--timing PATH] [--no-oracle]\n\
-     \u{20}          [--journal PATH] [--time-budget SECS] [--chaos LIST] [--chaos-persistent] [--chaos-journal N]\n\
+     \u{20}          [--cache DIR] [--journal PATH] [--time-budget SECS] [--chaos LIST] [--chaos-persistent] [--chaos-journal N]\n\
      --scale S            shrink the paper workload by 4^S (default 2; 0 = full size)\n\
      --trials T           independent trials to average (default 3)\n\
      --seed X             base RNG seed (default 20130701)\n\
@@ -165,6 +196,8 @@ fn usage() -> String {
      \u{20}                    sample/assign/nfi/ffi phase breakdown) as JSON\n\
      --no-oracle          skip the precomputed hop-distance oracle and use\n\
      \u{20}                    closed-form distances (output bytes identical)\n\
+     --cache DIR          content-addressed result cache: replay an already\n\
+     \u{20}                    cached run byte-for-byte, else populate it\n\
      --journal PATH       append completed sweep cells to a JSONL journal and\n\
      \u{20}                    resume from it on restart\n\
      --time-budget SECS   stop scheduling new cells after SECS seconds; partial\n\
@@ -181,14 +214,14 @@ fn usage() -> String {
 mod tests {
     use super::*;
 
-    fn parse(v: &[&str]) -> Result<Args, String> {
-        Args::parse(v.iter().map(|s| s.to_string()))
+    fn parse(v: &[&str]) -> Result<SweepArgs, String> {
+        SweepArgs::parse(v.iter().map(|s| s.to_string()))
     }
 
     #[test]
     fn defaults() {
         let a = parse(&[]).unwrap();
-        assert_eq!(a, Args::default());
+        assert_eq!(a, SweepArgs::default());
         assert_eq!(a.scale, 2);
         assert_eq!(a.trials, 3);
         assert!(!a.markdown);
@@ -199,6 +232,7 @@ mod tests {
         assert_eq!(a.chaos_journal, None);
         assert_eq!(a.timing, None);
         assert!(!a.no_oracle);
+        assert_eq!(a.cache, None);
     }
 
     #[test]
@@ -227,6 +261,8 @@ mod tests {
             "--timing",
             "/tmp/x.timing.json",
             "--no-oracle",
+            "--cache",
+            "/tmp/cache",
         ])
         .unwrap();
         assert_eq!(a.scale, 0);
@@ -242,6 +278,7 @@ mod tests {
         assert_eq!(a.chaos_journal, Some(2));
         assert_eq!(a.timing.as_deref(), Some("/tmp/x.timing.json"));
         assert!(a.no_oracle);
+        assert_eq!(a.cache.as_deref(), Some("/tmp/cache"));
     }
 
     #[test]
@@ -258,6 +295,25 @@ mod tests {
         assert!(parse(&["--jobs", "0"]).is_err());
         assert!(parse(&["--chaos-journal", "many"]).is_err());
         assert!(parse(&["--timing"]).is_err());
+        assert!(parse(&["--cache"]).is_err());
+    }
+
+    #[test]
+    fn spec_reflects_the_what_flags_only() {
+        let a = parse(&["--scale", "4", "--trials", "2", "--seed", "99"]).unwrap();
+        let b = parse(&[
+            "--scale", "4", "--trials", "2", "--seed", "99", "--jobs", "3", "--markdown",
+            "--no-oracle", "--cache", "/tmp/c",
+        ])
+        .unwrap();
+        let spec = a.spec(ArtifactKind::Table1);
+        assert_eq!(spec, ExperimentSpec::table1(4, 2, 99));
+        // Runner options never reach the spec (or its hash).
+        assert_eq!(spec.canonical_hash(), b.spec(ArtifactKind::Table1).canonical_hash());
+        assert_ne!(
+            spec.canonical_hash(),
+            b.spec(ArtifactKind::Figure7).canonical_hash()
+        );
     }
 
     #[test]

@@ -1,280 +1,9 @@
 //! Extension studies beyond the paper's published evaluation, covering its
-//! future-work list (Section VIII):
-//!
-//! 1. **Link congestion** (future work i): route every near-field message
-//!    deterministically and report the maximum and mean link load per curve —
-//!    does the ACD winner also spread traffic evenly?
-//! 2. **3-D ANNS** (future work ii): does the Figure 5 inversion (Z and
-//!    row-major beating Hilbert and Gray) persist in three dimensions?
-//! 3. **3-D ACD** (future work ii): the full communication model on an
-//!    octree with 3-D interconnects.
-//! 4. **Clustering metric** (related-work baseline): the database metric on
-//!    which the Hilbert curve famously *wins*, shown side by side with the
-//!    ANNS on which it loses.
-//! 5. **Closed curves**: the Moore curve (closed Hilbert) against the open
-//!    Hilbert curve on a torus, plus the cyclic stretch metric.
-//!
-//! Each table row is one sweep cell of the `extensions` sweep, so
-//! `--journal`/`--time-budget` resume and bound this binary like the paper
-//! regenerations.
-
-use sfc_bench::harness;
-use sfc_bench::Args;
-use sfc_core::anns::anns_cyclic;
-use sfc_core::anns3d::anns3d;
-use sfc_core::clustering::average_clusters;
-use sfc_core::ffi::ffi_acd;
-use sfc_core::load::nfi_link_load;
-use sfc_core::model3d::{ffi_acd_3d, nfi_acd_3d, Assignment3, Machine3, Topology3Kind};
-use sfc_core::nfi::nfi_acd;
-use sfc_core::report::Table;
-use sfc_core::timing;
-use sfc_core::{anns::anns, Assignment, Machine};
-use sfc_curves::curve3d::Curve3dKind;
-use sfc_curves::point::Norm;
-use sfc_curves::CurveKind;
-use sfc_particles::sampler3d::sample3d;
-use sfc_particles::{Distribution, DistributionKind, Workload};
-use sfc_core::runner::BatchCell;
-use sfc_topology::TopologyKind;
-use std::sync::OnceLock;
-
-/// Format one cell's values with the given per-column formatters, or a row
-/// of `—` when the cell failed or was skipped.
-fn row_or_missing(
-    label: &str,
-    values: Option<&[f64]>,
-    fmts: &[fn(f64) -> String],
-) -> Vec<String> {
-    let mut row = vec![label.to_string()];
-    match values {
-        Some(vs) => row.extend(vs.iter().zip(fmts).map(|(&v, f)| f(v))),
-        None => row.extend(fmts.iter().map(|_| "—".to_string())),
-    }
-    row
-}
-
-fn f3(v: f64) -> String {
-    format!("{v:.3}")
-}
-
-fn f2(v: f64) -> String {
-    format!("{v:.2}")
-}
-
-fn f0(v: f64) -> String {
-    format!("{v:.0}")
-}
-
-/// Torus machine honoring `--no-oracle` (values identical either way).
-fn torus_machine(procs: u64, curve: CurveKind, no_oracle: bool) -> Machine {
-    let m = Machine::grid(TopologyKind::Torus, procs, curve);
-    if no_oracle {
-        m.without_oracle()
-    } else {
-        m
-    }
-}
+//! future-work list (Section VIII) — the five studies live in
+//! [`sfc_bench::extensions`]; this binary is the same thin shell as the
+//! paper regenerations, so `--journal`/`--time-budget`/`--cache` behave
+//! identically here.
 
 fn main() {
-    let args = Args::from_env();
-    println!("{}", args.banner("Extension studies (paper Section VIII future work)"));
-    let mut runner = harness::runner("extensions", &args);
-    let no_oracle = args.no_oracle;
-
-    // 1. Link congestion on the torus at a scaled Table I configuration.
-    let scale = args.scale.max(2); // routing every message is heavy
-    let workload = Workload::tables_1_2(DistributionKind::Uniform, args.seed).scaled_down(scale);
-    let procs = (65_536u64 >> (2 * scale)).max(4);
-    let mut congestion = Table::new(
-        format!(
-            "NFI link congestion — torus, {} particles, {procs} processors",
-            workload.n
-        ),
-        &[
-            "Curve",
-            "ACD",
-            "max link load",
-            "mean link load",
-            "mean active load",
-            "imbalance",
-        ],
-    );
-    let particles = OnceLock::new();
-    let congestion_cells: Vec<BatchCell> = CurveKind::PAPER
-        .iter()
-        .map(|&curve| {
-            let particles = &particles;
-            let workload = &workload;
-            BatchCell::new(format!("congestion/{}", curve.short_name()), move || {
-                let particles =
-                    timing::phase("sample", || particles.get_or_init(|| workload.particles(0)));
-                let asg = timing::phase("assign", || {
-                    Assignment::new(particles, workload.grid_order, curve, procs)
-                });
-                let machine = torus_machine(procs, curve, no_oracle);
-                let load =
-                    timing::phase("nfi", || nfi_link_load(&asg, &machine, 1, Norm::Chebyshev));
-                let acd = if load.messages == 0 {
-                    0.0
-                } else {
-                    load.crossings as f64 / load.messages as f64
-                };
-                vec![
-                    acd,
-                    load.max_load() as f64,
-                    load.mean_load(),
-                    load.mean_active_load(),
-                    load.imbalance(),
-                ]
-            })
-        })
-        .collect();
-    for (curve, result) in CurveKind::PAPER
-        .iter()
-        .zip(runner.run_cells(congestion_cells))
-    {
-        congestion.push_row(row_or_missing(
-            curve.short_name(),
-            result.values(),
-            &[f3, f0, f2, f2, f2],
-        ));
-    }
-    print!("\n{}", congestion.render());
-
-    // 2. 3-D ANNS.
-    let mut table3d = Table::new(
-        "3-D ANNS (radius-1 Manhattan) — future work item ii",
-        &["Cube", "Hilbert", "Z", "Gray", "RowMajor"],
-    );
-    let orders3d: Vec<u32> = (2..=5).collect();
-    let anns3d_cells: Vec<BatchCell> = orders3d
-        .iter()
-        .map(|&order| {
-            BatchCell::new(format!("anns3d/o{order}"), move || {
-                Curve3dKind::ALL
-                    .iter()
-                    .map(|&k| anns3d(k, order).average())
-                    .collect()
-            })
-        })
-        .collect();
-    for (&order, result) in orders3d.iter().zip(runner.run_cells(anns3d_cells)) {
-        let side = 1u64 << order;
-        table3d.push_row(row_or_missing(
-            &format!("{side}^3"),
-            result.values(),
-            &[f3, f3, f3, f3],
-        ));
-    }
-    print!("\n{}", table3d.render());
-
-    // 3. The full 3-D ACD model: the 2-D findings replayed on an octree
-    // with 3-D interconnects (future work item ii).
-    let cube_order = 6u32; // 64^3 cells
-    let n3 = 20_000usize;
-    let procs3 = 4096u64; // 16^3 torus / 2^12 hypercube
-    let particles3 = OnceLock::new();
-    let mut acd3 = Table::new(
-        format!("3-D ACD — {n3} uniform particles in a 64^3 cube, {procs3} processors"),
-        &["Curve", "NFI mesh3d", "NFI torus3d", "NFI hypercube", "FFI torus3d"],
-    );
-    let seed = args.seed;
-    let acd3_cells: Vec<BatchCell> = Curve3dKind::ALL
-        .iter()
-        .map(|&curve| {
-            let particles3 = &particles3;
-            BatchCell::new(format!("acd3d/{}", curve.short_name()), move || {
-                let particles3 = particles3
-                    .get_or_init(|| sample3d(Distribution::uniform(), cube_order, n3, seed));
-                let asg = Assignment3::new(particles3, cube_order, curve, procs3);
-                let mut row = Vec::new();
-                for topo in Topology3Kind::ALL {
-                    let machine = Machine3::new(topo, procs3, curve);
-                    row.push(nfi_acd_3d(&asg, &machine, 1).acd());
-                }
-                // Reorder: ALL = [Mesh3d, Torus3d, Hypercube] matches headers.
-                let torus = Machine3::new(Topology3Kind::Torus3d, procs3, curve);
-                row.push(ffi_acd_3d(&asg, &torus).acd());
-                row
-            })
-        })
-        .collect();
-    for (curve, result) in Curve3dKind::ALL.iter().zip(runner.run_cells(acd3_cells)) {
-        acd3.push_row(row_or_missing(
-            curve.short_name(),
-            result.values(),
-            &[f3, f3, f3, f3],
-        ));
-    }
-    print!("\n{}", acd3.render());
-
-    // 4. Clustering vs ANNS, side by side.
-    let mut metrics = Table::new(
-        "Clustering (4x4 queries) vs ANNS at 64x64 — the metric inversion",
-        &["Curve", "avg clusters (lower=better)", "ANNS (lower=better)"],
-    );
-    let metric_cells: Vec<BatchCell> = CurveKind::PAPER
-        .iter()
-        .map(|&curve| {
-            BatchCell::new(format!("metrics/{}", curve.short_name()), move || {
-                vec![average_clusters(curve, 6, 4), anns(curve, 6).average()]
-            })
-        })
-        .collect();
-    for (curve, result) in CurveKind::PAPER.iter().zip(runner.run_cells(metric_cells)) {
-        metrics.push_row(row_or_missing(curve.short_name(), result.values(), &[f3, f3]));
-    }
-    print!("\n{}", metrics.render());
-
-    // 5. Closed curves: does closing the Hilbert loop (Moore curve) help on
-    // a torus, whose links also wrap?
-    let mut moore = Table::new(
-        "Closed-curve study — Hilbert vs Moore on a torus",
-        &["Curve", "NFI ACD", "FFI ACD", "cyclic max stretch (64x64)"],
-    );
-    let closed_curves = [CurveKind::Hilbert, CurveKind::Moore];
-    let moore_particles = OnceLock::new();
-    let moore_cells: Vec<BatchCell> = closed_curves
-        .iter()
-        .map(|&curve| {
-            let particles = &moore_particles;
-            let workload = &workload;
-            BatchCell::new(format!("moore/{}", curve.short_name()), move || {
-                let particles =
-                    timing::phase("sample", || particles.get_or_init(|| workload.particles(1)));
-                let asg = timing::phase("assign", || {
-                    Assignment::new(particles, workload.grid_order, curve, procs)
-                });
-                let machine = torus_machine(procs, curve, no_oracle);
-                vec![
-                    timing::phase("nfi", || nfi_acd(&asg, &machine, 1, Norm::Chebyshev).acd()),
-                    timing::phase("ffi", || ffi_acd(&asg, &machine).acd()),
-                    anns_cyclic(curve, 6, 1, Norm::Manhattan).max_stretch,
-                ]
-            })
-        })
-        .collect();
-    for (curve, result) in closed_curves.iter().zip(runner.run_cells(moore_cells)) {
-        moore.push_row(row_or_missing(curve.short_name(), result.values(), &[f3, f3, f0]));
-    }
-    print!("\n{}", moore.render());
-
-    let summary = runner.finish();
-    harness::report("extensions", &summary);
-    harness::write_timing("extensions", &args, &summary);
-    if let Some(path) = &args.json {
-        let tables = [congestion, table3d, acd3, metrics, moore];
-        sfc_bench::results::write_json(
-            path,
-            &sfc_bench::results::tables_json(&tables, &args, &summary, "extensions"),
-        )
-        .expect("write JSON");
-    }
-
-    println!(
-        "\nNote how the Hilbert curve wins the clustering metric and the ACD\n\
-         metrics but loses the ANNS — the apparent contradiction the paper\n\
-         resolves by arguing metrics must model the target application."
-    );
+    sfc_bench::harness::run_artifact(sfc_core::ArtifactKind::Extensions);
 }

@@ -7,37 +7,6 @@
 //! cells, no sampling), so `--scale`/`--trials`/`--seed` are accepted but
 //! ignored.
 
-use sfc_bench::figures::{render_anns, run_anns_sweep};
-use sfc_bench::harness;
-use sfc_bench::results::{anns_json, write_json};
-use sfc_bench::Args;
-
-/// The paper's largest resolution: 512×512.
-const MAX_ORDER: u32 = 9;
-
 fn main() {
-    let args = Args::from_env();
-    println!("{}", args.banner("Figure 5 — ANNS vs spatial resolution"));
-    let mut runner = harness::runner("figure5", &args);
-    let sweeps: Vec<_> = [1u32, 6]
-        .iter()
-        .map(|&radius| run_anns_sweep(radius, MAX_ORDER, &mut runner))
-        .collect();
-    let summary = runner.finish();
-    harness::report("figure5", &summary);
-    harness::write_timing("figure5", &args, &summary);
-    if let Some(path) = &args.json {
-        write_json(path, &anns_json(&sweeps, &args, &summary)).expect("write JSON");
-    }
-    for sweep in &sweeps {
-        let table = render_anns(sweep);
-        print!(
-            "\n{}",
-            if args.markdown {
-                table.render_markdown()
-            } else {
-                table.render()
-            }
-        );
-    }
+    sfc_bench::harness::run_artifact(sfc_core::ArtifactKind::Figure5);
 }

@@ -7,35 +7,6 @@
 //! entries) as off-scale; this binary prints them all so the omission is
 //! verifiable.
 
-use sfc_bench::figures::{render_topology, run_topology_sweep};
-use sfc_bench::harness;
-use sfc_bench::results::{topology_json, write_json};
-use sfc_bench::Args;
-
 fn main() {
-    let args = Args::from_env();
-    println!("{}", args.banner("Figure 6 — ACD by network topology"));
-    let mut runner = harness::runner("figure6", &args);
-    let sweep = run_topology_sweep(&args, &mut runner);
-    let summary = runner.finish();
-    harness::report("figure6", &summary);
-    harness::write_timing("figure6", &args, &summary);
-    if let Some(path) = &args.json {
-        write_json(path, &topology_json(&sweep, &args, &summary)).expect("write JSON");
-    }
-    for near_field in [true, false] {
-        let table = render_topology(&sweep, near_field);
-        print!(
-            "\n{}",
-            if args.markdown {
-                table.render_markdown()
-            } else {
-                table.render()
-            }
-        );
-    }
-    println!(
-        "\n(The paper plots mesh/torus/quadtree/hypercube only; bus, ring and the \
-         row-major NFI entries are off its scale.)"
-    );
+    sfc_bench::harness::run_artifact(sfc_core::ArtifactKind::Figure6);
 }

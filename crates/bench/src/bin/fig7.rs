@@ -2,31 +2,6 @@
 //! of processors for each SFC, on a torus with 1,000,000 uniform particles
 //! (`--scale 0`), for (a) near-field and (b) far-field interactions.
 
-use sfc_bench::figures::{render_processors, run_processor_sweep};
-use sfc_bench::harness;
-use sfc_bench::results::{processors_json, write_json};
-use sfc_bench::Args;
-
 fn main() {
-    let args = Args::from_env();
-    println!("{}", args.banner("Figure 7 — ACD vs processor count (torus)"));
-    let mut runner = harness::runner("figure7", &args);
-    let sweep = run_processor_sweep(&args, &mut runner);
-    let summary = runner.finish();
-    harness::report("figure7", &summary);
-    harness::write_timing("figure7", &args, &summary);
-    if let Some(path) = &args.json {
-        write_json(path, &processors_json(&sweep, &args, &summary)).expect("write JSON");
-    }
-    for near_field in [true, false] {
-        let table = render_processors(&sweep, near_field);
-        print!(
-            "\n{}",
-            if args.markdown {
-                table.render_markdown()
-            } else {
-                table.render()
-            }
-        );
-    }
+    sfc_bench::harness::run_artifact(sfc_core::ArtifactKind::Figure7);
 }

@@ -2,41 +2,6 @@
 //! near-field radius, the input size, and the input distribution vary
 //! (torus topology, particle and processor orderings tied).
 
-use sfc_bench::figures::{run_distribution_comparison, run_input_size_sweep, run_radius_sweep};
-use sfc_bench::harness;
-use sfc_bench::results::{tables_json, write_json};
-use sfc_bench::Args;
-
 fn main() {
-    let args = Args::from_env();
-    println!("{}", args.banner("Section VI-C — parametric studies"));
-    let mut runner = harness::runner("parametric", &args);
-
-    let radius_table = run_radius_sweep(&args, &[1, 2, 4, 6, 8], &mut runner);
-
-    // Input sizes around the (scaled) Table I workload: ×¼, ×½, ×1, ×2.
-    let base_n = (250_000usize >> (2 * args.scale)).max(64);
-    let sizes = [base_n / 4, base_n / 2, base_n, base_n * 2];
-    let size_table = run_input_size_sweep(&args, &sizes, &mut runner);
-
-    let dist_table = run_distribution_comparison(&args, &mut runner);
-
-    let summary = runner.finish();
-    harness::report("parametric", &summary);
-    harness::write_timing("parametric", &args, &summary);
-    let tables = [radius_table, size_table, dist_table];
-    if let Some(path) = &args.json {
-        write_json(path, &tables_json(&tables, &args, &summary, "parametric"))
-            .expect("write JSON");
-    }
-    for table in tables {
-        print!(
-            "\n{}",
-            if args.markdown {
-                table.render_markdown()
-            } else {
-                table.render()
-            }
-        );
-    }
+    sfc_bench::harness::run_artifact(sfc_core::ArtifactKind::Parametric);
 }

@@ -6,32 +6,6 @@
 //! each cell computes both interaction models, so regenerating one table
 //! journals the other's values too.
 
-use sfc_bench::harness;
-use sfc_bench::results::{grid_json, write_json};
-use sfc_bench::tables::{render_grid, run_tables, Interaction};
-use sfc_bench::Args;
-
 fn main() {
-    let args = Args::from_env();
-    println!("{}", args.banner("Table II — FFI ACD, particle/processor SFC combinations"));
-    let mut runner = harness::runner("tables", &args);
-    let grids = run_tables(&args, &mut runner);
-    let summary = runner.finish();
-    harness::report("tables", &summary);
-    harness::write_timing("table2", &args, &summary);
-    if let Some(path) = &args.json {
-        write_json(path, &grid_json(&grids, &args, &summary, "table2")).expect("write JSON");
-    }
-    for grid in grids {
-        let table = render_grid(&grid, Interaction::FarField);
-        print!(
-            "\n{}",
-            if args.markdown {
-                table.render_markdown()
-            } else {
-                table.render()
-            }
-        );
-    }
-    println!("\n(* lowest in row — paper's boldface; † lowest in column — paper's italics)");
+    sfc_bench::harness::run_artifact(sfc_core::ArtifactKind::Table2);
 }

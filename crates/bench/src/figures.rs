@@ -7,17 +7,17 @@
 //! aborting the rest of the sweep. Values missing after a partial sweep
 //! surface as `None` entries and render as `—`.
 
-use crate::args::Args;
+use crate::artifact::ComputeOpts;
 use sfc_core::anns::anns_radius;
 use sfc_core::ffi::{ffi_acd_with_tree, OwnerTree};
 use sfc_core::nfi::nfi_acd;
 use sfc_core::report::Table;
 use sfc_core::runner::{BatchCell, CellResult, SweepRunner};
 use sfc_core::timing;
-use sfc_core::{Assignment, Stats};
+use sfc_core::{Assignment, ExperimentSpec, Stats};
 use sfc_curves::point::Norm;
 use sfc_curves::{CurveKind, Point2};
-use sfc_particles::{DistributionKind, Workload};
+use sfc_particles::Workload;
 use sfc_topology::TopologyKind;
 use std::sync::OnceLock;
 
@@ -51,19 +51,21 @@ pub struct AnnsSweep {
     pub values: Vec<Vec<Option<f64>>>,
 }
 
-/// Run the Figure 5 sweep for a given radius over grid orders
-/// `1 ..= max_order` (the paper's Figure 5 spans 2×2 through 512×512,
-/// i.e. `max_order = 9`). Cell `"r{radius}/{curve}/o{order}"` produces the
-/// single stretch value for that resolution.
-pub fn run_anns_sweep(radius: u32, max_order: u32, runner: &mut SweepRunner) -> AnnsSweep {
-    let orders: Vec<u32> = (1..=max_order).collect();
+/// Run the Figure 5 sweep for a given radius over the given grid orders
+/// (the paper's Figure 5 spans 2×2 through 512×512, i.e. orders
+/// `1..=9`). Cell `"r{radius}/{curve}/o{order}"` produces the single
+/// stretch value for that resolution.
+pub fn run_anns_sweep(radius: u32, orders: &[u32], runner: &mut SweepRunner) -> AnnsSweep {
+    let orders: Vec<u32> = orders.to_vec();
     let mut cells = Vec::with_capacity(4 * orders.len());
     for &curve in CurveKind::PAPER.iter() {
         for &order in &orders {
             let name = format!("r{radius}/{}/o{order}", curve.short_name());
             cells.push(BatchCell::new(name, move || {
                 timing::phase("anns", || {
-                    vec![anns_radius(curve, order, radius, Norm::Manhattan).average()]
+                    vec![anns_radius(curve, order, radius, Norm::Manhattan)
+                        .unwrap_or_else(|e| panic!("anns_radius: {e}"))
+                        .average()]
                 })
             }));
         }
@@ -121,24 +123,30 @@ pub struct TopologySweep {
 pub const FIG6_RADIUS: u32 = 4;
 
 /// Run the Figure 6 experiment: 1,000,000 uniform particles on a 4096×4096
-/// resolution (scaled by `args.scale`), the same SFC for particle and
+/// resolution (scaled by `--scale`), the same SFC for particle and
 /// processor order, across all six topologies (the paper plots four and
 /// notes bus/ring are off the scale).
 ///
 /// Cell `"t{trial}/{curve}"` produces twelve values: the (near-field,
 /// far-field) ACD pair on each of the six topologies, interleaved.
-pub fn run_topology_sweep(args: &Args, runner: &mut SweepRunner) -> TopologySweep {
-    let workload = Workload::figure6(args.seed).scaled_down(args.scale);
-    let num_procs = (65_536u64 >> (2 * args.scale)).max(4);
-    let topologies: Vec<TopologyKind> = TopologyKind::PAPER.to_vec();
+pub fn run_topology_sweep(
+    spec: &ExperimentSpec,
+    opts: &ComputeOpts,
+    runner: &mut SweepRunner,
+) -> TopologySweep {
+    let workload = spec.workload(spec.distributions[0]);
+    let num_procs = spec.processors[0];
+    let radius = spec.radii[0];
+    let norm = spec.norm;
+    let topologies: Vec<TopologyKind> = spec.topologies.clone();
     let nt = topologies.len();
 
     let trial_particles: Vec<OnceLock<Vec<Point2>>> =
-        (0..args.trials).map(|_| OnceLock::new()).collect();
-    let mut cells = Vec::with_capacity(args.trials as usize * 4);
-    for t in 0..args.trials {
+        (0..spec.trials).map(|_| OnceLock::new()).collect();
+    let mut cells = Vec::with_capacity(spec.trials as usize * 4);
+    for t in 0..spec.trials {
         let particles = &trial_particles[t as usize];
-        for &curve in CurveKind::PAPER.iter() {
+        for &curve in spec.particle_curves.iter() {
             let name = format!("t{t}/{}", curve.short_name());
             let workload = &workload;
             let topologies = &topologies;
@@ -152,12 +160,16 @@ pub fn run_topology_sweep(args: &Args, runner: &mut SweepRunner) -> TopologySwee
                 });
                 let mut values = Vec::with_capacity(2 * nt);
                 for &topo in topologies {
-                    let machine = crate::harness::machine(args, topo, num_procs, curve);
+                    let machine = crate::harness::machine(opts, topo, num_procs, curve);
                     values.push(timing::phase("nfi", || {
-                        nfi_acd(&asg, &machine, FIG6_RADIUS, Norm::Chebyshev).acd()
+                        nfi_acd(&asg, &machine, radius, norm)
+                            .unwrap_or_else(|e| panic!("nfi_acd: {e}"))
+                            .acd()
                     }));
                     values.push(timing::phase("ffi", || {
-                        ffi_acd_with_tree(&asg, &machine, &tree).acd()
+                        ffi_acd_with_tree(&asg, &machine, &tree)
+                            .unwrap_or_else(|e| panic!("ffi_acd: {e}"))
+                            .acd()
                     }));
                 }
                 values
@@ -232,29 +244,26 @@ pub struct ProcessorSweep {
 ///
 /// Cell `"t{trial}/{curve}/p{procs}"` produces the (near-field, far-field)
 /// ACD pair.
-pub fn run_processor_sweep(args: &Args, runner: &mut SweepRunner) -> ProcessorSweep {
-    let workload = Workload::figure7(args.seed).scaled_down(args.scale);
-    // Paper scale: 256 .. 65,536 processors; shift the whole range down
-    // with the workload.
-    let max_procs = (65_536u64 >> (2 * args.scale)).max(16);
-    let mut processors = Vec::new();
-    let mut p = max_procs;
-    for _ in 0..5 {
-        processors.push(p);
-        if p <= 16 {
-            break;
-        }
-        p >>= 2;
-    }
-    processors.reverse();
+pub fn run_processor_sweep(
+    spec: &ExperimentSpec,
+    opts: &ComputeOpts,
+    runner: &mut SweepRunner,
+) -> ProcessorSweep {
+    let workload = spec.workload(spec.distributions[0]);
+    // Paper scale: 256 .. 65,536 processors, shifted down with the
+    // workload; the spec carries the resolved list in ascending order.
+    let processors = spec.processors.clone();
+    let topology = spec.topologies[0];
+    let radius = spec.radii[0];
+    let norm = spec.norm;
 
     let trial_particles: Vec<OnceLock<Vec<Point2>>> =
-        (0..args.trials).map(|_| OnceLock::new()).collect();
+        (0..spec.trials).map(|_| OnceLock::new()).collect();
     let np = processors.len();
-    let mut cells = Vec::with_capacity(args.trials as usize * 4 * np);
-    for t in 0..args.trials {
+    let mut cells = Vec::with_capacity(spec.trials as usize * 4 * np);
+    for t in 0..spec.trials {
         let particles = &trial_particles[t as usize];
-        for &curve in CurveKind::PAPER.iter() {
+        for &curve in spec.particle_curves.iter() {
             for &procs in &processors {
                 let name = format!("t{t}/{}/p{procs}", curve.short_name());
                 let workload = &workload;
@@ -268,14 +277,17 @@ pub fn run_processor_sweep(args: &Args, runner: &mut SweepRunner) -> ProcessorSw
                         let tree = OwnerTree::build(&asg);
                         (asg, tree)
                     });
-                    let machine =
-                        crate::harness::machine(args, TopologyKind::Torus, procs, curve);
+                    let machine = crate::harness::machine(opts, topology, procs, curve);
                     vec![
                         timing::phase("nfi", || {
-                            nfi_acd(&asg, &machine, 1, Norm::Chebyshev).acd()
+                            nfi_acd(&asg, &machine, radius, norm)
+                            .unwrap_or_else(|e| panic!("nfi_acd: {e}"))
+                            .acd()
                         }),
                         timing::phase("ffi", || {
-                            ffi_acd_with_tree(&asg, &machine, &tree).acd()
+                            ffi_acd_with_tree(&asg, &machine, &tree)
+                            .unwrap_or_else(|e| panic!("ffi_acd: {e}"))
+                            .acd()
                         }),
                     ]
                 }));
@@ -351,15 +363,20 @@ impl<'a> TrialCache<'a> {
 
 /// NFI ACD as the neighborhood radius varies (torus, tied curves).
 /// Cell `"r{radius}/{curve}/t{trial}"` produces the single ACD value.
-pub fn run_radius_sweep(args: &Args, radii: &[u32], runner: &mut SweepRunner) -> Table {
-    let workload = Workload::tables_1_2(DistributionKind::Uniform, args.seed)
-        .scaled_down(args.scale);
-    let num_procs = (65_536u64 >> (2 * args.scale)).max(4);
-    let cache = TrialCache::new(&workload, args.trials);
-    let mut cells = Vec::with_capacity(radii.len() * 4 * args.trials as usize);
+pub fn run_radius_sweep(
+    spec: &ExperimentSpec,
+    opts: &ComputeOpts,
+    runner: &mut SweepRunner,
+) -> Table {
+    let radii = &spec.radii;
+    let workload = spec.workload(spec.distributions[0]);
+    let num_procs = spec.processors[0];
+    let norm = spec.norm;
+    let cache = TrialCache::new(&workload, spec.trials);
+    let mut cells = Vec::with_capacity(radii.len() * 4 * spec.trials as usize);
     for &radius in radii {
-        for &curve in &CurveKind::PAPER {
-            for t in 0..args.trials {
+        for &curve in &spec.particle_curves {
+            for t in 0..spec.trials {
                 let name = format!("r{radius}/{}/t{t}", curve.short_name());
                 let cache = &cache;
                 let workload = &workload;
@@ -369,9 +386,11 @@ pub fn run_radius_sweep(args: &Args, radii: &[u32], runner: &mut SweepRunner) ->
                         Assignment::new(particles, workload.grid_order, curve, num_procs)
                     });
                     let machine =
-                        crate::harness::machine(args, TopologyKind::Torus, num_procs, curve);
+                        crate::harness::machine(opts, TopologyKind::Torus, num_procs, curve);
                     vec![timing::phase("nfi", || {
-                        nfi_acd(&asg, &machine, radius, Norm::Chebyshev).acd()
+                        nfi_acd(&asg, &machine, radius, norm)
+                            .unwrap_or_else(|e| panic!("nfi_acd: {e}"))
+                            .acd()
                     })]
                 }));
             }
@@ -382,7 +401,7 @@ pub fn run_radius_sweep(args: &Args, radii: &[u32], runner: &mut SweepRunner) ->
     let mut header = vec!["Radius"];
     header.extend(CurveKind::PAPER.iter().map(|c| c.name()));
     let mut table = Table::new("Section VI-C — NFI ACD vs neighborhood radius", &header);
-    let mut it = results.chunks(args.trials as usize);
+    let mut it = results.chunks(spec.trials as usize);
     for &radius in radii {
         let mut row = vec![radius.to_string()];
         for _curve in &CurveKind::PAPER {
@@ -402,10 +421,16 @@ fn collect_first_values(results: &[CellResult]) -> Vec<f64> {
 /// ACD as the input size varies at a fixed processor count (torus, tied
 /// curves); near- and far-field rendered as two column groups.
 /// Cell `"n{particles}/{curve}/t{trial}"` produces the (NFI, FFI) pair.
-pub fn run_input_size_sweep(args: &Args, sizes: &[usize], runner: &mut SweepRunner) -> Table {
-    let base = Workload::tables_1_2(DistributionKind::Uniform, args.seed)
-        .scaled_down(args.scale);
-    let num_procs = (65_536u64 >> (2 * args.scale)).max(4);
+pub fn run_input_size_sweep(
+    spec: &ExperimentSpec,
+    opts: &ComputeOpts,
+    runner: &mut SweepRunner,
+) -> Table {
+    let sizes: Vec<usize> = spec.particle_counts.iter().map(|&n| n as usize).collect();
+    let base = spec.workload(spec.distributions[0]);
+    let num_procs = spec.processors[0];
+    let radius = spec.radii[0];
+    let norm = spec.norm;
     let mut owned_headers: Vec<String> = vec!["Particles".into()];
     for c in &CurveKind::PAPER {
         owned_headers.push(c.short_name().to_string());
@@ -424,12 +449,12 @@ pub fn run_input_size_sweep(args: &Args, sizes: &[usize], runner: &mut SweepRunn
         .collect();
     let caches: Vec<TrialCache> = workloads
         .iter()
-        .map(|w| TrialCache::new(w, args.trials))
+        .map(|w| TrialCache::new(w, spec.trials))
         .collect();
-    let mut cells = Vec::with_capacity(sizes.len() * 4 * args.trials as usize);
+    let mut cells = Vec::with_capacity(sizes.len() * 4 * spec.trials as usize);
     for (si, &n) in sizes.iter().enumerate() {
-        for &curve in &CurveKind::PAPER {
-            for t in 0..args.trials {
+        for &curve in &spec.particle_curves {
+            for t in 0..spec.trials {
                 let name = format!("n{n}/{}/t{t}", curve.short_name());
                 let cache = &caches[si];
                 let workload = &workloads[si];
@@ -442,13 +467,17 @@ pub fn run_input_size_sweep(args: &Args, sizes: &[usize], runner: &mut SweepRunn
                         (asg, tree)
                     });
                     let machine =
-                        crate::harness::machine(args, TopologyKind::Torus, num_procs, curve);
+                        crate::harness::machine(opts, TopologyKind::Torus, num_procs, curve);
                     vec![
                         timing::phase("nfi", || {
-                            nfi_acd(&asg, &machine, 1, Norm::Chebyshev).acd()
+                            nfi_acd(&asg, &machine, radius, norm)
+                            .unwrap_or_else(|e| panic!("nfi_acd: {e}"))
+                            .acd()
                         }),
                         timing::phase("ffi", || {
-                            ffi_acd_with_tree(&asg, &machine, &tree).acd()
+                            ffi_acd_with_tree(&asg, &machine, &tree)
+                            .unwrap_or_else(|e| panic!("ffi_acd: {e}"))
+                            .acd()
                         }),
                     ]
                 }));
@@ -457,8 +486,8 @@ pub fn run_input_size_sweep(args: &Args, sizes: &[usize], runner: &mut SweepRunn
     }
     let results = runner.run_cells(cells);
 
-    let mut it = results.chunks(args.trials as usize);
-    for &n in sizes {
+    let mut it = results.chunks(spec.trials as usize);
+    for &n in &sizes {
         let mut row = vec![n.to_string()];
         let mut ffi_cols = Vec::with_capacity(4);
         for _curve in &CurveKind::PAPER {
@@ -479,8 +508,14 @@ pub fn run_input_size_sweep(args: &Args, sizes: &[usize], runner: &mut SweepRunn
 /// the Section VI-C observation that NFI is best under uniform inputs while
 /// FFI barely distinguishes the distributions.
 /// Cell `"{distribution}/{curve}/t{trial}"` produces the (NFI, FFI) pair.
-pub fn run_distribution_comparison(args: &Args, runner: &mut SweepRunner) -> Table {
-    let num_procs = (65_536u64 >> (2 * args.scale)).max(4);
+pub fn run_distribution_comparison(
+    spec: &ExperimentSpec,
+    opts: &ComputeOpts,
+    runner: &mut SweepRunner,
+) -> Table {
+    let num_procs = spec.processors[0];
+    let radius = spec.radii[0];
+    let norm = spec.norm;
     let mut owned: Vec<String> = vec!["Distribution".into()];
     for c in &CurveKind::PAPER {
         owned.push(format!("{} (NFI)", c.short_name()));
@@ -490,20 +525,21 @@ pub fn run_distribution_comparison(args: &Args, runner: &mut SweepRunner) -> Tab
     }
     let header: Vec<&str> = owned.iter().map(|s| s.as_str()).collect();
     let mut table = Table::new("Section VI-C — ACD by input distribution (tied curves)", &header);
-    let workloads: Vec<Workload> = DistributionKind::ALL
+    let workloads: Vec<Workload> = spec
+        .distributions
         .iter()
-        .map(|&dist| Workload::tables_1_2(dist, args.seed).scaled_down(args.scale))
+        .map(|&dist| spec.workload(dist))
         .collect();
     let caches: Vec<TrialCache> = workloads
         .iter()
-        .map(|w| TrialCache::new(w, args.trials))
+        .map(|w| TrialCache::new(w, spec.trials))
         .collect();
     let mut cells =
-        Vec::with_capacity(DistributionKind::ALL.len() * 4 * args.trials as usize);
-    for (di, dist) in DistributionKind::ALL.iter().enumerate() {
-        for &curve in &CurveKind::PAPER {
-            for t in 0..args.trials {
-                let name = format!("{dist}/{}/t{t}", curve.short_name());
+        Vec::with_capacity(spec.distributions.len() * 4 * spec.trials as usize);
+    for (di, dist) in spec.distributions.iter().enumerate() {
+        for &curve in &spec.particle_curves {
+            for t in 0..spec.trials {
+                let name = format!("{}/{}/t{t}", dist.kind, curve.short_name());
                 let cache = &caches[di];
                 let workload = &workloads[di];
                 cells.push(BatchCell::new(name, move || {
@@ -515,13 +551,17 @@ pub fn run_distribution_comparison(args: &Args, runner: &mut SweepRunner) -> Tab
                         (asg, tree)
                     });
                     let machine =
-                        crate::harness::machine(args, TopologyKind::Torus, num_procs, curve);
+                        crate::harness::machine(opts, TopologyKind::Torus, num_procs, curve);
                     vec![
                         timing::phase("nfi", || {
-                            nfi_acd(&asg, &machine, 1, Norm::Chebyshev).acd()
+                            nfi_acd(&asg, &machine, radius, norm)
+                            .unwrap_or_else(|e| panic!("nfi_acd: {e}"))
+                            .acd()
                         }),
                         timing::phase("ffi", || {
-                            ffi_acd_with_tree(&asg, &machine, &tree).acd()
+                            ffi_acd_with_tree(&asg, &machine, &tree)
+                            .unwrap_or_else(|e| panic!("ffi_acd: {e}"))
+                            .acd()
                         }),
                     ]
                 }));
@@ -530,9 +570,9 @@ pub fn run_distribution_comparison(args: &Args, runner: &mut SweepRunner) -> Tab
     }
     let results = runner.run_cells(cells);
 
-    let mut it = results.chunks(args.trials as usize);
-    for dist in DistributionKind::ALL {
-        let mut nfi_row = vec![dist.name().to_string()];
+    let mut it = results.chunks(spec.trials as usize);
+    for dist in &spec.distributions {
+        let mut nfi_row = vec![dist.kind.name().to_string()];
         let mut ffi_row = Vec::with_capacity(4);
         for _curve in &CurveKind::PAPER {
             let chunk = it.next().unwrap();
@@ -552,18 +592,18 @@ pub fn run_distribution_comparison(args: &Args, runner: &mut SweepRunner) -> Tab
 mod tests {
     use super::*;
 
-    fn tiny_args() -> Args {
-        Args {
-            scale: 5, // 128x128 fig6 grid, ~976 particles, 64 processors
-            trials: 1,
-            seed: 3,
-            ..Args::default()
-        }
+    // scale 5: 128x128 fig6 grid, ~976 particles, 64 processors.
+    fn tiny_spec(artifact: sfc_core::ArtifactKind) -> ExperimentSpec {
+        ExperimentSpec::for_artifact(artifact, 5, 1, 3)
+    }
+
+    fn opts() -> ComputeOpts {
+        ComputeOpts::default()
     }
 
     #[test]
     fn anns_sweep_shape() {
-        let sweep = run_anns_sweep(1, 5, &mut SweepRunner::ephemeral());
+        let sweep = run_anns_sweep(1, &[1, 2, 3, 4, 5], &mut SweepRunner::ephemeral());
         assert_eq!(sweep.orders, vec![1, 2, 3, 4, 5]);
         assert_eq!(sweep.values.len(), 4);
         assert_eq!(sweep.values[0].len(), 5);
@@ -574,7 +614,7 @@ mod tests {
 
     #[test]
     fn anns_values_grow_with_resolution() {
-        let sweep = run_anns_sweep(1, 6, &mut SweepRunner::ephemeral());
+        let sweep = run_anns_sweep(1, &[1, 2, 3, 4, 5, 6], &mut SweepRunner::ephemeral());
         for series in &sweep.values {
             assert!(series.windows(2).all(|w| w[0].unwrap() < w[1].unwrap()));
         }
@@ -582,7 +622,11 @@ mod tests {
 
     #[test]
     fn topology_sweep_runs_all_six() {
-        let sweep = run_topology_sweep(&tiny_args(), &mut SweepRunner::ephemeral());
+        let sweep = run_topology_sweep(
+            &tiny_spec(sfc_core::ArtifactKind::Figure6),
+            &opts(),
+            &mut SweepRunner::ephemeral(),
+        );
         assert_eq!(sweep.topologies.len(), 6);
         let t = render_topology(&sweep, true);
         assert_eq!(t.num_rows(), 4);
@@ -595,7 +639,11 @@ mod tests {
     fn processor_sweep_is_monotone_in_p_for_row_major_nfi() {
         // More processors spread neighbors further apart; ACD should not
         // shrink as p grows (fixed workload).
-        let sweep = run_processor_sweep(&tiny_args(), &mut SweepRunner::ephemeral());
+        let sweep = run_processor_sweep(
+            &tiny_spec(sfc_core::ArtifactKind::Figure7),
+            &opts(),
+            &mut SweepRunner::ephemeral(),
+        );
         assert!(sweep.processors.len() >= 2);
         let row_major_series: Vec<f64> = (0..sweep.processors.len())
             .map(|pi| sweep.nfi[pi][3].as_ref().unwrap().mean)
@@ -609,13 +657,19 @@ mod tests {
 
     #[test]
     fn radius_sweep_radii_increase_acd_weakly() {
-        let table = run_radius_sweep(&tiny_args(), &[1, 2], &mut SweepRunner::ephemeral());
+        let mut spec = tiny_spec(sfc_core::ArtifactKind::Parametric);
+        spec.radii = vec![1, 2];
+        let table = run_radius_sweep(&spec, &opts(), &mut SweepRunner::ephemeral());
         assert_eq!(table.num_rows(), 2);
     }
 
     #[test]
     fn distribution_comparison_rows() {
-        let table = run_distribution_comparison(&tiny_args(), &mut SweepRunner::ephemeral());
+        let table = run_distribution_comparison(
+            &tiny_spec(sfc_core::ArtifactKind::Parametric),
+            &opts(),
+            &mut SweepRunner::ephemeral(),
+        );
         assert_eq!(table.num_rows(), 3);
         let text = table.render();
         assert!(text.contains("Uniform") && text.contains("Exponential"));
@@ -623,17 +677,27 @@ mod tests {
 
     #[test]
     fn input_size_sweep_rows() {
-        let table =
-            run_input_size_sweep(&tiny_args(), &[200, 400], &mut SweepRunner::ephemeral());
+        let mut spec = tiny_spec(sfc_core::ArtifactKind::Parametric);
+        spec.particle_counts = vec![200, 400];
+        let table = run_input_size_sweep(&spec, &opts(), &mut SweepRunner::ephemeral());
         assert_eq!(table.num_rows(), 2);
     }
 
     #[test]
     fn skipped_cells_render_as_missing() {
-        let mut args = tiny_args();
+        let mut args = crate::args::SweepArgs {
+            scale: 5,
+            trials: 1,
+            seed: 3,
+            ..crate::args::SweepArgs::default()
+        };
         args.time_budget = Some(0);
         let mut runner = crate::harness::runner("figure7", &args);
-        let sweep = run_processor_sweep(&args, &mut runner);
+        let sweep = run_processor_sweep(
+            &tiny_spec(sfc_core::ArtifactKind::Figure7),
+            &opts(),
+            &mut runner,
+        );
         assert!(sweep.nfi.iter().flatten().all(|s| s.is_none()));
         let text = render_processors(&sweep, true).render();
         assert!(text.contains('—'));

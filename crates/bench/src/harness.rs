@@ -1,14 +1,19 @@
-//! Glue between [`Args`] and the fault-tolerant [`SweepRunner`].
+//! Glue between [`SweepArgs`] and the fault-tolerant [`SweepRunner`] —
+//! and the one `main` all seven regeneration binaries share.
 //!
-//! Every regeneration binary builds its runner here so the journaling,
-//! retry, time-budget and chaos flags behave identically across binaries,
-//! and reports the sweep accounting to **stderr** — stdout and the JSON
-//! artifact stay byte-identical between a fresh run and a resumed one.
+//! Every binary is a thin shell around [`run_artifact`]: parse flags, build
+//! the canonical [`ExperimentSpec`], consult the optional `--cache`
+//! directory, and only on a miss construct a runner and compute. The
+//! journaling, retry, time-budget and chaos flags behave identically across
+//! binaries, and the sweep accounting goes to **stderr** — stdout and the
+//! JSON artifact stay byte-identical between a fresh run, a resumed one,
+//! and a cache replay.
 
-use crate::args::Args;
+use crate::args::SweepArgs;
+use crate::artifact::{compute, ArtifactOutput, ComputeOpts};
 use serde_json::{json, Value};
 use sfc_core::runner::{ChaosInjector, RunnerOptions, SweepRunner, SweepSummary};
-use sfc_core::Machine;
+use sfc_core::{ArtifactKind, CachedArtifact, ExperimentSpec, Machine, ResultCache};
 use sfc_curves::CurveKind;
 use sfc_topology::TopologyKind;
 use std::path::PathBuf;
@@ -20,7 +25,7 @@ use std::time::Duration;
 /// run with a different budget or thread count (or sabotaging it in a test)
 /// must not orphan the journal, and `--timing`/`--no-oracle` do not change
 /// any computed value.
-pub fn fingerprint(args: &Args) -> Value {
+pub fn fingerprint(args: &SweepArgs) -> Value {
     json!({
         "scale": args.scale,
         "trials": args.trials,
@@ -31,7 +36,7 @@ pub fn fingerprint(args: &Args) -> Value {
 /// Build the sweep runner the flags describe. Exits with a message when the
 /// journal cannot be opened (unwritable path, or written by a different
 /// sweep/configuration).
-pub fn runner(sweep: &str, args: &Args) -> SweepRunner {
+pub fn runner(sweep: &str, args: &SweepArgs) -> SweepRunner {
     // One shared rayon pool for the whole process, sized off `--jobs` (0 =
     // all cores). Without this the kernels' internal `par_iter` would size
     // its own pool off the core count and oversubscribe the `--jobs` cell
@@ -63,9 +68,9 @@ pub fn runner(sweep: &str, args: &Args) -> SweepRunner {
 /// machine precomputes the dense hop-distance oracle, the flag falls back
 /// to closed-form distances. Both produce identical values — the flag
 /// exists for ablation and byte-identity verification.
-pub fn machine(args: &Args, topo: TopologyKind, num_procs: u64, curve: CurveKind) -> Machine {
+pub fn machine(opts: &ComputeOpts, topo: TopologyKind, num_procs: u64, curve: CurveKind) -> Machine {
     let m = Machine::new(topo, num_procs, curve);
-    if args.no_oracle {
+    if opts.no_oracle {
         m.without_oracle()
     } else {
         m
@@ -74,7 +79,7 @@ pub fn machine(args: &Args, topo: TopologyKind, num_procs: u64, curve: CurveKind
 
 /// Write the per-cell timing envelope to `--timing PATH` when set. Called
 /// after `SweepRunner::finish`; a run without the flag writes nothing.
-pub fn write_timing(artifact: &str, args: &Args, summary: &SweepSummary) {
+pub fn write_timing(artifact: &str, args: &SweepArgs, summary: &SweepSummary) {
     if let Some(path) = &args.timing {
         let doc = crate::results::timing_json(artifact, args, summary);
         crate::results::write_json(path, &doc).expect("write timing envelope");
@@ -114,15 +119,134 @@ pub fn report(sweep: &str, summary: &SweepSummary) {
     }
 }
 
+/// The shared `main` of every regeneration binary: parse flags, resolve
+/// the canonical spec, replay from `--cache` when the artifact is already
+/// there (zero cells computed, bytes identical), otherwise run the sweep,
+/// emit the artifact, and populate the cache if the run was complete and
+/// un-sabotaged.
+pub fn run_artifact(kind: ArtifactKind) {
+    let args = SweepArgs::from_env();
+    run_artifact_with(kind, &args);
+}
+
+/// [`run_artifact`] with the flags supplied by the caller (testable entry).
+pub fn run_artifact_with(kind: ArtifactKind, args: &SweepArgs) {
+    let spec = args.spec(kind);
+    let cache = args.cache.as_ref().map(|dir| match ResultCache::new(dir) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: cannot open cache `{dir}`: {e}");
+            std::process::exit(2);
+        }
+    });
+
+    if let Some(cache) = &cache {
+        if let Some(hit) = cache.load(&spec) {
+            replay(kind, args, &hit);
+            return;
+        }
+    }
+
+    let banner = args.banner(kind.title());
+    println!("{banner}");
+    let mut runner = runner(kind.sweep_name(), args);
+    let opts = ComputeOpts {
+        no_oracle: args.no_oracle,
+    };
+    let out = compute(&spec, &opts, &mut runner);
+    let summary = runner.finish();
+    report(kind.sweep_name(), &summary);
+    write_timing(kind.name(), args, &summary);
+    let doc = crate::results::envelope(kind.name(), &spec, &summary, out.data.clone());
+    let json_text = serde_json::to_string_pretty(&doc).expect("serialize artifact");
+    if let Some(path) = &args.json {
+        std::fs::write(path, &json_text).expect("write JSON");
+    }
+    print!(
+        "{}",
+        if args.markdown {
+            &out.body_markdown
+        } else {
+            &out.body_plain
+        }
+    );
+
+    if let Some(cache) = &cache {
+        store_if_complete(cache, kind, args, &spec, &banner, &out, &json_text, &summary);
+    }
+}
+
+/// Print a cached artifact byte-for-byte: stored stdout (banner included),
+/// stored JSON bytes to `--json`, an empty timing envelope, and a stderr
+/// note carrying the zero-computation accounting.
+fn replay(kind: ArtifactKind, args: &SweepArgs, hit: &CachedArtifact) {
+    print!(
+        "{}",
+        if args.markdown {
+            &hit.stdout_markdown
+        } else {
+            &hit.stdout_plain
+        }
+    );
+    if let Some(path) = &args.json {
+        std::fs::write(path, &hit.artifact_json).expect("write JSON");
+    }
+    write_timing(kind.name(), args, &SweepSummary::default());
+    eprintln!(
+        "# cache {}: hit — 0 cell(s) computed, artifact replayed from cache",
+        kind.name()
+    );
+}
+
+/// Populate the cache after a fresh run — but only a trustworthy one: every
+/// cell computed (or replayed), no fault injection, no time budget. A
+/// partial or sabotaged artifact must never become the canonical answer.
+#[allow(clippy::too_many_arguments)]
+fn store_if_complete(
+    cache: &ResultCache,
+    kind: ArtifactKind,
+    args: &SweepArgs,
+    spec: &ExperimentSpec,
+    banner: &str,
+    out: &ArtifactOutput,
+    json_text: &str,
+    summary: &SweepSummary,
+) {
+    let sabotaged =
+        !args.chaos.is_empty() || args.chaos_journal.is_some() || args.time_budget.is_some();
+    if !summary.complete() || sabotaged {
+        eprintln!(
+            "# cache {}: not stored (incomplete or fault-injected run)",
+            kind.name()
+        );
+        return;
+    }
+    let artifact = CachedArtifact {
+        stdout_plain: format!("{banner}
+{}", out.body_plain),
+        stdout_markdown: format!("{banner}
+{}", out.body_markdown),
+        artifact_json: json_text.to_string(),
+    };
+    match cache.store(spec, &artifact) {
+        Ok(()) => eprintln!(
+            "# cache {}: stored {}",
+            kind.name(),
+            ResultCache::key(spec)
+        ),
+        Err(e) => eprintln!("# cache {}: store failed: {e}", kind.name()),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn chaos_flags_build_an_injector() {
-        let mut args = Args {
+        let mut args = SweepArgs {
             chaos: vec!["t0".into()],
-            ..Args::default()
+            ..SweepArgs::default()
         };
         args.chaos_persistent = true;
         let mut r = runner("test", &args);
@@ -138,16 +262,16 @@ mod tests {
 
     #[test]
     fn fingerprint_tracks_config_not_chaos() {
-        let a = Args::default();
-        let b = Args {
+        let a = SweepArgs::default();
+        let b = SweepArgs {
             chaos: vec!["anything".into()],
             time_budget: Some(5),
             jobs: Some(8),
-            ..Args::default()
+            ..SweepArgs::default()
         };
         // A journal written at one thread count must resume at any other.
         assert_eq!(fingerprint(&a), fingerprint(&b));
-        let c = Args { seed: 1, ..Args::default() };
+        let c = SweepArgs { seed: 1, ..SweepArgs::default() };
         assert_ne!(fingerprint(&a), fingerprint(&c));
     }
 }

@@ -27,9 +27,11 @@
 #![warn(missing_docs)]
 
 pub mod args;
+pub mod artifact;
+pub mod extensions;
 pub mod figures;
 pub mod harness;
 pub mod results;
 pub mod tables;
 
-pub use args::Args;
+pub use args::{Args, SweepArgs};

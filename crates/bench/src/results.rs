@@ -11,12 +11,12 @@
 //! envelope deliberately excludes computed/replayed counts, so the artifact
 //! of a resumed sweep is byte-identical to an uninterrupted one.
 
-use crate::args::Args;
+use crate::args::SweepArgs;
 use crate::figures::{AnnsSweep, ProcessorSweep, TopologySweep};
 use crate::tables::CurvePairGrid;
 use serde_json::{json, Value};
 use sfc_core::runner::SweepSummary;
-use sfc_core::Stats;
+use sfc_core::{ExperimentSpec, Stats};
 use sfc_curves::CurveKind;
 
 fn stats_json(s: &Option<Stats>) -> Value {
@@ -32,11 +32,11 @@ fn stats_json(s: &Option<Stats>) -> Value {
     }
 }
 
-fn config_json(args: &Args) -> Value {
+fn config_json(spec: &ExperimentSpec) -> Value {
     json!({
-        "scale": args.scale,
-        "trials": args.trials,
-        "seed": args.seed,
+        "scale": spec.scale,
+        "trials": spec.trials,
+        "seed": spec.seed,
     })
 }
 
@@ -59,24 +59,21 @@ fn cells_json(summary: &SweepSummary) -> Value {
     })
 }
 
-/// Common envelope for one exported artifact.
-pub fn envelope(artifact: &str, args: &Args, summary: &SweepSummary, data: Value) -> Value {
+/// Common envelope for one exported artifact. The `config` section reports
+/// the spec's scale/trials/seed, so a cache replay and a fresh run of the
+/// same spec serialize identically.
+pub fn envelope(artifact: &str, spec: &ExperimentSpec, summary: &SweepSummary, data: Value) -> Value {
     json!({
         "artifact": artifact,
         "paper": "DeFord & Kalyanaraman, ICPP 2013",
-        "config": config_json(args),
+        "config": config_json(spec),
         "cells": cells_json(summary),
         "data": data,
     })
 }
 
-/// Export a Table I/II curve-pair grid.
-pub fn grid_json(
-    grids: &[CurvePairGrid],
-    args: &Args,
-    summary: &SweepSummary,
-    artifact: &str,
-) -> Value {
+/// The `data` section of a Table I/II curve-pair grid export.
+pub fn grid_data(grids: &[CurvePairGrid]) -> Value {
     let data: Vec<Value> = grids
         .iter()
         .map(|g| {
@@ -110,11 +107,11 @@ pub fn grid_json(
             })
         })
         .collect();
-    envelope(artifact, args, summary, json!(data))
+    json!(data)
 }
 
-/// Export a Figure 5 ANNS sweep.
-pub fn anns_json(sweeps: &[AnnsSweep], args: &Args, summary: &SweepSummary) -> Value {
+/// The `data` section of a Figure 5 ANNS sweep export.
+pub fn anns_data(sweeps: &[AnnsSweep]) -> Value {
     let data: Vec<Value> = sweeps
         .iter()
         .map(|s| {
@@ -135,11 +132,11 @@ pub fn anns_json(sweeps: &[AnnsSweep], args: &Args, summary: &SweepSummary) -> V
             })
         })
         .collect();
-    envelope("figure5", args, summary, json!(data))
+    json!(data)
 }
 
-/// Export a Figure 6 topology sweep.
-pub fn topology_json(sweep: &TopologySweep, args: &Args, summary: &SweepSummary) -> Value {
+/// The `data` section of a Figure 6 topology sweep export.
+pub fn topology_data(sweep: &TopologySweep) -> Value {
     let block = |data: &Vec<Vec<Option<Stats>>>| -> Value {
         let rows: Vec<Value> = sweep
             .topologies
@@ -161,16 +158,11 @@ pub fn topology_json(sweep: &TopologySweep, args: &Args, summary: &SweepSummary)
             .collect();
         json!(rows)
     };
-    envelope(
-        "figure6",
-        args,
-        summary,
-        json!({ "nfi": block(&sweep.nfi), "ffi": block(&sweep.ffi) }),
-    )
+    json!({ "nfi": block(&sweep.nfi), "ffi": block(&sweep.ffi) })
 }
 
-/// Export a Figure 7 processor sweep.
-pub fn processors_json(sweep: &ProcessorSweep, args: &Args, summary: &SweepSummary) -> Value {
+/// The `data` section of a Figure 7 processor sweep export.
+pub fn processors_data(sweep: &ProcessorSweep) -> Value {
     let block = |data: &Vec<Vec<Option<Stats>>>| -> Value {
         let rows: Vec<Value> = sweep
             .processors
@@ -192,12 +184,7 @@ pub fn processors_json(sweep: &ProcessorSweep, args: &Args, summary: &SweepSumma
             .collect();
         json!(rows)
     };
-    envelope(
-        "figure7",
-        args,
-        summary,
-        json!({ "nfi": block(&sweep.nfi), "ffi": block(&sweep.ffi) }),
-    )
+    json!({ "nfi": block(&sweep.nfi), "ffi": block(&sweep.ffi) })
 }
 
 /// Export the per-cell timing envelope for one run: wall-clock and phase
@@ -207,7 +194,7 @@ pub fn processors_json(sweep: &ProcessorSweep, args: &Args, summary: &SweepSumma
 /// the separate `--timing` path, never merged into the `--json` artifact:
 /// the artifact must stay byte-identical between runs, and wall-clock
 /// measurements are not.
-pub fn timing_json(artifact: &str, args: &Args, summary: &SweepSummary) -> Value {
+pub fn timing_json(artifact: &str, args: &SweepArgs, summary: &SweepSummary) -> Value {
     let cells: Vec<Value> = summary
         .timings
         .iter()
@@ -227,7 +214,11 @@ pub fn timing_json(artifact: &str, args: &Args, summary: &SweepSummary) -> Value
     json!({
         "artifact": format!("{artifact}-timing"),
         "paper": "DeFord & Kalyanaraman, ICPP 2013",
-        "config": config_json(args),
+        "config": json!({
+            "scale": args.scale,
+            "trials": args.trials,
+            "seed": args.seed,
+        }),
         "jobs": args.jobs,
         "rayon_threads": rayon::current_num_threads() as u64,
         "oracle": !args.no_oracle,
@@ -235,15 +226,9 @@ pub fn timing_json(artifact: &str, args: &Args, summary: &SweepSummary) -> Value
     })
 }
 
-/// Export any rendered [`sfc_core::report::Table`] generically (used by the
-/// `parametric` and `extensions` binaries, whose artifacts are plain
-/// tables).
-pub fn tables_json(
-    tables: &[sfc_core::report::Table],
-    args: &Args,
-    summary: &SweepSummary,
-    artifact: &str,
-) -> Value {
+/// The `data` section of any rendered [`sfc_core::report::Table`] list
+/// (the `parametric` and `extensions` artifacts are plain tables).
+pub fn tables_data(tables: &[sfc_core::report::Table]) -> Value {
     let data: Vec<Value> = tables
         .iter()
         .map(|t| {
@@ -254,7 +239,7 @@ pub fn tables_json(
             })
         })
         .collect();
-    envelope(artifact, args, summary, json!(data))
+    json!(data)
 }
 
 /// Write a JSON document to `path` (pretty-printed).
@@ -265,17 +250,22 @@ pub fn write_json(path: &str, value: &Value) -> std::io::Result<()> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::artifact::ComputeOpts;
     use crate::figures::run_anns_sweep;
     use crate::tables::run_distribution;
     use sfc_core::runner::{FailedCell, SweepRunner};
     use sfc_particles::DistributionKind;
 
-    fn tiny_args() -> Args {
-        Args {
+    fn tiny_spec() -> ExperimentSpec {
+        ExperimentSpec::table1(4, 1, 5)
+    }
+
+    fn tiny_args() -> SweepArgs {
+        SweepArgs {
             scale: 4,
             trials: 1,
             seed: 5,
-            ..Args::default()
+            ..SweepArgs::default()
         }
     }
 
@@ -285,13 +275,14 @@ mod tests {
 
     #[test]
     fn grid_export_shape() {
-        let args = tiny_args();
+        let spec = tiny_spec();
         let grid = run_distribution(
-            DistributionKind::Uniform,
-            &args,
+            DistributionKind::Uniform.default_params(),
+            &spec,
+            &ComputeOpts::default(),
             &mut SweepRunner::ephemeral(),
         );
-        let v = grid_json(&[grid], &args, &done(), "table1");
+        let v = envelope("table1", &spec, &done(), grid_data(&[grid]));
         assert_eq!(v["artifact"], "table1");
         assert_eq!(v["config"]["scale"], 4);
         let rows = v["data"][0]["nfi"].as_array().unwrap();
@@ -306,9 +297,8 @@ mod tests {
 
     #[test]
     fn anns_export_shape() {
-        let args = tiny_args();
-        let sweep = run_anns_sweep(1, 4, &mut SweepRunner::ephemeral());
-        let v = anns_json(&[sweep], &args, &done());
+        let sweep = run_anns_sweep(1, &[1, 2, 3, 4], &mut SweepRunner::ephemeral());
+        let v = envelope("figure5", &tiny_spec(), &done(), anns_data(&[sweep]));
         let series = v["data"][0]["series"].as_array().unwrap();
         assert_eq!(series.len(), 4);
         assert_eq!(series[0]["values"].as_array().unwrap().len(), 4);
@@ -317,9 +307,8 @@ mod tests {
 
     #[test]
     fn export_round_trips_through_parser() {
-        let args = tiny_args();
-        let sweep = run_anns_sweep(1, 3, &mut SweepRunner::ephemeral());
-        let v = anns_json(&[sweep], &args, &done());
+        let sweep = run_anns_sweep(1, &[1, 2, 3], &mut SweepRunner::ephemeral());
+        let v = envelope("figure5", &tiny_spec(), &done(), anns_data(&[sweep]));
         let text = serde_json::to_string(&v).unwrap();
         let back: Value = serde_json::from_str(&text).unwrap();
         assert_eq!(back, v);
@@ -327,10 +316,9 @@ mod tests {
 
     #[test]
     fn generic_table_export() {
-        let args = tiny_args();
         let mut t = sfc_core::report::Table::new("Demo", &["A", "B"]);
         t.push_numeric_row("x", &[1.5]);
-        let v = tables_json(&[t], &args, &done(), "parametric");
+        let v = envelope("parametric", &tiny_spec(), &done(), tables_data(&[t]));
         assert_eq!(v["artifact"], "parametric");
         assert_eq!(v["data"][0]["title"], "Demo");
         assert_eq!(v["data"][0]["rows"][0][1], "1.500");
@@ -338,7 +326,6 @@ mod tests {
 
     #[test]
     fn failed_and_skipped_cells_reach_the_envelope() {
-        let args = tiny_args();
         let summary = SweepSummary {
             computed: 1,
             replayed: 0,
@@ -351,7 +338,7 @@ mod tests {
             journal_degraded: true,
             ..SweepSummary::default()
         };
-        let v = envelope("table1", &args, &summary, json!([]));
+        let v = envelope("table1", &tiny_spec(), &summary, json!([]));
         assert_eq!(v["cells"]["failed"][0]["cell"], "Uniform/t0/Hilbert");
         assert_eq!(v["cells"]["failed"][0]["attempts"], 3);
         assert_eq!(v["cells"]["skipped"][0], "Uniform/t1/Z");
@@ -396,9 +383,8 @@ mod tests {
 
     #[test]
     fn write_json_creates_file() {
-        let args = tiny_args();
-        let sweep = run_anns_sweep(1, 2, &mut SweepRunner::ephemeral());
-        let v = anns_json(&[sweep], &args, &done());
+        let sweep = run_anns_sweep(1, &[1, 2], &mut SweepRunner::ephemeral());
+        let v = envelope("figure5", &tiny_spec(), &done(), anns_data(&[sweep]));
         let path = std::env::temp_dir().join("sfc_bench_results_test.json");
         write_json(path.to_str().unwrap(), &v).unwrap();
         let read: Value =

@@ -14,17 +14,15 @@
 //! owner tree) once and evaluates it against the four processor-order
 //! machines, so the work sharing matches the original monolithic loop.
 
-use crate::args::Args;
+use crate::artifact::ComputeOpts;
 use sfc_core::ffi::{ffi_acd_with_tree, OwnerTree};
 use sfc_core::nfi::nfi_acd;
 use sfc_core::report::Table;
 use sfc_core::runner::{BatchCell, SweepRunner};
 use sfc_core::timing;
-use sfc_core::{Assignment, Machine, Stats};
-use sfc_curves::point::Norm;
+use sfc_core::{Assignment, ExperimentSpec, Machine, Stats};
 use sfc_curves::CurveKind;
-use sfc_particles::{DistributionKind, Workload};
-use sfc_topology::TopologyKind;
+use sfc_particles::{Distribution, DistributionKind};
 use std::sync::OnceLock;
 
 /// Results of the 4 × 4 curve-pair grid for one distribution:
@@ -40,11 +38,15 @@ pub struct CurvePairGrid {
     pub ffi: [[Option<Stats>; 4]; 4],
 }
 
-/// Run the Table I/II experiment for every distribution.
-pub fn run_tables(args: &Args, runner: &mut SweepRunner) -> Vec<CurvePairGrid> {
-    DistributionKind::ALL
+/// Run the Table I/II experiment for every distribution in the spec.
+pub fn run_tables(
+    spec: &ExperimentSpec,
+    opts: &ComputeOpts,
+    runner: &mut SweepRunner,
+) -> Vec<CurvePairGrid> {
+    spec.distributions
         .iter()
-        .map(|&dist| run_distribution(dist, args, runner))
+        .map(|&dist| run_distribution(dist, spec, opts, runner))
         .collect()
 }
 
@@ -54,27 +56,33 @@ pub fn run_tables(args: &Args, runner: &mut SweepRunner) -> Vec<CurvePairGrid> {
 /// the near-field ACD against each of the four processor-order machines,
 /// then the far-field ACD against each.
 pub fn run_distribution(
-    dist: DistributionKind,
-    args: &Args,
+    dist: Distribution,
+    spec: &ExperimentSpec,
+    opts: &ComputeOpts,
     runner: &mut SweepRunner,
 ) -> CurvePairGrid {
-    let workload = Workload::tables_1_2(dist, args.seed).scaled_down(args.scale);
-    let num_procs = (65_536u64 >> (2 * args.scale)).max(4);
-    let machines: Vec<Machine> = CurveKind::PAPER
+    let workload = spec.workload(dist);
+    let num_procs = spec.processors[0];
+    let radius = spec.radii[0];
+    let norm = spec.norm;
+    let machines: Vec<Machine> = spec
+        .effective_processor_curves()
         .iter()
-        .map(|&proc_curve| crate::harness::machine(args, TopologyKind::Torus, num_procs, proc_curve))
+        .map(|&proc_curve| {
+            crate::harness::machine(opts, spec.topologies[0], num_procs, proc_curve)
+        })
         .collect();
 
     // Per-trial particle sets, sampled lazily and shared by the trial's
     // four cells (which may run on different worker threads): a fully
     // replayed trial never materializes its particles.
     let trial_particles: Vec<OnceLock<Vec<sfc_curves::point::Point2>>> =
-        (0..args.trials).map(|_| OnceLock::new()).collect();
-    let mut cells = Vec::with_capacity(args.trials as usize * 4);
-    for t in 0..args.trials {
+        (0..spec.trials).map(|_| OnceLock::new()).collect();
+    let mut cells = Vec::with_capacity(spec.trials as usize * 4);
+    for t in 0..spec.trials {
         let particles = &trial_particles[t as usize];
-        for &particle_curve in CurveKind::PAPER.iter() {
-            let name = format!("{dist}/t{t}/{}", particle_curve.short_name());
+        for &particle_curve in spec.particle_curves.iter() {
+            let name = format!("{}/t{t}/{}", dist.kind, particle_curve.short_name());
             let workload = &workload;
             let machines = &machines;
             cells.push(BatchCell::new(name, move || {
@@ -96,12 +104,20 @@ pub fn run_distribution(
                 let mut values = Vec::with_capacity(8);
                 timing::phase("nfi", || {
                     for machine in machines {
-                        values.push(nfi_acd(&asg, machine, 1, Norm::Chebyshev).acd());
+                        values.push(
+                            nfi_acd(&asg, machine, radius, norm)
+                                .unwrap_or_else(|e| panic!("nfi_acd: {e}"))
+                                .acd(),
+                        );
                     }
                 });
                 timing::phase("ffi", || {
                     for machine in machines {
-                        values.push(ffi_acd_with_tree(&asg, machine, &tree).acd());
+                        values.push(
+                            ffi_acd_with_tree(&asg, machine, &tree)
+                                .unwrap_or_else(|e| panic!("ffi_acd: {e}"))
+                                .acd(),
+                        );
                     }
                 });
                 values
@@ -127,7 +143,7 @@ pub fn run_distribution(
         })
     };
     CurvePairGrid {
-        distribution: dist,
+        distribution: dist.kind,
         nfi: collect(&nfi_samples),
         ffi: collect(&ffi_samples),
     }
@@ -197,17 +213,18 @@ pub fn render_grid(grid: &CurvePairGrid, which: Interaction) -> Table {
 mod tests {
     use super::*;
 
-    fn tiny_args() -> Args {
-        Args {
-            scale: 4, // 64x64 grid, ~976 particles, 256 processors
-            trials: 2,
-            seed: 99,
-            ..Args::default()
-        }
+    // 64x64 grid, ~976 particles, 256 processors.
+    fn tiny_spec() -> ExperimentSpec {
+        ExperimentSpec::table1(4, 2, 99)
     }
 
     fn run(dist: DistributionKind) -> CurvePairGrid {
-        run_distribution(dist, &tiny_args(), &mut SweepRunner::ephemeral())
+        run_distribution(
+            dist.default_params(),
+            &tiny_spec(),
+            &ComputeOpts::default(),
+            &mut SweepRunner::ephemeral(),
+        )
     }
 
     #[test]
@@ -254,11 +271,21 @@ mod tests {
     fn partial_sweep_renders_missing_cells() {
         // Persistent chaos on the Hilbert particle curve: column 0 of every
         // grid row has no samples.
-        let mut args = tiny_args();
+        let mut args = crate::args::SweepArgs {
+            scale: 4,
+            trials: 2,
+            seed: 99,
+            ..crate::args::SweepArgs::default()
+        };
         args.chaos = vec!["/Hilbert".into()];
         args.chaos_persistent = true;
         let mut runner = crate::harness::runner("tables", &args);
-        let grid = run_distribution(DistributionKind::Uniform, &args, &mut runner);
+        let grid = run_distribution(
+            DistributionKind::Uniform.default_params(),
+            &tiny_spec(),
+            &ComputeOpts::default(),
+            &mut runner,
+        );
         assert!(grid.nfi[0][0].is_none());
         assert!(grid.nfi[0][1].is_some());
         let text = render_grid(&grid, Interaction::NearField).render();

@@ -106,24 +106,49 @@ impl StretchResult {
 }
 
 /// The classic ANNS: average linear distance between Manhattan-1 neighbors,
-/// over the full `2^order`-sided grid.
-pub fn anns(curve: CurveKind, order: u32) -> StretchResult {
+/// over the full `2^order`-sided grid. An order above [`MAX_STRETCH_ORDER`]
+/// is a typed [`SfcError`].
+pub fn anns(curve: CurveKind, order: u32) -> Result<StretchResult, SfcError> {
     anns_radius(curve, order, 1, Norm::Manhattan)
+}
+
+/// Panicking wrapper of [`anns`], kept for call sites that predate the
+/// fallible API.
+#[deprecated(note = "use `anns`, which now returns a typed Result")]
+pub fn anns_or_panic(curve: CurveKind, order: u32) -> StretchResult {
+    anns(curve, order).unwrap_or_else(|e| panic!("anns: {e}"))
+}
+
+/// Panicking wrapper of [`anns_radius`], kept for call sites that predate
+/// the fallible API.
+#[deprecated(note = "use `anns_radius`, which now returns a typed Result")]
+pub fn anns_radius_or_panic(
+    curve: CurveKind,
+    order: u32,
+    radius: u32,
+    norm: Norm,
+) -> StretchResult {
+    anns_radius(curve, order, radius, norm).unwrap_or_else(|e| panic!("anns_radius: {e}"))
+}
+
+/// Former name of [`anns_radius`], from when the fallible API was secondary.
+#[deprecated(note = "renamed to `anns_radius`")]
+pub fn try_anns_radius(
+    curve: CurveKind,
+    order: u32,
+    radius: u32,
+    norm: Norm,
+) -> Result<StretchResult, SfcError> {
+    anns_radius(curve, order, radius, norm)
 }
 
 /// Generalized stretch: all pairs within `radius` under `norm`, stretch =
 /// linear distance / spatial distance. `radius = 1, Manhattan` recovers the
 /// ANNS.
 ///
-/// Panicking wrapper of [`try_anns_radius`] for call sites whose
-/// configuration is known valid.
-pub fn anns_radius(curve: CurveKind, order: u32, radius: u32, norm: Norm) -> StretchResult {
-    try_anns_radius(curve, order, radius, norm).unwrap_or_else(|e| panic!("anns_radius: {e}"))
-}
-
-/// Fallible variant of [`anns_radius`]: a zero radius or an order above
-/// [`MAX_STRETCH_ORDER`] is a typed [`SfcError`] instead of an abort.
-pub fn try_anns_radius(
+/// A zero radius or an order above [`MAX_STRETCH_ORDER`] is a typed
+/// [`SfcError`] instead of an abort.
+pub fn anns_radius(
     curve: CurveKind,
     order: u32,
     radius: u32,
@@ -161,20 +186,29 @@ pub fn try_anns_radius(
     Ok(result)
 }
 
+/// Panicking wrapper of [`all_pairs_stretch`], kept for call sites that
+/// predate the fallible API.
+#[deprecated(note = "use `all_pairs_stretch`, which now returns a typed Result")]
+pub fn all_pairs_stretch_or_panic(curve: CurveKind, order: u32) -> StretchResult {
+    all_pairs_stretch(curve, order).unwrap_or_else(|e| panic!("all_pairs_stretch: {e}"))
+}
+
+/// Former name of [`all_pairs_stretch`], from when the fallible API was
+/// secondary.
+#[deprecated(note = "renamed to `all_pairs_stretch`")]
+pub fn try_all_pairs_stretch(curve: CurveKind, order: u32) -> Result<StretchResult, SfcError> {
+    all_pairs_stretch(curve, order)
+}
+
 /// The all-pairs stretch of Xu & Tirthapura: mean of
 /// `linear distance / Manhattan distance` over *every* pair of distinct
 /// cells. `O(16^order)` — restricted to tiny grids
 /// ([`MAX_ALL_PAIRS_ORDER`]) and used for cross-metric comparisons and
 /// tests.
 ///
-/// Panicking wrapper of [`try_all_pairs_stretch`].
-pub fn all_pairs_stretch(curve: CurveKind, order: u32) -> StretchResult {
-    try_all_pairs_stretch(curve, order).unwrap_or_else(|e| panic!("all_pairs_stretch: {e}"))
-}
-
-/// Fallible variant of [`all_pairs_stretch`]: an order above
-/// [`MAX_ALL_PAIRS_ORDER`] is a typed [`SfcError`] instead of an abort.
-pub fn try_all_pairs_stretch(curve: CurveKind, order: u32) -> Result<StretchResult, SfcError> {
+/// An order above [`MAX_ALL_PAIRS_ORDER`] is a typed [`SfcError`] instead of
+/// an abort.
+pub fn all_pairs_stretch(curve: CurveKind, order: u32) -> Result<StretchResult, SfcError> {
     if order > MAX_ALL_PAIRS_ORDER {
         return Err(SfcError::OrderTooLarge {
             order,
@@ -222,7 +256,7 @@ mod tests {
     #[test]
     fn row_major_matches_closed_form() {
         for order in 2..=7 {
-            let res = anns(CurveKind::RowMajor, order);
+            let res = anns(CurveKind::RowMajor, order).unwrap();
             let exact = row_major_anns_exact(order);
             assert!(
                 (res.average() - exact).abs() < 1e-9,
@@ -237,7 +271,7 @@ mod tests {
         // On an s×s grid there are 2·s·(s−1) Manhattan-1 pairs.
         let order = 4;
         let s = 1u64 << order;
-        let res = anns(CurveKind::Hilbert, order);
+        let res = anns(CurveKind::Hilbert, order).unwrap();
         assert_eq!(res.num_pairs, 2 * s * (s - 1));
     }
 
@@ -249,8 +283,8 @@ mod tests {
         // attained by row-major at side·1 and that snake's average is no
         // worse.
         let order = 5;
-        let row = anns(CurveKind::RowMajor, order);
-        let snake = anns(CurveKind::Boustrophedon, order);
+        let row = anns(CurveKind::RowMajor, order).unwrap();
+        let snake = anns(CurveKind::Boustrophedon, order).unwrap();
         assert!(snake.average() <= row.average() + 1e-9);
     }
 
@@ -259,10 +293,10 @@ mod tests {
         // The headline surprise of Section V: under ANNS, the Z-curve and
         // row-major order significantly outperform Gray and Hilbert.
         for order in 4..=7 {
-            let hilbert = anns(CurveKind::Hilbert, order).average();
-            let z = anns(CurveKind::ZCurve, order).average();
-            let gray = anns(CurveKind::Gray, order).average();
-            let row = anns(CurveKind::RowMajor, order).average();
+            let hilbert = anns(CurveKind::Hilbert, order).unwrap().average();
+            let z = anns(CurveKind::ZCurve, order).unwrap().average();
+            let gray = anns(CurveKind::Gray, order).unwrap().average();
+            let row = anns(CurveKind::RowMajor, order).unwrap().average();
             assert!(z < gray && z < hilbert, "order {order}: z={z} gray={gray} hilbert={hilbert}");
             assert!(row < gray && row < hilbert, "order {order}: row={row}");
         }
@@ -274,11 +308,11 @@ mod tests {
         // the curves was the same".
         let order = 6;
         for radius in [2, 4, 6] {
-            let z = anns_radius(CurveKind::ZCurve, order, radius, Norm::Manhattan).average();
+            let z = anns_radius(CurveKind::ZCurve, order, radius, Norm::Manhattan).unwrap().average();
             let hilbert =
-                anns_radius(CurveKind::Hilbert, order, radius, Norm::Manhattan).average();
-            let gray = anns_radius(CurveKind::Gray, order, radius, Norm::Manhattan).average();
-            let row = anns_radius(CurveKind::RowMajor, order, radius, Norm::Manhattan).average();
+                anns_radius(CurveKind::Hilbert, order, radius, Norm::Manhattan).unwrap().average();
+            let gray = anns_radius(CurveKind::Gray, order, radius, Norm::Manhattan).unwrap().average();
+            let row = anns_radius(CurveKind::RowMajor, order, radius, Norm::Manhattan).unwrap().average();
             assert!(z < gray && z < hilbert, "radius {radius}");
             assert!(row < gray && row < hilbert, "radius {radius}");
         }
@@ -287,7 +321,7 @@ mod tests {
     #[test]
     fn max_stretch_at_least_average() {
         for kind in CurveKind::PAPER {
-            let res = anns(kind, 5);
+            let res = anns(kind, 5).unwrap();
             assert!(res.max_stretch >= res.average());
         }
     }
@@ -298,7 +332,7 @@ mod tests {
         // neighbors, so the *minimum* stretch over M1 pairs is 1 and every
         // index step of 1 contributes stretch exactly 1. Check that some
         // pair achieves stretch 1.
-        let res = anns(CurveKind::Hilbert, 4);
+        let res = anns(CurveKind::Hilbert, 4).unwrap();
         // 4^4 - 1 = 255 consecutive index pairs contribute stretch 1 each;
         // with 480 total pairs the average is bounded below by ~1.
         assert!(res.average() >= 1.0);
@@ -309,7 +343,7 @@ mod tests {
     fn chebyshev_radius_counts() {
         let order = 3;
         let s = 1i64 << order;
-        let res = anns_radius(CurveKind::ZCurve, order, 1, Norm::Chebyshev);
+        let res = anns_radius(CurveKind::ZCurve, order, 1, Norm::Chebyshev).unwrap();
         // Chebyshev-1 unordered pairs: horizontal s(s-1) + vertical s(s-1)
         // + 2 diagonals (s-1)^2 each.
         let expected = 2 * s * (s - 1) + 2 * (s - 1) * (s - 1);
@@ -318,7 +352,7 @@ mod tests {
 
     #[test]
     fn all_pairs_stretch_small_grid() {
-        let res = all_pairs_stretch(CurveKind::Hilbert, 2);
+        let res = all_pairs_stretch(CurveKind::Hilbert, 2).unwrap();
         // C(16, 2) pairs.
         assert_eq!(res.num_pairs, 120);
         assert!(res.average() > 0.0);
@@ -327,8 +361,8 @@ mod tests {
 
     #[test]
     fn anns_is_deterministic_and_parallel_safe() {
-        let a = anns(CurveKind::Gray, 6);
-        let b = anns(CurveKind::Gray, 6);
+        let a = anns(CurveKind::Gray, 6).unwrap();
+        let b = anns(CurveKind::Gray, 6).unwrap();
         assert_eq!(a.num_pairs, b.num_pairs);
         assert!((a.total_stretch - b.total_stretch).abs() < 1e-6);
     }
@@ -336,31 +370,54 @@ mod tests {
     #[test]
     fn invalid_parameters_are_typed_errors() {
         assert_eq!(
-            try_anns_radius(CurveKind::Hilbert, 4, 0, Norm::Manhattan),
+            anns_radius(CurveKind::Hilbert, 4, 0, Norm::Manhattan),
             Err(SfcError::ZeroRadius)
         );
         assert_eq!(
-            try_anns_radius(CurveKind::Hilbert, 15, 1, Norm::Manhattan),
+            anns_radius(CurveKind::Hilbert, 15, 1, Norm::Manhattan),
             Err(SfcError::OrderTooLarge {
                 order: 15,
                 max_order: MAX_STRETCH_ORDER
             })
         );
         assert_eq!(
-            try_all_pairs_stretch(CurveKind::ZCurve, 6),
+            all_pairs_stretch(CurveKind::ZCurve, 6),
             Err(SfcError::OrderTooLarge {
                 order: 6,
                 max_order: MAX_ALL_PAIRS_ORDER
             })
         );
         assert_eq!(
-            try_anns_cyclic(CurveKind::Moore, 4, 0, Norm::Manhattan),
+            anns_cyclic(CurveKind::Moore, 4, 0, Norm::Manhattan),
             Err(SfcError::ZeroRadius)
         );
         // The panicking wrappers surface the same message.
-        let err = try_anns_radius(CurveKind::Hilbert, 4, 0, Norm::Manhattan).unwrap_err();
+        let err = anns_radius(CurveKind::Hilbert, 4, 0, Norm::Manhattan).unwrap_err();
         assert!(err.to_string().contains("at least 1"));
     }
+}
+
+/// Panicking wrapper of [`anns_cyclic`], kept for call sites that predate
+/// the fallible API.
+#[deprecated(note = "use `anns_cyclic`, which now returns a typed Result")]
+pub fn anns_cyclic_or_panic(
+    curve: CurveKind,
+    order: u32,
+    radius: u32,
+    norm: Norm,
+) -> StretchResult {
+    anns_cyclic(curve, order, radius, norm).unwrap_or_else(|e| panic!("anns_cyclic: {e}"))
+}
+
+/// Former name of [`anns_cyclic`], from when the fallible API was secondary.
+#[deprecated(note = "renamed to `anns_cyclic`")]
+pub fn try_anns_cyclic(
+    curve: CurveKind,
+    order: u32,
+    radius: u32,
+    norm: Norm,
+) -> Result<StretchResult, SfcError> {
+    anns_cyclic(curve, order, radius, norm)
 }
 
 /// Cyclic variant of the generalized stretch: linear distance measured
@@ -370,13 +427,10 @@ mod tests {
 /// (torus ranks, pipelined schedules) the ordering wraps, and a closed curve
 /// should — and does — shed the huge start-to-end stretch an open curve pays
 /// at its seam.
-pub fn anns_cyclic(curve: CurveKind, order: u32, radius: u32, norm: Norm) -> StretchResult {
-    try_anns_cyclic(curve, order, radius, norm).unwrap_or_else(|e| panic!("anns_cyclic: {e}"))
-}
-
-/// Fallible variant of [`anns_cyclic`]: a zero radius or an order above
-/// [`MAX_STRETCH_ORDER`] is a typed [`SfcError`] instead of an abort.
-pub fn try_anns_cyclic(
+///
+/// A zero radius or an order above [`MAX_STRETCH_ORDER`] is a typed
+/// [`SfcError`] instead of an abort.
+pub fn anns_cyclic(
     curve: CurveKind,
     order: u32,
     radius: u32,
@@ -422,8 +476,8 @@ mod cyclic_tests {
     #[test]
     fn cyclic_never_exceeds_linear() {
         for kind in [CurveKind::Hilbert, CurveKind::Moore, CurveKind::ZCurve] {
-            let linear = anns_radius(kind, 5, 1, Norm::Manhattan);
-            let cyclic = anns_cyclic(kind, 5, 1, Norm::Manhattan);
+            let linear = anns_radius(kind, 5, 1, Norm::Manhattan).unwrap();
+            let cyclic = anns_cyclic(kind, 5, 1, Norm::Manhattan).unwrap();
             assert_eq!(linear.num_pairs, cyclic.num_pairs);
             assert!(cyclic.average() <= linear.average() + 1e-12, "{kind}");
             assert!(cyclic.max_stretch <= linear.max_stretch + 1e-12);
@@ -440,8 +494,8 @@ mod cyclic_tests {
         // Hilbert curve's recursive structure caps its worst pair at ~N/3.
         let order = 6;
         let n = 1u64 << (2 * order);
-        let hilbert = anns_cyclic(CurveKind::Hilbert, order, 1, Norm::Manhattan);
-        let moore = anns_cyclic(CurveKind::Moore, order, 1, Norm::Manhattan);
+        let hilbert = anns_cyclic(CurveKind::Hilbert, order, 1, Norm::Manhattan).unwrap();
+        let moore = anns_cyclic(CurveKind::Moore, order, 1, Norm::Manhattan).unwrap();
         assert!(
             moore.max_stretch > hilbert.max_stretch,
             "moore {} vs hilbert {}",
@@ -455,8 +509,8 @@ mod cyclic_tests {
     #[test]
     fn moore_and_hilbert_comparable_on_average() {
         let order = 6;
-        let hilbert = anns(CurveKind::Hilbert, order).average();
-        let moore = anns(CurveKind::Moore, order).average();
+        let hilbert = anns(CurveKind::Hilbert, order).unwrap().average();
+        let moore = anns(CurveKind::Moore, order).unwrap().average();
         let gap = (moore - hilbert).abs() / hilbert;
         assert!(gap < 0.25, "moore {moore} vs hilbert {hilbert}");
     }

@@ -1,0 +1,248 @@
+//! Content-addressed cache of rendered experiment artifacts.
+//!
+//! Regenerating a paper artifact is expensive (minutes of sweep cells) but
+//! perfectly deterministic: the workspace guarantees byte-identical output
+//! for a given [`ExperimentSpec`] at every `--jobs` value. That makes the
+//! artifact a pure function of the spec and the kernel implementation — so
+//! it can be cached by content address and served back without recomputing
+//! a single sweep cell.
+//!
+//! ## Keying
+//!
+//! A cache entry's directory name is
+//! `sha256(canonical_spec_json + "\n" + KERNEL_VERSION)`. Including
+//! [`KERNEL_VERSION`] in the hashed material means a change to any metric
+//! kernel or renderer is published by bumping one constant: every old entry
+//! silently misses (the key changes), no scanning or invalidation pass
+//! required. Old directories are inert garbage, safe to delete at leisure.
+//!
+//! ## Layout
+//!
+//! ```text
+//! <root>/<key>/
+//!   meta.json     # kernel_version + spec_hash + artifact, for humans/tools
+//!   spec.json     # the canonical spec serialization
+//!   stdout.txt    # full plain-mode stdout, banner included
+//!   stdout.md     # full markdown-mode stdout, banner included
+//!   artifact.json # the machine-readable envelope (--json payload)
+//! ```
+//!
+//! Writes go to a temporary sibling directory first and are published with a
+//! single atomic `rename`, so readers never observe a half-written entry and
+//! concurrent writers of the same spec race harmlessly (determinism makes
+//! their payloads byte-identical).
+
+use crate::spec::ExperimentSpec;
+use serde_json::{json, Value};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Version tag of the metric kernels and artifact renderers, hashed into
+/// every cache key.
+///
+/// Bump this whenever a change alters any artifact byte stream — a metric
+/// kernel fix, a rendering tweak, an envelope field. Stale entries then miss
+/// automatically because their keys no longer match.
+pub const KERNEL_VERSION: &str = "2013-icpp-sfc/1";
+
+/// The cached byte streams of one rendered artifact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CachedArtifact {
+    /// Full plain-mode stdout, banner line included.
+    pub stdout_plain: String,
+    /// Full markdown-mode stdout, banner line included.
+    pub stdout_markdown: String,
+    /// The pretty-printed machine-readable envelope (the `--json` payload).
+    pub artifact_json: String,
+}
+
+/// A directory of content-addressed artifact entries.
+#[derive(Debug, Clone)]
+pub struct ResultCache {
+    root: PathBuf,
+}
+
+impl ResultCache {
+    /// Open (and create, if needed) a cache rooted at `root`.
+    pub fn new(root: impl Into<PathBuf>) -> io::Result<ResultCache> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(ResultCache { root })
+    }
+
+    /// The cache's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The content address of `spec` under the current [`KERNEL_VERSION`].
+    pub fn key(spec: &ExperimentSpec) -> String {
+        let material = format!("{}\n{}", spec.canonical_string(), KERNEL_VERSION);
+        crate::sha256::sha256_hex(material.as_bytes())
+    }
+
+    /// Directory a `spec`'s entry lives in (whether or not it exists yet).
+    pub fn entry_dir(&self, spec: &ExperimentSpec) -> PathBuf {
+        self.root.join(Self::key(spec))
+    }
+
+    /// Load the cached artifact for `spec`, or `None` on a miss. An entry
+    /// whose metadata disagrees with the expected kernel version or spec
+    /// hash (a corrupt or hand-edited directory) is treated as a miss.
+    pub fn load(&self, spec: &ExperimentSpec) -> Option<CachedArtifact> {
+        let dir = self.entry_dir(spec);
+        let meta: Value = serde_json::from_str(&fs::read_to_string(dir.join("meta.json")).ok()?)
+            .ok()?;
+        if meta.get("kernel_version").and_then(Value::as_str) != Some(KERNEL_VERSION)
+            || meta.get("spec_hash").and_then(Value::as_str) != Some(spec.canonical_hash()).as_deref()
+        {
+            return None;
+        }
+        Some(CachedArtifact {
+            stdout_plain: fs::read_to_string(dir.join("stdout.txt")).ok()?,
+            stdout_markdown: fs::read_to_string(dir.join("stdout.md")).ok()?,
+            artifact_json: fs::read_to_string(dir.join("artifact.json")).ok()?,
+        })
+    }
+
+    /// Persist `artifact` as the entry for `spec`.
+    ///
+    /// The entry is staged in a temporary directory and published with one
+    /// atomic rename. If another writer published the same key first, this
+    /// store quietly yields to it — determinism guarantees the bytes match.
+    pub fn store(&self, spec: &ExperimentSpec, artifact: &CachedArtifact) -> io::Result<()> {
+        let dir = self.entry_dir(spec);
+        if dir.exists() {
+            return Ok(());
+        }
+        let key = Self::key(spec);
+        let tmp = self.root.join(format!(
+            ".tmp-{key}-{}",
+            std::process::id()
+        ));
+        fs::create_dir_all(&tmp)?;
+        let meta = json!({
+            "kernel_version": KERNEL_VERSION,
+            "spec_hash": spec.canonical_hash(),
+            "artifact": spec.artifact.name(),
+            "cache_key": key,
+        });
+        fs::write(
+            tmp.join("meta.json"),
+            serde_json::to_string_pretty(&meta).expect("meta serializes"),
+        )?;
+        fs::write(tmp.join("spec.json"), spec.canonical_string())?;
+        fs::write(tmp.join("stdout.txt"), &artifact.stdout_plain)?;
+        fs::write(tmp.join("stdout.md"), &artifact.stdout_markdown)?;
+        fs::write(tmp.join("artifact.json"), &artifact.artifact_json)?;
+        match fs::rename(&tmp, &dir) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                // Lost a publish race (or the target appeared concurrently):
+                // the existing entry is byte-identical, keep it.
+                let _ = fs::remove_dir_all(&tmp);
+                if dir.exists() {
+                    Ok(())
+                } else {
+                    Err(e)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ExperimentSpec;
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "sfc-cache-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_artifact() -> CachedArtifact {
+        CachedArtifact {
+            stdout_plain: "# banner\ntable body\n".to_string(),
+            stdout_markdown: "# banner\n| table |\n".to_string(),
+            artifact_json: "{\n  \"artifact\": \"table1\"\n}".to_string(),
+        }
+    }
+
+    #[test]
+    fn store_then_load_round_trips_bytes() {
+        let root = temp_root("round-trip");
+        let cache = ResultCache::new(&root).unwrap();
+        let spec = ExperimentSpec::table1(5, 1, 7);
+        assert_eq!(cache.load(&spec), None, "fresh cache must miss");
+        let artifact = sample_artifact();
+        cache.store(&spec, &artifact).unwrap();
+        assert_eq!(cache.load(&spec), Some(artifact));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn key_depends_on_spec_and_kernel_version() {
+        let a = ResultCache::key(&ExperimentSpec::table1(5, 1, 7));
+        let b = ResultCache::key(&ExperimentSpec::table1(5, 1, 8));
+        assert_ne!(a, b, "different specs must have different keys");
+        assert_eq!(a.len(), 64);
+        // The kernel version is part of the hashed material, so the key is
+        // NOT the bare spec hash: bumping KERNEL_VERSION invalidates.
+        assert_ne!(a, ExperimentSpec::table1(5, 1, 7).canonical_hash());
+    }
+
+    #[test]
+    fn corrupt_meta_is_a_miss() {
+        let root = temp_root("corrupt");
+        let cache = ResultCache::new(&root).unwrap();
+        let spec = ExperimentSpec::figure6(5, 1, 7);
+        cache.store(&spec, &sample_artifact()).unwrap();
+        let meta_path = cache.entry_dir(&spec).join("meta.json");
+        fs::write(
+            &meta_path,
+            r#"{"kernel_version": "something-else/0", "spec_hash": "beef"}"#,
+        )
+        .unwrap();
+        assert_eq!(cache.load(&spec), None);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn second_store_keeps_the_existing_entry() {
+        let root = temp_root("second-store");
+        let cache = ResultCache::new(&root).unwrap();
+        let spec = ExperimentSpec::figure7(5, 1, 7);
+        let first = sample_artifact();
+        cache.store(&spec, &first).unwrap();
+        let mut second = sample_artifact();
+        second.stdout_plain.push_str("tampered\n");
+        cache.store(&spec, &second).unwrap();
+        assert_eq!(
+            cache.load(&spec),
+            Some(first),
+            "an existing entry must never be overwritten"
+        );
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn distinct_specs_occupy_distinct_entries() {
+        let root = temp_root("distinct");
+        let cache = ResultCache::new(&root).unwrap();
+        let t1 = ExperimentSpec::table1(5, 2, 7);
+        let t2 = ExperimentSpec::table2(5, 2, 7);
+        let mut art2 = sample_artifact();
+        art2.artifact_json = "{\n  \"artifact\": \"table2\"\n}".to_string();
+        cache.store(&t1, &sample_artifact()).unwrap();
+        cache.store(&t2, &art2).unwrap();
+        assert_eq!(cache.load(&t1), Some(sample_artifact()));
+        assert_eq!(cache.load(&t2), Some(art2));
+        let _ = fs::remove_dir_all(&root);
+    }
+}

@@ -104,16 +104,10 @@ impl AcdExperiment {
         Ok(())
     }
 
-    /// Run all trials, measuring both interaction models.
-    ///
-    /// # Panics
-    ///
-    /// Panics on an invalid configuration; use [`AcdExperiment::validate`]
-    /// first to get a typed error instead.
-    pub fn run(&self) -> AcdMeasurement {
-        if let Err(e) = self.validate() {
-            panic!("invalid experiment: {e}");
-        }
+    /// Run all trials, measuring both interaction models. An invalid
+    /// configuration is a typed [`SfcError`].
+    pub fn run(&self) -> Result<AcdMeasurement, SfcError> {
+        self.validate()?;
         let machine = self.machine();
         let mut nfi_acds = Vec::with_capacity(self.trials as usize);
         let mut nfi_locals = Vec::with_capacity(self.trials as usize);
@@ -121,20 +115,28 @@ impl AcdExperiment {
         let mut tree_acds = Vec::with_capacity(self.trials as usize);
         let mut ilist_acds = Vec::with_capacity(self.trials as usize);
         for t in 0..self.trials {
-            let (nfi, ffi) = self.run_trial(&machine, t);
+            let (nfi, ffi) = self.run_trial(&machine, t)?;
             nfi_acds.push(nfi.acd());
             nfi_locals.push(nfi.locality());
             ffi_acds.push(ffi.acd());
             tree_acds.push(ffi.tree_acd());
             ilist_acds.push(ffi.ilist_acd());
         }
-        AcdMeasurement {
+        Ok(AcdMeasurement {
             nfi: Stats::from_samples(&nfi_acds),
             nfi_locality: Stats::from_samples(&nfi_locals),
             ffi: Stats::from_samples(&ffi_acds),
             ffi_tree: Stats::from_samples(&tree_acds),
             ffi_ilist: Stats::from_samples(&ilist_acds),
-        }
+        })
+    }
+
+    /// Panicking wrapper of [`AcdExperiment::run`], kept for call sites that
+    /// predate the fallible API.
+    #[deprecated(note = "use `run`, which now returns a typed Result")]
+    pub fn run_or_panic(&self) -> AcdMeasurement {
+        self.run()
+            .unwrap_or_else(|e| panic!("invalid experiment: {e}"))
     }
 
     /// Build the machine for this experiment.
@@ -154,12 +156,12 @@ impl AcdExperiment {
     }
 
     /// Run one trial against a prebuilt machine, returning the raw results.
-    pub fn run_trial(&self, machine: &Machine, t: u64) -> (NfiResult, FfiResult) {
+    pub fn run_trial(&self, machine: &Machine, t: u64) -> Result<(NfiResult, FfiResult), SfcError> {
         let asg = self.assignment(t);
-        let nfi = nfi_acd(&asg, machine, self.radius, self.norm);
+        let nfi = nfi_acd(&asg, machine, self.radius, self.norm)?;
         let tree = OwnerTree::build(&asg);
-        let ffi = ffi_acd_with_tree(&asg, machine, &tree);
-        (nfi, ffi)
+        let ffi = ffi_acd_with_tree(&asg, machine, &tree)?;
+        Ok((nfi, ffi))
     }
 }
 
@@ -203,7 +205,7 @@ mod tests {
     #[test]
     fn runs_and_reports_sane_values() {
         let e = small_experiment(CurveKind::Hilbert, CurveKind::Hilbert, TopologyKind::Torus);
-        let m = e.run();
+        let m = e.run().unwrap();
         assert_eq!(m.nfi.n, 3);
         assert!(m.nfi.mean >= 0.0);
         assert!(m.ffi.mean > 0.0);
@@ -229,8 +231,8 @@ mod tests {
     #[test]
     fn measurements_are_reproducible() {
         let e = small_experiment(CurveKind::ZCurve, CurveKind::ZCurve, TopologyKind::Quadtree);
-        let m1 = e.run();
-        let m2 = e.run();
+        let m1 = e.run().unwrap();
+        let m2 = e.run().unwrap();
         assert_eq!(m1.nfi.mean, m2.nfi.mean);
         assert_eq!(m1.ffi.mean, m2.ffi.mean);
     }
@@ -240,10 +242,12 @@ mod tests {
         // The central qualitative claim of Table I at miniature scale.
         let hil = small_experiment(CurveKind::Hilbert, CurveKind::Hilbert, TopologyKind::Torus)
             .run()
+            .unwrap()
             .nfi
             .mean;
         let row = small_experiment(CurveKind::RowMajor, CurveKind::RowMajor, TopologyKind::Torus)
             .run()
+            .unwrap()
             .nfi
             .mean;
         assert!(
@@ -285,11 +289,22 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "invalid experiment")]
     fn run_rejects_invalid_configuration() {
         let mut e = small_experiment(CurveKind::Hilbert, CurveKind::Hilbert, TopologyKind::Torus);
         e.num_processors = 48;
-        let _ = e.run();
+        assert!(matches!(
+            e.run(),
+            Err(SfcError::NonPowerOfFourProcessors { num_processors: 48 })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid experiment")]
+    #[allow(deprecated)]
+    fn run_or_panic_rejects_invalid_configuration() {
+        let mut e = small_experiment(CurveKind::Hilbert, CurveKind::Hilbert, TopologyKind::Torus);
+        e.num_processors = 48;
+        let _ = e.run_or_panic();
     }
 
     #[test]

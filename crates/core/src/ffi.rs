@@ -139,31 +139,54 @@ impl OwnerTree {
     }
 }
 
-/// Compute the far-field ACD for an assignment on a machine.
-pub fn ffi_acd(asg: &Assignment, machine: &Machine) -> FfiResult {
+/// Compute the far-field ACD for an assignment on a machine. A machine with
+/// fewer ranks than the assignment addresses is a typed [`SfcError`].
+pub fn ffi_acd(asg: &Assignment, machine: &Machine) -> Result<FfiResult, SfcError> {
     let tree = OwnerTree::build(asg);
     ffi_acd_with_tree(asg, machine, &tree)
 }
 
-/// Fallible variant of [`ffi_acd`].
+/// Panicking wrapper of [`ffi_acd`], kept for call sites that predate the
+/// fallible API.
+#[deprecated(note = "use `ffi_acd`, which now returns a typed Result")]
+pub fn ffi_acd_or_panic(asg: &Assignment, machine: &Machine) -> FfiResult {
+    ffi_acd(asg, machine).unwrap_or_else(|e| panic!("ffi_acd: {e}"))
+}
+
+/// Former name of [`ffi_acd`], from when the fallible API was secondary.
+#[deprecated(note = "renamed to `ffi_acd`")]
 pub fn try_ffi_acd(asg: &Assignment, machine: &Machine) -> Result<FfiResult, SfcError> {
-    let tree = OwnerTree::build(asg);
-    try_ffi_acd_with_tree(asg, machine, &tree)
+    ffi_acd(asg, machine)
+}
+
+/// Panicking wrapper of [`ffi_acd_with_tree`], kept for call sites that
+/// predate the fallible API.
+#[deprecated(note = "use `ffi_acd_with_tree`, which now returns a typed Result")]
+pub fn ffi_acd_with_tree_or_panic(
+    asg: &Assignment,
+    machine: &Machine,
+    tree: &OwnerTree,
+) -> FfiResult {
+    ffi_acd_with_tree(asg, machine, tree).unwrap_or_else(|e| panic!("ffi_acd: {e}"))
+}
+
+/// Former name of [`ffi_acd_with_tree`], from when the fallible API was
+/// secondary.
+#[deprecated(note = "renamed to `ffi_acd_with_tree`")]
+pub fn try_ffi_acd_with_tree(
+    asg: &Assignment,
+    machine: &Machine,
+    tree: &OwnerTree,
+) -> Result<FfiResult, SfcError> {
+    ffi_acd_with_tree(asg, machine, tree)
 }
 
 /// Compute the far-field ACD with a prebuilt [`OwnerTree`] (for callers that
 /// evaluate several machines against one assignment).
 ///
-/// Panicking wrapper of [`try_ffi_acd_with_tree`] for call sites whose
-/// configuration is known valid.
-pub fn ffi_acd_with_tree(asg: &Assignment, machine: &Machine, tree: &OwnerTree) -> FfiResult {
-    try_ffi_acd_with_tree(asg, machine, tree).unwrap_or_else(|e| panic!("ffi_acd: {e}"))
-}
-
-/// Fallible variant of [`ffi_acd_with_tree`]: a machine with fewer ranks
-/// than the assignment addresses is a typed [`SfcError`] instead of an
-/// abort.
-pub fn try_ffi_acd_with_tree(
+/// A machine with fewer ranks than the assignment addresses is a typed
+/// [`SfcError`] instead of an abort.
+pub fn ffi_acd_with_tree(
     asg: &Assignment,
     machine: &Machine,
     tree: &OwnerTree,
@@ -260,7 +283,7 @@ mod tests {
         let particles = pts(&[(2, 2)]);
         let asg = Assignment::new(&particles, 3, CurveKind::Hilbert, 1);
         let machine = Machine::grid(TopologyKind::Torus, 64, CurveKind::Hilbert);
-        let res = ffi_acd(&asg, &machine);
+        let res = ffi_acd(&asg, &machine).unwrap();
         // One occupied cell per level 1..=3: 3 interpolation + 3
         // anterpolation messages, all rank-local.
         assert_eq!(res.interp_comms, 3);
@@ -276,7 +299,7 @@ mod tests {
         let asg = Assignment::new(&particles, 3, CurveKind::ZCurve, 4);
         let tree = OwnerTree::build(&asg);
         let machine = Machine::grid(TopologyKind::Mesh, 64, CurveKind::ZCurve);
-        let res = ffi_acd_with_tree(&asg, &machine, &tree);
+        let res = ffi_acd_with_tree(&asg, &machine, &tree).unwrap();
         let expected: u64 = (1..=3).map(|l| tree.level_len(l) as u64).sum();
         assert_eq!(res.interp_comms, expected);
         assert_eq!(res.anterp_comms, expected);
@@ -291,7 +314,7 @@ mod tests {
         let particles = pts(&[(0, 0), (3, 0)]);
         let asg = Assignment::new(&particles, 3, CurveKind::RowMajor, 2);
         let machine = Machine::grid(TopologyKind::Mesh, 64, CurveKind::RowMajor);
-        let res = ffi_acd(&asg, &machine);
+        let res = ffi_acd(&asg, &machine).unwrap();
         // Directed: 2 exchanges at level 3 only.
         assert_eq!(res.ilist_comms, 2);
         assert!(res.ilist_distance > 0);
@@ -302,7 +325,7 @@ mod tests {
         let particles = pts(&[(0, 0), (1, 0)]);
         let asg = Assignment::new(&particles, 3, CurveKind::Hilbert, 2);
         let machine = Machine::grid(TopologyKind::Mesh, 64, CurveKind::Hilbert);
-        let res = ffi_acd(&asg, &machine);
+        let res = ffi_acd(&asg, &machine).unwrap();
         assert_eq!(res.ilist_comms, 0);
     }
 
@@ -311,7 +334,7 @@ mod tests {
         let particles = pts(&[(0, 0), (3, 3), (5, 5), (7, 0)]);
         let asg = Assignment::new(&particles, 3, CurveKind::Gray, 4);
         let machine = Machine::grid(TopologyKind::Torus, 64, CurveKind::Gray);
-        let res = ffi_acd(&asg, &machine);
+        let res = ffi_acd(&asg, &machine).unwrap();
         assert_eq!(res.ilist_comms % 2, 0);
         assert_eq!(res.ilist_distance % 2, 0);
     }
@@ -321,7 +344,7 @@ mod tests {
         let particles = pts(&[(0, 0), (2, 5), (7, 1), (4, 4), (6, 7)]);
         let asg = Assignment::new(&particles, 3, CurveKind::Hilbert, 4);
         let machine = Machine::grid(TopologyKind::Torus, 64, CurveKind::Hilbert);
-        let res = ffi_acd(&asg, &machine);
+        let res = ffi_acd(&asg, &machine).unwrap();
         assert_eq!(
             res.total_distance(),
             res.interp_distance + res.anterp_distance + res.ilist_distance
@@ -350,7 +373,7 @@ mod tests {
         let particles = pts(&[(0, 0), (7, 7)]);
         let asg = Assignment::new(&particles, 3, CurveKind::Hilbert, 64);
         let small = Machine::grid(TopologyKind::Mesh, 16, CurveKind::Hilbert);
-        match try_ffi_acd(&asg, &small) {
+        match ffi_acd(&asg, &small) {
             Err(SfcError::MachineTooSmall {
                 machine_ranks: 16,
                 assignment_ranks: 64,

@@ -41,7 +41,7 @@
 //! let particles = sample(Distribution::uniform(), 6, 500, 7);
 //! let asg = Assignment::new(&particles, 6, CurveKind::Hilbert, 64);
 //! let machine = Machine::grid(TopologyKind::Torus, 64, CurveKind::Hilbert);
-//! let result = nfi_acd(&asg, &machine, 1, Norm::Chebyshev);
+//! let result = nfi_acd(&asg, &machine, 1, Norm::Chebyshev).unwrap();
 //! assert!(result.acd() >= 0.0);
 //! ```
 
@@ -51,6 +51,7 @@
 pub mod anns;
 pub mod anns3d;
 pub mod assignment;
+pub mod cache;
 pub mod clustering;
 pub mod error;
 pub mod experiment;
@@ -64,15 +65,19 @@ pub mod oracle;
 pub mod pattern;
 pub mod report;
 pub mod runner;
+pub mod sha256;
+pub mod spec;
 pub mod stats;
 pub mod timing;
 
 pub use anns::{anns_radius, StretchResult};
 pub use assignment::Assignment;
+pub use cache::{CachedArtifact, ResultCache, KERNEL_VERSION};
 pub use error::SfcError;
 pub use experiment::{AcdExperiment, AcdMeasurement};
 pub use machine::Machine;
 pub use oracle::DistanceOracle;
 pub use runner::{BatchCell, CellResult, ChaosInjector, RunnerOptions, SweepRunner, SweepSummary};
+pub use spec::{ArtifactKind, ExperimentSpec};
 pub use stats::Stats;
 pub use timing::CellTiming;

@@ -311,7 +311,7 @@ mod tests {
             let asg = Assignment::new(&particles, 6, CurveKind::Hilbert, 64);
             let machine = Machine::new(topo, 64, CurveKind::Hilbert);
             let load = nfi_link_load(&asg, &machine, 1, Norm::Chebyshev);
-            let nfi = crate::nfi::nfi_acd(&asg, &machine, 1, Norm::Chebyshev);
+            let nfi = crate::nfi::nfi_acd(&asg, &machine, 1, Norm::Chebyshev).unwrap();
             assert_eq!(load.crossings, nfi.total_distance, "{topo}");
             assert_eq!(load.messages, nfi.num_comms, "{topo}");
         }

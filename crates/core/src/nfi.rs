@@ -64,19 +64,31 @@ impl NfiResult {
     }
 }
 
+/// Panicking wrapper of [`nfi_acd`], kept for call sites that predate the
+/// fallible API.
+#[deprecated(note = "use `nfi_acd`, which now returns a typed Result")]
+pub fn nfi_acd_or_panic(asg: &Assignment, machine: &Machine, radius: u32, norm: Norm) -> NfiResult {
+    nfi_acd(asg, machine, radius, norm).unwrap_or_else(|e| panic!("nfi_acd: {e}"))
+}
+
+/// Former name of [`nfi_acd`], from when the fallible API was secondary.
+#[deprecated(note = "renamed to `nfi_acd`")]
+pub fn try_nfi_acd(
+    asg: &Assignment,
+    machine: &Machine,
+    radius: u32,
+    norm: Norm,
+) -> Result<NfiResult, SfcError> {
+    nfi_acd(asg, machine, radius, norm)
+}
+
 /// Compute the near-field ACD for an assignment on a machine, with
 /// neighborhood radius `radius` under `norm`.
 ///
-/// Panicking wrapper of [`try_nfi_acd`] for call sites whose configuration
-/// is known valid.
-pub fn nfi_acd(asg: &Assignment, machine: &Machine, radius: u32, norm: Norm) -> NfiResult {
-    try_nfi_acd(asg, machine, radius, norm).unwrap_or_else(|e| panic!("nfi_acd: {e}"))
-}
-
-/// Fallible variant of [`nfi_acd`]: a zero radius or a machine with fewer
-/// ranks than the assignment addresses is a typed [`SfcError`], so a sweep
-/// harness records a failed cell instead of aborting the run.
-pub fn try_nfi_acd(
+/// A zero radius or a machine with fewer ranks than the assignment
+/// addresses is a typed [`SfcError`], so a sweep harness records a failed
+/// cell instead of aborting the run.
+pub fn nfi_acd(
     asg: &Assignment,
     machine: &Machine,
     radius: u32,
@@ -157,7 +169,7 @@ mod tests {
         let particles = pts(&[(0, 0), (1, 0)]);
         let asg = Assignment::new(&particles, 2, CurveKind::RowMajor, 2);
         let machine = Machine::grid(TopologyKind::Mesh, 16, CurveKind::RowMajor);
-        let res = nfi_acd(&asg, &machine, 1, Norm::Chebyshev);
+        let res = nfi_acd(&asg, &machine, 1, Norm::Chebyshev).unwrap();
         assert_eq!(res.num_comms, 2);
         assert_eq!(res.local_comms, 0);
         // Ranks 0 and 1 sit on mesh nodes (0,0) and (1,0): 1 hop.
@@ -171,7 +183,7 @@ mod tests {
         let particles = pts(&[(0, 0), (1, 0)]);
         let asg = Assignment::new(&particles, 2, CurveKind::RowMajor, 1);
         let machine = Machine::grid(TopologyKind::Mesh, 16, CurveKind::RowMajor);
-        let res = nfi_acd(&asg, &machine, 1, Norm::Chebyshev);
+        let res = nfi_acd(&asg, &machine, 1, Norm::Chebyshev).unwrap();
         assert_eq!(res.num_comms, 2);
         assert_eq!(res.local_comms, 2);
         assert_eq!(res.total_distance, 0);
@@ -194,8 +206,8 @@ mod tests {
         let particles = pts(&coords);
         let asg = Assignment::new(&particles, 2, CurveKind::RowMajor, 1);
         let machine = Machine::grid(TopologyKind::Mesh, 16, CurveKind::RowMajor);
-        let cheb = nfi_acd(&asg, &machine, 1, Norm::Chebyshev);
-        let manh = nfi_acd(&asg, &machine, 1, Norm::Manhattan);
+        let cheb = nfi_acd(&asg, &machine, 1, Norm::Chebyshev).unwrap();
+        let manh = nfi_acd(&asg, &machine, 1, Norm::Manhattan).unwrap();
         // Chebyshev: 4 corners*3 + 4 edges*5 + 1 center*8 = 40 exchanges.
         assert_eq!(cheb.num_comms, 40);
         // Manhattan: 4 corners*2 + 4 edges*3 + center*4 = 24.
@@ -208,7 +220,7 @@ mod tests {
         let particles = pts(&[(0, 0), (7, 7)]);
         let asg = Assignment::new(&particles, 3, CurveKind::Hilbert, 2);
         let machine = Machine::grid(TopologyKind::Torus, 64, CurveKind::Hilbert);
-        let res = nfi_acd(&asg, &machine, 1, Norm::Chebyshev);
+        let res = nfi_acd(&asg, &machine, 1, Norm::Chebyshev).unwrap();
         assert_eq!(res.num_comms, 0);
         assert_eq!(res.acd(), 0.0);
     }
@@ -220,10 +232,10 @@ mod tests {
         let asg = Assignment::new(&particles, 3, CurveKind::RowMajor, 2);
         let machine = Machine::grid(TopologyKind::Torus, 64, CurveKind::RowMajor);
         for r in 1..=2 {
-            let res = nfi_acd(&asg, &machine, r, Norm::Chebyshev);
+            let res = nfi_acd(&asg, &machine, r, Norm::Chebyshev).unwrap();
             assert_eq!(res.num_comms, 0, "radius {r}");
         }
-        let res = nfi_acd(&asg, &machine, 3, Norm::Chebyshev);
+        let res = nfi_acd(&asg, &machine, 3, Norm::Chebyshev).unwrap();
         assert_eq!(res.num_comms, 2);
     }
 
@@ -233,7 +245,7 @@ mod tests {
         let particles = pts(&[(0, 0), (0, 1), (1, 0)]);
         let asg = Assignment::new(&particles, 1, CurveKind::Hilbert, 1);
         let machine = Machine::grid(TopologyKind::Mesh, 4, CurveKind::Hilbert);
-        let res = nfi_acd(&asg, &machine, 2, Norm::Chebyshev);
+        let res = nfi_acd(&asg, &machine, 2, Norm::Chebyshev).unwrap();
         // All pairs within radius 2: 3 unordered pairs = 6 directed.
         assert_eq!(res.num_comms, 6);
         assert_eq!(res.local_comms, 6);
@@ -245,18 +257,28 @@ mod tests {
         let particles = pts(&[(0, 0), (1, 1), (2, 2), (0, 2)]);
         let asg = Assignment::new(&particles, 2, CurveKind::ZCurve, 4);
         let machine = Machine::grid(TopologyKind::Mesh, 16, CurveKind::ZCurve);
-        let res = nfi_acd(&asg, &machine, 2, Norm::Chebyshev);
+        let res = nfi_acd(&asg, &machine, 2, Norm::Chebyshev).unwrap();
         assert_eq!(res.num_comms % 2, 0);
         assert_eq!(res.total_distance % 2, 0);
     }
 
     #[test]
-    #[should_panic(expected = "radius must be at least 1")]
     fn zero_radius_rejected() {
         let particles = pts(&[(0, 0)]);
         let asg = Assignment::new(&particles, 2, CurveKind::Hilbert, 1);
         let machine = Machine::grid(TopologyKind::Mesh, 16, CurveKind::Hilbert);
-        let _ = nfi_acd(&asg, &machine, 0, Norm::Chebyshev);
+        assert_eq!(
+            nfi_acd(&asg, &machine, 0, Norm::Chebyshev),
+            Err(crate::error::SfcError::ZeroRadius)
+        );
+        // The deprecated panicking shim surfaces the human-readable message.
+        #[allow(deprecated)]
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            nfi_acd_or_panic(&asg, &machine, 0, Norm::Chebyshev)
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("radius must be at least 1"), "{msg}");
     }
 
     #[test]
@@ -266,13 +288,13 @@ mod tests {
         let asg = Assignment::new(&particles, 2, CurveKind::Hilbert, 4);
         let machine = Machine::grid(TopologyKind::Mesh, 16, CurveKind::Hilbert);
         assert_eq!(
-            try_nfi_acd(&asg, &machine, 0, Norm::Chebyshev),
+            nfi_acd(&asg, &machine, 0, Norm::Chebyshev),
             Err(SfcError::ZeroRadius)
         );
         // A machine smaller than the assignment's rank space is an error,
         // not a mid-scan panic that would abort a whole sweep.
         let asg64 = Assignment::new(&particles, 2, CurveKind::Hilbert, 64);
-        match try_nfi_acd(&asg64, &machine, 1, Norm::Chebyshev) {
+        match nfi_acd(&asg64, &machine, 1, Norm::Chebyshev) {
             Err(SfcError::MachineTooSmall {
                 machine_ranks: 16,
                 assignment_ranks: 64,

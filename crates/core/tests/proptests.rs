@@ -46,10 +46,10 @@ proptest! {
         let asg = Assignment::new(&cells, order, curve, procs);
         let machine = Machine::new(topo, procs, curve);
         let diameter = machine.topology().diameter() as f64;
-        let nfi = nfi_acd(&asg, &machine, radius, Norm::Chebyshev);
+        let nfi = nfi_acd(&asg, &machine, radius, Norm::Chebyshev).unwrap();
         prop_assert!(nfi.acd() <= diameter);
         prop_assert!(nfi.total_distance <= nfi.num_comms * machine.topology().diameter());
-        let ffi = ffi_acd(&asg, &machine);
+        let ffi = ffi_acd(&asg, &machine).unwrap();
         prop_assert!(ffi.acd() <= diameter);
     }
 
@@ -69,7 +69,7 @@ proptest! {
         for curve in CurveKind::PAPER {
             let asg = Assignment::new(&cells, order, curve, 16);
             let machine = Machine::new(TopologyKind::Torus, 16, curve);
-            counts.insert(nfi_acd(&asg, &machine, radius, Norm::Chebyshev).num_comms);
+            counts.insert(nfi_acd(&asg, &machine, radius, Norm::Chebyshev).unwrap().num_comms);
         }
         prop_assert_eq!(counts.len(), 1);
     }
@@ -87,7 +87,7 @@ proptest! {
         for curve in CurveKind::PAPER {
             let asg = Assignment::new(&cells, order, curve, 16);
             let machine = Machine::new(TopologyKind::Torus, 16, curve);
-            counts.insert(ffi_acd(&asg, &machine).interp_comms);
+            counts.insert(ffi_acd(&asg, &machine).unwrap().interp_comms);
         }
         prop_assert_eq!(counts.len(), 1);
     }
@@ -104,8 +104,8 @@ proptest! {
         let curve = CurveKind::PAPER[curve_idx];
         let asg = Assignment::new(&cells, order, curve, 1);
         let machine = Machine::new(TopologyKind::Torus, 1, curve);
-        prop_assert_eq!(nfi_acd(&asg, &machine, 2, Norm::Chebyshev).acd(), 0.0);
-        prop_assert_eq!(ffi_acd(&asg, &machine).acd(), 0.0);
+        prop_assert_eq!(nfi_acd(&asg, &machine, 2, Norm::Chebyshev).unwrap().acd(), 0.0);
+        prop_assert_eq!(ffi_acd(&asg, &machine).unwrap().acd(), 0.0);
     }
 
     /// The owner tree's per-level occupancy shrinks monotonically toward the
@@ -142,8 +142,8 @@ proptest! {
         prop_assume!(cells.len() >= 2);
         let asg = Assignment::new(&cells, order, CurveKind::ZCurve, 16);
         let machine = Machine::new(TopologyKind::Mesh, 16, CurveKind::ZCurve);
-        let r1 = nfi_acd(&asg, &machine, 1, Norm::Chebyshev);
-        let r2 = nfi_acd(&asg, &machine, 2, Norm::Chebyshev);
+        let r1 = nfi_acd(&asg, &machine, 1, Norm::Chebyshev).unwrap();
+        let r2 = nfi_acd(&asg, &machine, 2, Norm::Chebyshev).unwrap();
         prop_assert!(r2.num_comms >= r1.num_comms);
         prop_assert!(r2.total_distance >= r1.total_distance);
     }
@@ -250,8 +250,8 @@ proptest! {
         prop_assume!(cells.len() >= 2);
         let asg = Assignment::new(&cells, order, CurveKind::Gray, 16);
         let machine = Machine::new(TopologyKind::Torus, 16, CurveKind::Gray);
-        let cheb = nfi_acd(&asg, &machine, radius, Norm::Chebyshev);
-        let manh = nfi_acd(&asg, &machine, radius, Norm::Manhattan);
+        let cheb = nfi_acd(&asg, &machine, radius, Norm::Chebyshev).unwrap();
+        let manh = nfi_acd(&asg, &machine, radius, Norm::Manhattan).unwrap();
         prop_assert!(cheb.num_comms >= manh.num_comms);
     }
 }

@@ -1,0 +1,150 @@
+//! A concrete, `Copy`-cheap sum type over the supported 2-D curves.
+//!
+//! [`CurveKind::curve`] hands back a `Box<dyn Curve2d + Send + Sync>`, which
+//! is convenient for heterogeneous collections but costs an allocation and a
+//! vtable dispatch per call. Hot loops and serializable experiment specs want
+//! a register-sized handle instead: [`AnyCurve2d`] is an enum of the seven
+//! concrete curve structs (each just a `u32` order), so it is `Copy`, needs
+//! no allocation, and dispatches with a jump table the optimizer can inline.
+//!
+//! The boxed trait path remains available and now delegates to this type, so
+//! both APIs are guaranteed to agree.
+//!
+//! ```
+//! use sfc_curves::{AnyCurve2d, Curve2d, CurveKind, Point2};
+//!
+//! let any = CurveKind::Hilbert.any(4); // Copy — no allocation
+//! let boxed = CurveKind::Hilbert.curve(4); // Box<dyn Curve2d + Send + Sync>
+//! let p = Point2::new(3, 7);
+//! assert_eq!(any.index(p), boxed.index(p));
+//! assert_eq!(any.kind(), CurveKind::Hilbert);
+//! ```
+
+use crate::{
+    Boustrophedon, ColumnMajor, Curve2d, CurveKind, GrayCurve, HilbertCurve, MooreCurve, Point2,
+    RowMajor, ZCurve,
+};
+
+/// One of the seven supported 2-D curves, held by value.
+///
+/// Construct via [`AnyCurve2d::new`] or [`CurveKind::any`]. Implements
+/// [`Curve2d`] by delegating to the wrapped concrete curve, so it can be used
+/// anywhere a curve is expected — without the allocation or indirection of
+/// `Box<dyn Curve2d>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnyCurve2d {
+    /// The Hilbert curve.
+    Hilbert(HilbertCurve),
+    /// The Z-curve / Morton order.
+    ZCurve(ZCurve),
+    /// The Gray order.
+    Gray(GrayCurve),
+    /// Row-major order.
+    RowMajor(RowMajor),
+    /// Column-major order.
+    ColumnMajor(ColumnMajor),
+    /// Boustrophedon ("snake scan") order.
+    Boustrophedon(Boustrophedon),
+    /// The Moore curve.
+    Moore(MooreCurve),
+}
+
+impl AnyCurve2d {
+    /// Instantiate `kind` at order `k` by value.
+    pub fn new(kind: CurveKind, order: u32) -> AnyCurve2d {
+        match kind {
+            CurveKind::Hilbert => AnyCurve2d::Hilbert(HilbertCurve::new(order)),
+            CurveKind::ZCurve => AnyCurve2d::ZCurve(ZCurve::new(order)),
+            CurveKind::Gray => AnyCurve2d::Gray(GrayCurve::new(order)),
+            CurveKind::RowMajor => AnyCurve2d::RowMajor(RowMajor::new(order)),
+            CurveKind::ColumnMajor => AnyCurve2d::ColumnMajor(ColumnMajor::new(order)),
+            CurveKind::Boustrophedon => AnyCurve2d::Boustrophedon(Boustrophedon::new(order)),
+            CurveKind::Moore => AnyCurve2d::Moore(MooreCurve::new(order)),
+        }
+    }
+
+    /// The [`CurveKind`] tag of the wrapped curve.
+    pub fn kind(&self) -> CurveKind {
+        match self {
+            AnyCurve2d::Hilbert(_) => CurveKind::Hilbert,
+            AnyCurve2d::ZCurve(_) => CurveKind::ZCurve,
+            AnyCurve2d::Gray(_) => CurveKind::Gray,
+            AnyCurve2d::RowMajor(_) => CurveKind::RowMajor,
+            AnyCurve2d::ColumnMajor(_) => CurveKind::ColumnMajor,
+            AnyCurve2d::Boustrophedon(_) => CurveKind::Boustrophedon,
+            AnyCurve2d::Moore(_) => CurveKind::Moore,
+        }
+    }
+}
+
+macro_rules! delegate {
+    ($self:ident, $c:ident => $body:expr) => {
+        match $self {
+            AnyCurve2d::Hilbert($c) => $body,
+            AnyCurve2d::ZCurve($c) => $body,
+            AnyCurve2d::Gray($c) => $body,
+            AnyCurve2d::RowMajor($c) => $body,
+            AnyCurve2d::ColumnMajor($c) => $body,
+            AnyCurve2d::Boustrophedon($c) => $body,
+            AnyCurve2d::Moore($c) => $body,
+        }
+    };
+}
+
+impl Curve2d for AnyCurve2d {
+    fn order(&self) -> u32 {
+        delegate!(self, c => c.order())
+    }
+
+    #[inline]
+    fn index(&self, p: Point2) -> u64 {
+        delegate!(self, c => c.index(p))
+    }
+
+    #[inline]
+    fn point(&self, idx: u64) -> Point2 {
+        delegate!(self, c => c.point(idx))
+    }
+
+    fn name(&self) -> &'static str {
+        delegate!(self, c => c.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_curve_agrees_with_boxed_and_direct() {
+        for kind in CurveKind::ALL {
+            let any = kind.any(3);
+            let boxed = kind.curve(3);
+            assert_eq!(any.kind(), kind);
+            assert_eq!(any.order(), 3);
+            assert_eq!(any.name(), boxed.name());
+            assert_eq!(any.name(), kind.name());
+            for idx in 0..any.len() {
+                let p = any.point(idx);
+                assert_eq!(p, boxed.point(idx));
+                assert_eq!(any.index(p), idx);
+                assert_eq!(kind.index_of(3, p), idx);
+            }
+        }
+    }
+
+    #[test]
+    fn any_curve_is_copy_and_register_sized() {
+        fn assert_copy<T: Copy + Send + Sync>() {}
+        assert_copy::<AnyCurve2d>();
+        // tag + u32 order; must stay cheap enough to pass by value in hot
+        // loops.
+        assert!(std::mem::size_of::<AnyCurve2d>() <= 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "curve order must be")]
+    fn any_curve_rejects_bad_order() {
+        let _ = AnyCurve2d::new(CurveKind::Hilbert, 0);
+    }
+}

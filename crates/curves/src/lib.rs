@@ -46,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod any;
 pub mod curve3d;
 pub mod gray;
 pub mod hilbert;
@@ -58,6 +59,7 @@ pub mod rowmajor;
 pub mod skilling;
 pub mod table;
 
+pub use any::AnyCurve2d;
 pub use gray::GrayCurve;
 pub use hilbert::HilbertCurve;
 pub use moore::MooreCurve;
@@ -188,17 +190,20 @@ impl CurveKind {
         CurveKind::Moore,
     ];
 
+    /// Instantiate the curve at order `k` by value: a `Copy`, allocation-free
+    /// handle for hot loops and serializable experiment specs.
+    #[inline]
+    pub fn any(self, order: u32) -> AnyCurve2d {
+        AnyCurve2d::new(self, order)
+    }
+
     /// Instantiate the curve at order `k` behind a trait object.
+    ///
+    /// Compatibility path for heterogeneous collections; delegates to
+    /// [`CurveKind::any`], so both APIs always agree. Prefer `any` where a
+    /// concrete handle suffices — it avoids the allocation and vtable.
     pub fn curve(self, order: u32) -> Box<dyn Curve2d + Send + Sync> {
-        match self {
-            CurveKind::Hilbert => Box::new(HilbertCurve::new(order)),
-            CurveKind::ZCurve => Box::new(ZCurve::new(order)),
-            CurveKind::Gray => Box::new(GrayCurve::new(order)),
-            CurveKind::RowMajor => Box::new(RowMajor::new(order)),
-            CurveKind::ColumnMajor => Box::new(ColumnMajor::new(order)),
-            CurveKind::Boustrophedon => Box::new(Boustrophedon::new(order)),
-            CurveKind::Moore => Box::new(MooreCurve::new(order)),
-        }
+        Box::new(self.any(order))
     }
 
     /// Display name used in tables and plots.

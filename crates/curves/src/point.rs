@@ -145,6 +145,23 @@ impl Norm {
             Norm::Chebyshev => (2 * r + 1) * (2 * r + 1) - 1,
         }
     }
+
+    /// Stable lowercase identifier, used in serialized experiment specs.
+    pub fn name(self) -> &'static str {
+        match self {
+            Norm::Manhattan => "manhattan",
+            Norm::Chebyshev => "chebyshev",
+        }
+    }
+
+    /// Inverse of [`Norm::name`]; accepts a few common aliases.
+    pub fn parse(s: &str) -> Option<Norm> {
+        match s.to_ascii_lowercase().as_str() {
+            "manhattan" | "l1" | "taxicab" => Some(Norm::Manhattan),
+            "chebyshev" | "linf" | "king" => Some(Norm::Chebyshev),
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]

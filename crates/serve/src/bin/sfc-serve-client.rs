@@ -1,0 +1,64 @@
+//! Minimal client for an `sfc-serve --socket` daemon: send one request per
+//! trailing argument (or per stdin line when no arguments are given) and
+//! print each response line to stdout.
+//!
+//! ```text
+//! sfc-serve-client --socket /tmp/sfc.sock '{"op":"stats"}'
+//! sfc-serve-client --socket /tmp/sfc.sock \
+//!     '{"id":1,"op":"run","artifact":"table1","scale":5,"trials":1}'
+//! ```
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::os::unix::net::UnixStream;
+
+fn main() {
+    let mut socket = None;
+    let mut requests = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--socket" => socket = it.next(),
+            "--help" | "-h" => {
+                println!("usage: sfc-serve-client --socket PATH [REQUEST_JSON...]");
+                return;
+            }
+            _ => requests.push(arg),
+        }
+    }
+    let Some(path) = socket else {
+        eprintln!("error: --socket PATH is required");
+        std::process::exit(2);
+    };
+    if requests.is_empty() {
+        let mut text = String::new();
+        if std::io::stdin().read_to_string(&mut text).is_err() {
+            eprintln!("error: cannot read requests from stdin");
+            std::process::exit(2);
+        }
+        requests = text
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(str::to_string)
+            .collect();
+    }
+
+    let stream = match UnixStream::connect(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot connect to `{path}`: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mut writer = stream.try_clone().expect("clone socket");
+    let mut reader = BufReader::new(stream);
+    for request in &requests {
+        writeln!(writer, "{request}").expect("send request");
+        writer.flush().expect("flush request");
+        let mut response = String::new();
+        if reader.read_line(&mut response).expect("read response") == 0 {
+            eprintln!("error: daemon closed the connection");
+            std::process::exit(1);
+        }
+        print!("{response}");
+    }
+}

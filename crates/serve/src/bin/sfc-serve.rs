@@ -1,0 +1,191 @@
+//! The `sfc-serve` daemon: answer experiment requests from the
+//! content-addressed result cache.
+//!
+//! Two transports share one [`Server`] core:
+//!
+//! * `--socket PATH` — listen on a unix socket; one thread per connection,
+//!   so identical requests from different clients dedup into a single
+//!   computation.
+//! * `--pipe` — JSON-lines over stdin/stdout (CI and scripting). Each
+//!   request is handled on its own thread and responses are written as they
+//!   complete, so two identical requests sent back-to-back exercise the
+//!   same in-flight dedup path as two socket clients. Correlate responses
+//!   by `id`.
+//!
+//! `--chaos-compute-ms N` sleeps N milliseconds before every computation —
+//! a test hook that widens the in-flight window so dedup can be asserted
+//! deterministically.
+
+use serde_json::to_string;
+use sfc_serve::Server;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+struct Flags {
+    cache: String,
+    socket: Option<String>,
+    pipe: bool,
+    chaos_compute_ms: u64,
+}
+
+fn usage() -> String {
+    "usage: sfc-serve [--cache DIR] (--pipe | --socket PATH) [--chaos-compute-ms N]\n\
+     \n\
+     --cache DIR            content-addressed result cache directory (default: cache)\n\
+     --pipe                 serve JSON-lines requests on stdin/stdout\n\
+     --socket PATH          listen on a unix socket at PATH\n\
+     --chaos-compute-ms N   sleep N ms before each computation (test hook)\n"
+        .to_string()
+}
+
+fn parse_flags() -> Result<Flags, String> {
+    let mut flags = Flags {
+        cache: "cache".to_string(),
+        socket: None,
+        pipe: false,
+        chaos_compute_ms: 0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--cache" => {
+                flags.cache = it.next().ok_or("--cache needs a directory")?;
+            }
+            "--socket" => {
+                flags.socket = Some(it.next().ok_or("--socket needs a path")?);
+            }
+            "--pipe" => flags.pipe = true,
+            "--chaos-compute-ms" => {
+                let v = it.next().ok_or("--chaos-compute-ms needs a value")?;
+                flags.chaos_compute_ms = v
+                    .parse()
+                    .map_err(|_| format!("--chaos-compute-ms: `{v}` is not a number"))?;
+            }
+            "--help" | "-h" => {
+                print!("{}", usage());
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+        }
+    }
+    if flags.pipe == flags.socket.is_some() {
+        return Err(format!(
+            "exactly one of --pipe or --socket is required\n{}",
+            usage()
+        ));
+    }
+    Ok(flags)
+}
+
+/// Pipe mode: one worker thread per request line, responses interleaved on
+/// stdout as they complete (each as a single line, correlated by `id`).
+fn serve_pipe(server: Arc<Server>) {
+    let stdout = Arc::new(Mutex::new(std::io::stdout()));
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut workers = Vec::new();
+    for line in std::io::stdin().lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let server = Arc::clone(&server);
+        let stdout = Arc::clone(&stdout);
+        let worker_stop = Arc::clone(&stop);
+        workers.push(std::thread::spawn(move || {
+            let resp = server.handle_line(&line);
+            let text = to_string(&resp.doc).expect("serialize response");
+            let mut out = stdout.lock().expect("stdout lock");
+            writeln!(out, "{text}").expect("write response");
+            out.flush().expect("flush response");
+            if resp.shutdown {
+                worker_stop.store(true, Ordering::SeqCst);
+            }
+        }));
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+    for w in workers {
+        let _ = w.join();
+    }
+}
+
+/// Socket mode: accept loop, one thread per connection. A `shutdown`
+/// request stops the whole daemon after its response is flushed.
+fn serve_socket(server: Arc<Server>, path: &str) {
+    // A previous daemon's socket file would make bind fail; the unix
+    // convention is to remove it first (a live daemon still holds the
+    // listening socket, so this only clears stale files).
+    let _ = std::fs::remove_file(path);
+    let listener = match UnixListener::bind(path) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("error: cannot bind `{path}`: {e}");
+            std::process::exit(2);
+        }
+    };
+    eprintln!("# sfc-serve: listening on {path}");
+    for conn in listener.incoming() {
+        let stream = match conn {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("# sfc-serve: accept failed: {e}");
+                continue;
+            }
+        };
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || serve_connection(server, stream));
+    }
+}
+
+fn serve_connection(server: Arc<Server>, stream: UnixStream) {
+    let reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = stream;
+    for line in reader.lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => return,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let resp = server.handle_line(&line);
+        let text = to_string(&resp.doc).expect("serialize response");
+        if writeln!(writer, "{text}").and_then(|()| writer.flush()).is_err() {
+            return;
+        }
+        if resp.shutdown {
+            std::process::exit(0);
+        }
+    }
+}
+
+fn main() {
+    let flags = match parse_flags() {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let server = match Server::new(&flags.cache, flags.chaos_compute_ms) {
+        Ok(s) => Arc::new(s),
+        Err(e) => {
+            eprintln!("error: cannot open cache `{}`: {e}", flags.cache);
+            std::process::exit(2);
+        }
+    };
+    if flags.pipe {
+        serve_pipe(server);
+    } else if let Some(path) = &flags.socket {
+        serve_socket(server, path);
+    }
+}

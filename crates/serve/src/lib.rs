@@ -1,0 +1,547 @@
+//! # sfc-serve
+//!
+//! A long-running daemon answering experiment requests from the
+//! content-addressed result cache ([`sfc_core::ResultCache`]).
+//!
+//! Every artifact the workspace regenerates is a pure function of its
+//! canonical [`ExperimentSpec`] and the kernel version, so a daemon can
+//! memoize whole experiments: the first request for a spec computes it
+//! (minutes of sweep cells), every repeat is answered from the cache with
+//! byte-identical payloads, and identical requests that arrive *while* the
+//! computation is still running are deduplicated into that single
+//! computation instead of racing a second one.
+//!
+//! ## Protocol
+//!
+//! JSON-lines over a unix socket (`--socket PATH`) or over stdin/stdout
+//! (`--pipe`, for CI and scripting). One request object per line, one
+//! response object per line; in pipe mode responses may be emitted out of
+//! request order, so correlate them with the echoed `id` field.
+//!
+//! ```json
+//! {"id": 1, "op": "run", "artifact": "table1", "scale": 5, "trials": 1,
+//!  "seed": 20130701, "format": "plain"}
+//! {"id": 2, "op": "stats"}
+//! {"id": 3, "op": "shutdown"}
+//! ```
+//!
+//! A `run` response carries the requested payload stream (`format` is
+//! `plain`, `markdown` or `json`) plus provenance: the cache `key`, whether
+//! the answer was a cache `hit`, and whether the request was `deduped` into
+//! an in-flight computation. A `stats` response reports request counters,
+//! the cache hit rate, the in-flight dedup count and the accumulated
+//! per-phase kernel timings of everything this daemon computed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde_json::{Map, ToJson, Value};
+use sfc_bench::artifact::{compute, ComputeOpts};
+use sfc_bench::SweepArgs;
+use sfc_core::runner::{SweepRunner, SweepSummary};
+use sfc_core::{ArtifactKind, CachedArtifact, ExperimentSpec, ResultCache};
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Compute the full artifact for `spec` exactly as its binary would: same
+/// banner, same body bytes, same JSON envelope. Returns the three cached
+/// byte streams plus the sweep summary (for completeness and timings).
+pub fn compute_artifact(spec: &ExperimentSpec) -> (CachedArtifact, SweepSummary) {
+    let args = SweepArgs {
+        scale: spec.scale,
+        trials: spec.trials,
+        seed: spec.seed,
+        ..SweepArgs::default()
+    };
+    let banner = args.banner(spec.artifact.title());
+    let mut runner = SweepRunner::ephemeral();
+    let out = compute(spec, &ComputeOpts::default(), &mut runner);
+    let summary = runner.finish();
+    let doc = sfc_bench::results::envelope(spec.artifact.name(), spec, &summary, out.data);
+    let artifact_json = serde_json::to_string_pretty(&doc).expect("serialize artifact");
+    let artifact = CachedArtifact {
+        stdout_plain: format!("{banner}\n{}", out.body_plain),
+        stdout_markdown: format!("{banner}\n{}", out.body_markdown),
+        artifact_json,
+    };
+    (artifact, summary)
+}
+
+/// Which byte stream of a cached artifact a `run` request wants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// The plain-text stdout stream, banner included.
+    Plain,
+    /// The Markdown stdout stream, banner included.
+    Markdown,
+    /// The machine-readable JSON envelope (the `--json` payload).
+    Json,
+}
+
+impl Format {
+    fn parse(s: &str) -> Result<Format, String> {
+        match s {
+            "plain" => Ok(Format::Plain),
+            "markdown" => Ok(Format::Markdown),
+            "json" => Ok(Format::Json),
+            other => Err(format!(
+                "unknown format `{other}` (expected plain, markdown or json)"
+            )),
+        }
+    }
+
+    fn select(self, artifact: &CachedArtifact) -> &str {
+        match self {
+            Format::Plain => &artifact.stdout_plain,
+            Format::Markdown => &artifact.stdout_markdown,
+            Format::Json => &artifact.artifact_json,
+        }
+    }
+}
+
+/// A parsed request line.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Run (or replay) the experiment a spec describes.
+    Run {
+        /// The resolved canonical spec (boxed: the spec dwarfs the other
+        /// variants).
+        spec: Box<ExperimentSpec>,
+        /// Which payload stream to return.
+        format: Format,
+    },
+    /// Report daemon counters.
+    Stats,
+    /// Stop accepting requests and exit.
+    Shutdown,
+}
+
+impl Request {
+    /// Parse one JSON request line. `scale`/`trials`/`seed` default to the
+    /// binaries' flag defaults, so a request describes the same experiment
+    /// the equivalent command line would.
+    pub fn parse(line: &str) -> Result<(Value, Request), String> {
+        let doc: Value = serde_json::from_str(line).map_err(|e| format!("bad JSON: {e}"))?;
+        let obj = doc.as_object().ok_or("request must be a JSON object")?;
+        let id = obj.get("id").cloned().unwrap_or(Value::Null);
+        let op = obj
+            .get("op")
+            .and_then(Value::as_str)
+            .ok_or("missing `op` field")?;
+        let req = match op {
+            "stats" => Request::Stats,
+            "shutdown" => Request::Shutdown,
+            "run" => {
+                let name = obj
+                    .get("artifact")
+                    .and_then(Value::as_str)
+                    .ok_or("run: missing `artifact` field")?;
+                let kind = ArtifactKind::parse(name)
+                    .ok_or_else(|| format!("run: unknown artifact `{name}`"))?;
+                let defaults = SweepArgs::default();
+                let num = |key: &str, default: u64| -> Result<u64, String> {
+                    match obj.get(key) {
+                        None => Ok(default),
+                        Some(v) => v
+                            .as_u64()
+                            .ok_or_else(|| format!("run: `{key}` must be a non-negative integer")),
+                    }
+                };
+                let scale = num("scale", defaults.scale as u64)? as u32;
+                let trials = num("trials", defaults.trials)?;
+                let seed = num("seed", defaults.seed)?;
+                let format = match obj.get("format") {
+                    None => Format::Plain,
+                    Some(v) => Format::parse(
+                        v.as_str().ok_or("run: `format` must be a string")?,
+                    )?,
+                };
+                let spec = ExperimentSpec::for_artifact(kind, scale, trials, seed);
+                spec.validate().map_err(|e| format!("run: invalid spec: {e}"))?;
+                Request::Run {
+                    spec: Box::new(spec),
+                    format,
+                }
+            }
+            other => return Err(format!("unknown op `{other}`")),
+        };
+        Ok((id, req))
+    }
+}
+
+/// The daemon's answer to one request line.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// The JSON response document to write back as one line.
+    pub doc: Value,
+    /// Whether the connection/daemon should stop after this response.
+    pub shutdown: bool,
+}
+
+/// One in-flight computation: followers block on the condvar until the
+/// leader publishes the result.
+struct Slot {
+    result: Mutex<Option<RunOutcome>>,
+    ready: Condvar,
+}
+
+impl Slot {
+    fn new() -> Self {
+        Slot {
+            result: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn publish(&self, outcome: RunOutcome) {
+        *self.result.lock().expect("slot lock") = Some(outcome);
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> RunOutcome {
+        let mut guard = self.result.lock().expect("slot lock");
+        loop {
+            match &*guard {
+                Some(outcome) => return outcome.clone(),
+                None => guard = self.ready.wait(guard).expect("slot lock"),
+            }
+        }
+    }
+}
+
+/// The artifact a run produced plus whether the sweep completed (an
+/// incomplete artifact is served but never cached).
+#[derive(Clone)]
+struct RunOutcome {
+    artifact: Arc<CachedArtifact>,
+    complete: bool,
+}
+
+/// Daemon counters, reported by the `stats` op.
+#[derive(Debug, Default)]
+struct Stats {
+    requests: u64,
+    runs: u64,
+    hits: u64,
+    computations: u64,
+    deduped: u64,
+    errors: u64,
+    /// Accumulated kernel-phase milliseconds of every cell this daemon
+    /// computed, in first-use order.
+    phase_ms: Vec<(String, f64)>,
+}
+
+impl Stats {
+    fn absorb_phases(&mut self, summary: &SweepSummary) {
+        for (_cell, timing) in &summary.timings {
+            for (name, ms) in &timing.phases {
+                match self.phase_ms.iter_mut().find(|(n, _)| n == name) {
+                    Some((_, total)) => *total += ms,
+                    None => self.phase_ms.push((name.clone(), *ms)),
+                }
+            }
+        }
+    }
+}
+
+/// The daemon core: a result cache, the in-flight dedup table and the
+/// counters. Transport-independent — the socket and pipe front ends both
+/// feed request lines to [`Server::handle_line`] from as many threads as
+/// they like.
+pub struct Server {
+    cache: ResultCache,
+    inflight: Mutex<HashMap<String, Arc<Slot>>>,
+    stats: Mutex<Stats>,
+    /// Test-only delay inserted before each computation, widening the
+    /// in-flight window so CI can assert dedup deterministically.
+    chaos_compute_ms: u64,
+}
+
+impl Server {
+    /// Open (or create) the cache directory and build a server around it.
+    pub fn new(cache_dir: &str, chaos_compute_ms: u64) -> std::io::Result<Server> {
+        Ok(Server {
+            cache: ResultCache::new(cache_dir)?,
+            inflight: Mutex::new(HashMap::new()),
+            stats: Mutex::new(Stats::default()),
+            chaos_compute_ms,
+        })
+    }
+
+    /// Handle one request line, returning the response line to write back.
+    /// Never panics on malformed input — errors become `ok: false`
+    /// responses.
+    pub fn handle_line(&self, line: &str) -> Response {
+        self.stats.lock().expect("stats lock").requests += 1;
+        let (id, req) = match Request::parse(line) {
+            Ok(parsed) => parsed,
+            Err(e) => return error_response(Value::Null, &e),
+        };
+        match req {
+            Request::Run { spec, format } => self.run(id, &spec, format),
+            Request::Stats => self.report_stats(id),
+            Request::Shutdown => {
+                let mut doc = Map::new();
+                doc.insert("id", id);
+                doc.insert("ok", Value::Bool(true));
+                doc.insert("shutting_down", Value::Bool(true));
+                Response {
+                    doc: Value::Object(doc),
+                    shutdown: true,
+                }
+            }
+        }
+    }
+
+    /// Answer a `run` request: cache hit, dedup into an in-flight
+    /// computation, or compute (and populate the cache) ourselves.
+    fn run(&self, id: Value, spec: &ExperimentSpec, format: Format) -> Response {
+        self.stats.lock().expect("stats lock").runs += 1;
+        let key = ResultCache::key(spec);
+
+        if let Some(hit) = self.cache.load(spec) {
+            self.stats.lock().expect("stats lock").hits += 1;
+            return run_response(id, spec, &key, format, &hit, true, false, true);
+        }
+
+        let (slot, leader) = {
+            let mut inflight = self.inflight.lock().expect("inflight lock");
+            match inflight.get(&key) {
+                Some(slot) => (Arc::clone(slot), false),
+                None => {
+                    let slot = Arc::new(Slot::new());
+                    inflight.insert(key.clone(), Arc::clone(&slot));
+                    (slot, true)
+                }
+            }
+        };
+
+        if !leader {
+            self.stats.lock().expect("stats lock").deduped += 1;
+            let outcome = slot.wait();
+            return run_response(
+                id,
+                spec,
+                &key,
+                format,
+                &outcome.artifact,
+                false,
+                true,
+                outcome.complete,
+            );
+        }
+
+        if self.chaos_compute_ms > 0 {
+            std::thread::sleep(Duration::from_millis(self.chaos_compute_ms));
+        }
+        let (artifact, summary) = compute_artifact(spec);
+        let outcome = RunOutcome {
+            artifact: Arc::new(artifact),
+            complete: summary.complete(),
+        };
+        {
+            let mut stats = self.stats.lock().expect("stats lock");
+            stats.computations += 1;
+            if !outcome.complete {
+                stats.errors += 1;
+            }
+            stats.absorb_phases(&summary);
+        }
+        if outcome.complete {
+            if let Err(e) = self.cache.store(spec, &outcome.artifact) {
+                eprintln!("# serve: cache store failed for {key}: {e}");
+            }
+        }
+        slot.publish(outcome.clone());
+        self.inflight.lock().expect("inflight lock").remove(&key);
+        run_response(
+            id,
+            spec,
+            &key,
+            format,
+            &outcome.artifact,
+            false,
+            false,
+            outcome.complete,
+        )
+    }
+
+    /// Answer a `stats` request from the counters.
+    fn report_stats(&self, id: Value) -> Response {
+        let inflight = self.inflight.lock().expect("inflight lock").len();
+        let stats = self.stats.lock().expect("stats lock");
+        let hit_rate = if stats.runs == 0 {
+            0.0
+        } else {
+            stats.hits as f64 / stats.runs as f64
+        };
+        let mut phases = Map::new();
+        for (name, ms) in &stats.phase_ms {
+            phases.insert(name.clone(), (*ms).to_json());
+        }
+        let mut body = Map::new();
+        body.insert("requests", (stats.requests).to_json());
+        body.insert("runs", (stats.runs).to_json());
+        body.insert("hits", (stats.hits).to_json());
+        body.insert("computations", (stats.computations).to_json());
+        body.insert("deduped", (stats.deduped).to_json());
+        body.insert("errors", (stats.errors).to_json());
+        body.insert("hit_rate", (hit_rate).to_json());
+        body.insert("inflight", (inflight as u64).to_json());
+        body.insert("phases_ms", Value::Object(phases));
+        let mut doc = Map::new();
+        doc.insert("id", id);
+        doc.insert("ok", Value::Bool(true));
+        doc.insert("stats", Value::Object(body));
+        Response {
+            doc: Value::Object(doc),
+            shutdown: false,
+        }
+    }
+}
+
+/// Build a `run` response document.
+#[allow(clippy::too_many_arguments)]
+fn run_response(
+    id: Value,
+    spec: &ExperimentSpec,
+    key: &str,
+    format: Format,
+    artifact: &CachedArtifact,
+    hit: bool,
+    deduped: bool,
+    complete: bool,
+) -> Response {
+    let mut doc = Map::new();
+    doc.insert("id", id);
+    doc.insert("ok", Value::Bool(true));
+    doc.insert("artifact", (spec.artifact.name()).to_json());
+    doc.insert("key", (key).to_json());
+    doc.insert("hit", Value::Bool(hit));
+    doc.insert("deduped", Value::Bool(deduped));
+    doc.insert("complete", Value::Bool(complete));
+    doc.insert("payload", (format.select(artifact)).to_json());
+    Response {
+        doc: Value::Object(doc),
+        shutdown: false,
+    }
+}
+
+/// Build an `ok: false` response document.
+fn error_response(id: Value, message: &str) -> Response {
+    let mut doc = Map::new();
+    doc.insert("id", id);
+    doc.insert("ok", Value::Bool(false));
+    doc.insert("error", (message).to_json());
+    Response {
+        doc: Value::Object(doc),
+        shutdown: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> String {
+        let dir = std::env::temp_dir().join(format!("sfc-serve-test-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir.to_string_lossy().into_owned()
+    }
+
+    fn run_line(scale: u32) -> String {
+        format!(
+            r#"{{"id": 7, "op": "run", "artifact": "table1", "scale": {scale}, "trials": 1, "seed": 3, "format": "plain"}}"#
+        )
+    }
+
+    #[test]
+    fn malformed_lines_are_errors_not_panics() {
+        let server = Server::new(&tmpdir("malformed"), 0).unwrap();
+        for line in [
+            "not json",
+            "[1, 2]",
+            r#"{"op": "dance"}"#,
+            r#"{"op": "run"}"#,
+            r#"{"op": "run", "artifact": "nope"}"#,
+            r#"{"op": "run", "artifact": "fig5", "scale": "big"}"#,
+            r#"{"op": "run", "artifact": "fig5", "format": "yaml"}"#,
+        ] {
+            let resp = server.handle_line(line);
+            assert_eq!(resp.doc.get("ok"), Some(&Value::Bool(false)), "{line}");
+            assert!(!resp.shutdown);
+        }
+    }
+
+    #[test]
+    fn repeat_run_is_a_cache_hit_with_identical_payload() {
+        let server = Server::new(&tmpdir("repeat"), 0).unwrap();
+        // table1 at scale 9: a 2x2 grid with one particle — trivial cells.
+        let first = server.handle_line(&run_line(9));
+        assert_eq!(first.doc.get("hit"), Some(&Value::Bool(false)));
+        assert_eq!(first.doc.get("complete"), Some(&Value::Bool(true)));
+        let second = server.handle_line(&run_line(9));
+        assert_eq!(second.doc.get("hit"), Some(&Value::Bool(true)));
+        assert_eq!(second.doc.get("id"), Some(&(7u64).to_json()));
+        assert_eq!(first.doc.get("payload"), second.doc.get("payload"));
+        assert_eq!(first.doc.get("key"), second.doc.get("key"));
+
+        let stats = server.handle_line(r#"{"op": "stats"}"#);
+        let body = stats.doc.get("stats").unwrap();
+        assert_eq!(body.get("runs"), Some(&(2u64).to_json()));
+        assert_eq!(body.get("hits"), Some(&(1u64).to_json()));
+        assert_eq!(body.get("computations"), Some(&(1u64).to_json()));
+        assert_eq!(body.get("deduped"), Some(&(0u64).to_json()));
+    }
+
+    #[test]
+    fn concurrent_identical_runs_compute_once() {
+        let server =
+            Arc::new(Server::new(&tmpdir("dedup"), 150).unwrap());
+        let threads: Vec<_> = (0..3)
+            .map(|_| {
+                let server = Arc::clone(&server);
+                std::thread::spawn(move || server.handle_line(&run_line(9)))
+            })
+            .collect();
+        let responses: Vec<Response> =
+            threads.into_iter().map(|t| t.join().unwrap()).collect();
+
+        let payloads: Vec<_> = responses
+            .iter()
+            .map(|r| r.doc.get("payload").unwrap().as_str().unwrap().to_string())
+            .collect();
+        assert!(payloads.windows(2).all(|w| w[0] == w[1]));
+
+        let stats = server.handle_line(r#"{"op": "stats"}"#);
+        let body = stats.doc.get("stats").unwrap();
+        // Exactly one computation; the other two either deduped into it or
+        // (if scheduled after it finished) hit the cache.
+        assert_eq!(body.get("computations"), Some(&(1u64).to_json()));
+        let deduped = body.get("deduped").unwrap().as_u64().unwrap();
+        let hits = body.get("hits").unwrap().as_u64().unwrap();
+        assert_eq!(deduped + hits, 2);
+        assert_eq!(body.get("inflight"), Some(&(0u64).to_json()));
+    }
+
+    #[test]
+    fn shutdown_op_flags_the_connection() {
+        let server = Server::new(&tmpdir("shutdown"), 0).unwrap();
+        let resp = server.handle_line(r#"{"id": "bye", "op": "shutdown"}"#);
+        assert!(resp.shutdown);
+        assert_eq!(resp.doc.get("ok"), Some(&Value::Bool(true)));
+        assert_eq!(resp.doc.get("id"), Some(&("bye").to_json()));
+    }
+
+    #[test]
+    fn json_format_returns_the_envelope() {
+        let server = Server::new(&tmpdir("json"), 0).unwrap();
+        let line = r#"{"op": "run", "artifact": "table1", "scale": 9, "trials": 1, "seed": 3, "format": "json"}"#;
+        let resp = server.handle_line(line);
+        let payload = resp.doc.get("payload").unwrap().as_str().unwrap();
+        let doc: Value = serde_json::from_str(payload).unwrap();
+        assert_eq!(doc.get("artifact"), Some(&("table1").to_json()));
+        assert!(doc.get("data").is_some());
+    }
+}

@@ -58,8 +58,8 @@ fn main() {
         let tree = OwnerTree::build(&asg);
         for &processor_curve in processor_curves {
             let machine = Machine::new(topology, processors, processor_curve);
-            let nfi = nfi_acd(&asg, &machine, radius, Norm::Chebyshev).acd();
-            let ffi = ffi_acd_with_tree(&asg, &machine, &tree).acd();
+            let nfi = nfi_acd(&asg, &machine, radius, Norm::Chebyshev).unwrap().acd();
+            let ffi = ffi_acd_with_tree(&asg, &machine, &tree).unwrap().acd();
             results.push((nfi, ffi, particle_curve, processor_curve));
         }
     }

@@ -63,7 +63,7 @@ fn main() {
     for order in 2..=8 {
         let row: Vec<f64> = CurveKind::PAPER
             .iter()
-            .map(|&k| anns(k, order).average())
+            .map(|&k| anns(k, order).unwrap().average())
             .collect();
         let side = 1u64 << order;
         println!(

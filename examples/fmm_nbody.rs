@@ -87,8 +87,8 @@ fn main() {
     for curve in CurveKind::PAPER {
         let asg = Assignment::new(&cells, grid_order, curve, procs);
         let machine = Machine::grid(TopologyKind::Torus, procs, curve);
-        let nfi = nfi_acd(&asg, &machine, 1, Norm::Chebyshev);
-        let ffi = ffi_acd(&asg, &machine);
+        let nfi = nfi_acd(&asg, &machine, 1, Norm::Chebyshev).unwrap();
+        let ffi = ffi_acd(&asg, &machine).unwrap();
         let total = nfi.acd() + ffi.acd();
         if total < best.0 {
             best = (total, curve);

@@ -94,7 +94,7 @@ fn measure(state: &State, step: usize) {
     for curve in CurveKind::PAPER {
         let asg = Assignment::new(&cells, order, curve, procs);
         let machine = Machine::grid(TopologyKind::Torus, procs, curve);
-        acds.push(nfi_acd(&asg, &machine, 1, Norm::Chebyshev).acd());
+        acds.push(nfi_acd(&asg, &machine, 1, Norm::Chebyshev).unwrap().acd());
     }
     println!(
         "NFI ACD  H={:.3}  Z={:.3}  G={:.3}  R={:.3}",

@@ -36,8 +36,8 @@ fn main() {
         // Step 3: rank the processors with the same curve.
         let machine = Machine::grid(TopologyKind::Torus, num_processors, curve);
         // Step 4: replay one FMM time step's communication.
-        let nfi = nfi_acd(&asg, &machine, 1, Norm::Chebyshev);
-        let ffi = ffi_acd(&asg, &machine);
+        let nfi = nfi_acd(&asg, &machine, 1, Norm::Chebyshev).unwrap();
+        let ffi = ffi_acd(&asg, &machine).unwrap();
         println!(
             "{:<12} {:>10.3} {:>10.3} {:>11.1}%",
             curve.short_name(),

@@ -29,8 +29,8 @@ fn anns_equals_nfi_on_bus_with_full_grid() {
         // distance — exactly the stretch for radius-1 Manhattan pairs.
         let asg = Assignment::new(&cells, order, curve, p);
         let machine = Machine::new(TopologyKind::Bus, p, curve);
-        let nfi = nfi_acd(&asg, &machine, 1, Norm::Manhattan);
-        let stretch = anns(curve, order);
+        let nfi = nfi_acd(&asg, &machine, 1, Norm::Manhattan).unwrap();
+        let stretch = anns(curve, order).unwrap();
         assert_eq!(nfi.num_comms, 2 * stretch.num_pairs, "{curve}");
         assert!(
             (nfi.acd() - stretch.average()).abs() < 1e-9,
@@ -55,8 +55,8 @@ fn chebyshev_radius1_equivalence() {
     let p = (side as u64) * (side as u64);
     let asg = Assignment::new(&cells, order, curve, p);
     let machine = Machine::new(TopologyKind::Bus, p, curve);
-    let nfi = nfi_acd(&asg, &machine, 1, Norm::Chebyshev);
-    let stretch = anns_radius(curve, order, 1, Norm::Chebyshev);
+    let nfi = nfi_acd(&asg, &machine, 1, Norm::Chebyshev).unwrap();
+    let stretch = anns_radius(curve, order, 1, Norm::Chebyshev).unwrap();
     assert!((nfi.acd() - stretch.average()).abs() < 1e-9);
 }
 

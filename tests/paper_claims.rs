@@ -29,8 +29,8 @@ fn acd(
         let particles = workload.particles(t);
         let asg = Assignment::new(&particles, workload.grid_order, particle, procs);
         let tree = OwnerTree::build(&asg);
-        nfi_sum += nfi_acd(&asg, &machine, 1, Norm::Chebyshev).acd();
-        ffi_sum += ffi_acd_with_tree(&asg, &machine, &tree).acd();
+        nfi_sum += nfi_acd(&asg, &machine, 1, Norm::Chebyshev).unwrap().acd();
+        ffi_sum += ffi_acd_with_tree(&asg, &machine, &tree).unwrap().acd();
     }
     (nfi_sum / TRIALS as f64, ffi_sum / TRIALS as f64)
 }
@@ -147,10 +147,10 @@ fn row_major_gains_from_torus_wraparound() {
 #[test]
 fn figure5_anns_inversion() {
     for order in [6u32, 8] {
-        let h = anns(CurveKind::Hilbert, order).average();
-        let z = anns(CurveKind::ZCurve, order).average();
-        let g = anns(CurveKind::Gray, order).average();
-        let r = anns(CurveKind::RowMajor, order).average();
+        let h = anns(CurveKind::Hilbert, order).unwrap().average();
+        let z = anns(CurveKind::ZCurve, order).unwrap().average();
+        let g = anns(CurveKind::Gray, order).unwrap().average();
+        let r = anns(CurveKind::RowMajor, order).unwrap().average();
         assert!(z < h && z < g, "order {order}");
         assert!(r < h && r < g, "order {order}");
         assert!(
