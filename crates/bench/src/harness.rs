@@ -19,6 +19,37 @@ use sfc_topology::TopologyKind;
 use std::path::PathBuf;
 use std::time::Duration;
 
+/// The shared error-kind taxonomy of the serving path (`sfc-serve`, its
+/// client, and anything else that answers requests with typed failures).
+/// Every `ok: false` response names one of these kinds so callers can
+/// decide mechanically whether to retry.
+pub mod error_kind {
+    /// Malformed or invalid request — retrying the same bytes cannot help.
+    pub const BAD_REQUEST: &str = "bad_request";
+    /// The computation panicked; the daemon contained it and keeps serving.
+    /// Deterministic chaos aside, a re-request computes cleanly.
+    pub const COMPUTE_PANIC: &str = "compute_panic";
+    /// The request's deadline expired before an answer was ready.
+    pub const DEADLINE_EXCEEDED: &str = "deadline_exceeded";
+    /// Admission control refused the request; the response carries a
+    /// `retry_after_ms` hint.
+    pub const OVERLOADED: &str = "overloaded";
+    /// The daemon is draining (SIGTERM or `shutdown`): it answers what it
+    /// already accepted but takes no new work.
+    pub const DRAINING: &str = "draining";
+    /// The connection died or timed out mid-exchange (client-synthesized —
+    /// the daemon never got to answer, or its answer was cut off).
+    pub const TRANSPORT: &str = "transport";
+
+    /// Whether a request that failed with `kind` is worth retrying against
+    /// the same daemon: overload clears, a panic-poisoned slot recomputes,
+    /// and a dropped connection may be transient — but a bad request stays
+    /// bad, a deadline re-expires, and a draining daemon is going away.
+    pub fn is_retryable(kind: &str) -> bool {
+        matches!(kind, OVERLOADED | COMPUTE_PANIC | TRANSPORT)
+    }
+}
+
 /// The configuration fingerprint stored in a journal header: a journal can
 /// only resume a sweep with the same scale, trials and seed. Chaos, budget,
 /// jobs, timing and oracle flags are deliberately excluded — interrupting a
@@ -258,6 +289,18 @@ mod tests {
             r.run_cell("x/t9", || vec![1.0]),
             sfc_core::runner::CellResult::Computed(_)
         ));
+    }
+
+    #[test]
+    fn retryable_taxonomy_is_closed_over_the_kinds() {
+        use super::error_kind::*;
+        assert!(is_retryable(OVERLOADED));
+        assert!(is_retryable(COMPUTE_PANIC));
+        assert!(is_retryable(TRANSPORT));
+        assert!(!is_retryable(BAD_REQUEST));
+        assert!(!is_retryable(DEADLINE_EXCEEDED));
+        assert!(!is_retryable(DRAINING));
+        assert!(!is_retryable("anything_else"));
     }
 
     #[test]

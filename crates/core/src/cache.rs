@@ -31,12 +31,28 @@
 //! single atomic `rename`, so readers never observe a half-written entry and
 //! concurrent writers of the same spec race harmlessly (determinism makes
 //! their payloads byte-identical).
+//!
+//! ## Self-healing
+//!
+//! A corrupt entry (unparseable or mismatched `meta.json`, a missing payload
+//! file, a truncated `artifact.json`, a payload whose checksum disagrees
+//! with `meta.json`) is not merely treated as a miss: [`ResultCache::load`]
+//! **quarantines** it by moving the whole directory to
+//! `<root>/.quarantine/<key>-<n>/`. Without that move the broken directory
+//! would shadow every future [`ResultCache::store`] (which yields to an
+//! existing entry), forcing the artifact to be recomputed on every request
+//! forever. After quarantine the next store publishes a fresh entry and
+//! subsequent loads hit. Quarantined directories are kept (not deleted) so
+//! the corruption can be inspected; [`ResultCache::quarantined`] counts the
+//! entries this handle has quarantined.
 
 use crate::spec::ExperimentSpec;
 use serde_json::{json, Value};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Version tag of the metric kernels and artifact renderers, hashed into
 /// every cache key.
@@ -61,6 +77,10 @@ pub struct CachedArtifact {
 #[derive(Debug, Clone)]
 pub struct ResultCache {
     root: PathBuf,
+    /// Entries this handle has quarantined (shared across clones so a
+    /// daemon's stats see every quarantine regardless of which worker
+    /// thread hit the corruption).
+    quarantined: Arc<AtomicU64>,
 }
 
 impl ResultCache {
@@ -68,7 +88,10 @@ impl ResultCache {
     pub fn new(root: impl Into<PathBuf>) -> io::Result<ResultCache> {
         let root = root.into();
         fs::create_dir_all(&root)?;
-        Ok(ResultCache { root })
+        Ok(ResultCache {
+            root,
+            quarantined: Arc::new(AtomicU64::new(0)),
+        })
     }
 
     /// The cache's root directory.
@@ -87,23 +110,122 @@ impl ResultCache {
         self.root.join(Self::key(spec))
     }
 
-    /// Load the cached artifact for `spec`, or `None` on a miss. An entry
-    /// whose metadata disagrees with the expected kernel version or spec
-    /// hash (a corrupt or hand-edited directory) is treated as a miss.
+    /// Load the cached artifact for `spec`, or `None` on a miss.
+    ///
+    /// A *corrupt* entry — unparseable or mismatched `meta.json`, a missing
+    /// payload file, an `artifact.json` that no longer parses (truncation),
+    /// or a payload whose checksum disagrees with `meta.json` — is
+    /// quarantined to `<root>/.quarantine/<key>-<n>/` and reported as a
+    /// miss, so the next [`store`](ResultCache::store) can publish a clean
+    /// replacement instead of being shadowed forever.
     pub fn load(&self, spec: &ExperimentSpec) -> Option<CachedArtifact> {
         let dir = self.entry_dir(spec);
-        let meta: Value = serde_json::from_str(&fs::read_to_string(dir.join("meta.json")).ok()?)
-            .ok()?;
-        if meta.get("kernel_version").and_then(Value::as_str) != Some(KERNEL_VERSION)
-            || meta.get("spec_hash").and_then(Value::as_str) != Some(spec.canonical_hash()).as_deref()
-        {
+        if !dir.exists() {
             return None;
         }
-        Some(CachedArtifact {
-            stdout_plain: fs::read_to_string(dir.join("stdout.txt")).ok()?,
-            stdout_markdown: fs::read_to_string(dir.join("stdout.md")).ok()?,
-            artifact_json: fs::read_to_string(dir.join("artifact.json")).ok()?,
+        match self.load_entry(&dir, spec) {
+            Ok(artifact) => Some(artifact),
+            Err(reason) => {
+                self.quarantine(&dir, &Self::key(spec), &reason);
+                None
+            }
+        }
+    }
+
+    /// Read and validate one entry directory, describing what is wrong with
+    /// it on failure.
+    fn load_entry(&self, dir: &Path, spec: &ExperimentSpec) -> Result<CachedArtifact, String> {
+        let meta_text = fs::read_to_string(dir.join("meta.json"))
+            .map_err(|e| format!("meta.json unreadable: {e}"))?;
+        let meta: Value =
+            serde_json::from_str(&meta_text).map_err(|e| format!("meta.json unparseable: {e}"))?;
+        if meta.get("kernel_version").and_then(Value::as_str) != Some(KERNEL_VERSION) {
+            return Err("meta.json kernel_version mismatch".to_string());
+        }
+        if meta.get("spec_hash").and_then(Value::as_str)
+            != Some(spec.canonical_hash()).as_deref()
+        {
+            return Err("meta.json spec_hash mismatch".to_string());
+        }
+        let read = |name: &str| -> Result<String, String> {
+            let text = fs::read_to_string(dir.join(name))
+                .map_err(|e| format!("{name} unreadable: {e}"))?;
+            // Entries written since checksums were introduced carry the
+            // payload hashes in meta.json; verify when present (older
+            // entries without them stay loadable).
+            if let Some(expected) = meta
+                .get("payload_sha256")
+                .and_then(|c| c.get(name))
+                .and_then(Value::as_str)
+            {
+                let actual = crate::sha256::sha256_hex(text.as_bytes());
+                if actual != expected {
+                    return Err(format!("{name} checksum mismatch (truncated or edited)"));
+                }
+            }
+            Ok(text)
+        };
+        let artifact_json = read("artifact.json")?;
+        // Even without a checksum, the envelope must at least still be
+        // valid JSON — a truncated file is not.
+        serde_json::from_str::<Value>(&artifact_json)
+            .map_err(|e| format!("artifact.json unparseable (truncated?): {e}"))?;
+        Ok(CachedArtifact {
+            stdout_plain: read("stdout.txt")?,
+            stdout_markdown: read("stdout.md")?,
+            artifact_json,
         })
+    }
+
+    /// Move a corrupt entry out of the way, into
+    /// `<root>/.quarantine/<key>-<n>/` (first free `n`). Best-effort: a
+    /// concurrent quarantine of the same entry may win the rename, which is
+    /// fine — the goal is only that the entry no longer shadows stores.
+    fn quarantine(&self, dir: &Path, key: &str, reason: &str) {
+        let qroot = self.root.join(".quarantine");
+        if let Err(e) = fs::create_dir_all(&qroot) {
+            eprintln!("# cache: cannot create quarantine dir: {e}");
+            let _ = fs::remove_dir_all(dir);
+            self.quarantined.fetch_add(1, Ordering::SeqCst);
+            return;
+        }
+        for n in 0u32.. {
+            let target = qroot.join(format!("{key}-{n}"));
+            if target.exists() {
+                continue;
+            }
+            match fs::rename(dir, &target) {
+                Ok(()) => {
+                    eprintln!(
+                        "# cache: quarantined corrupt entry {key} -> {}: {reason}",
+                        target.display()
+                    );
+                    self.quarantined.fetch_add(1, Ordering::SeqCst);
+                    return;
+                }
+                Err(_) if !dir.exists() => {
+                    // Another handle quarantined (or deleted) it first.
+                    return;
+                }
+                Err(_) if target.exists() => {
+                    // Lost the race for this slot number; try the next.
+                    continue;
+                }
+                Err(e) => {
+                    eprintln!(
+                        "# cache: cannot quarantine {key} ({reason}); removing instead: {e}"
+                    );
+                    let _ = fs::remove_dir_all(dir);
+                    self.quarantined.fetch_add(1, Ordering::SeqCst);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Entries this handle (and its clones) have quarantined.
+    pub fn quarantined(&self) -> u64 {
+        self.quarantined.load(Ordering::SeqCst)
     }
 
     /// Persist `artifact` as the entry for `spec`.
@@ -122,11 +244,17 @@ impl ResultCache {
             std::process::id()
         ));
         fs::create_dir_all(&tmp)?;
+        let checksums = json!({
+            "stdout.txt": crate::sha256::sha256_hex(artifact.stdout_plain.as_bytes()),
+            "stdout.md": crate::sha256::sha256_hex(artifact.stdout_markdown.as_bytes()),
+            "artifact.json": crate::sha256::sha256_hex(artifact.artifact_json.as_bytes()),
+        });
         let meta = json!({
             "kernel_version": KERNEL_VERSION,
             "spec_hash": spec.canonical_hash(),
             "artifact": spec.artifact.name(),
             "cache_key": key,
+            "payload_sha256": checksums,
         });
         fs::write(
             tmp.join("meta.json"),
@@ -198,7 +326,7 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_meta_is_a_miss() {
+    fn corrupt_meta_is_a_miss_and_quarantines() {
         let root = temp_root("corrupt");
         let cache = ResultCache::new(&root).unwrap();
         let spec = ExperimentSpec::figure6(5, 1, 7);
@@ -210,6 +338,105 @@ mod tests {
         )
         .unwrap();
         assert_eq!(cache.load(&spec), None);
+        assert_eq!(cache.quarantined(), 1);
+        let key = ResultCache::key(&spec);
+        let qdir = root.join(".quarantine").join(format!("{key}-0"));
+        assert!(qdir.is_dir(), "corrupt entry must move to quarantine");
+        assert!(!cache.entry_dir(&spec).exists());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn truncated_artifact_is_quarantined_and_recomputed_once() {
+        let root = temp_root("truncated");
+        let cache = ResultCache::new(&root).unwrap();
+        let spec = ExperimentSpec::table1(5, 1, 7);
+        let artifact = sample_artifact();
+        cache.store(&spec, &artifact).unwrap();
+
+        // Truncate the envelope mid-document, as a crashed writer (or a
+        // full disk) would leave it.
+        let path = cache.entry_dir(&spec).join("artifact.json");
+        let full = fs::read_to_string(&path).unwrap();
+        fs::write(&path, &full[..full.len() / 2]).unwrap();
+
+        // First load detects the corruption: miss + quarantine, so the
+        // caller recomputes...
+        assert_eq!(cache.load(&spec), None);
+        assert_eq!(cache.quarantined(), 1);
+        // ...and the re-store is NOT shadowed by the broken directory.
+        cache.store(&spec, &artifact).unwrap();
+        // The repaired entry hits from now on: recomputed once, not forever.
+        assert_eq!(cache.load(&spec), Some(artifact));
+        assert_eq!(cache.quarantined(), 1, "a repaired entry must not re-quarantine");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn checksum_mismatch_is_quarantined() {
+        let root = temp_root("checksum");
+        let cache = ResultCache::new(&root).unwrap();
+        let spec = ExperimentSpec::table1(6, 1, 7);
+        cache.store(&spec, &sample_artifact()).unwrap();
+        // Tamper with a payload that still *reads* fine — only the
+        // checksum catches it.
+        let path = cache.entry_dir(&spec).join("stdout.txt");
+        fs::write(&path, "# banner\nDIFFERENT body\n").unwrap();
+        assert_eq!(cache.load(&spec), None);
+        assert_eq!(cache.quarantined(), 1);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn legacy_entry_without_checksums_still_loads() {
+        let root = temp_root("legacy");
+        let cache = ResultCache::new(&root).unwrap();
+        let spec = ExperimentSpec::table1(7, 1, 7);
+        let artifact = sample_artifact();
+        cache.store(&spec, &artifact).unwrap();
+        // Strip the checksum block, as an entry written before this field
+        // existed would look.
+        let meta_path = cache.entry_dir(&spec).join("meta.json");
+        let meta: Value = serde_json::from_str(&fs::read_to_string(&meta_path).unwrap()).unwrap();
+        let legacy = json!({
+            "kernel_version": meta.get("kernel_version").unwrap().clone(),
+            "spec_hash": meta.get("spec_hash").unwrap().clone(),
+        });
+        fs::write(&meta_path, serde_json::to_string_pretty(&legacy).unwrap()).unwrap();
+        assert_eq!(cache.load(&spec), Some(artifact));
+        assert_eq!(cache.quarantined(), 0);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn repeated_corruption_fills_successive_quarantine_slots() {
+        let root = temp_root("slots");
+        let cache = ResultCache::new(&root).unwrap();
+        let spec = ExperimentSpec::figure7(6, 1, 7);
+        let key = ResultCache::key(&spec);
+        for n in 0..2u32 {
+            cache.store(&spec, &sample_artifact()).unwrap();
+            fs::write(cache.entry_dir(&spec).join("artifact.json"), "{trunc").unwrap();
+            assert_eq!(cache.load(&spec), None);
+            let qdir = root.join(".quarantine").join(format!("{key}-{n}"));
+            assert!(qdir.is_dir(), "quarantine slot {n} must exist");
+        }
+        assert_eq!(cache.quarantined(), 2);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn missing_payload_file_is_quarantined() {
+        let root = temp_root("missing-file");
+        let cache = ResultCache::new(&root).unwrap();
+        let spec = ExperimentSpec::figure6(6, 1, 7);
+        cache.store(&spec, &sample_artifact()).unwrap();
+        fs::remove_file(cache.entry_dir(&spec).join("stdout.md")).unwrap();
+        assert_eq!(cache.load(&spec), None);
+        assert_eq!(cache.quarantined(), 1);
+        // After quarantine the entry can be rebuilt.
+        cache.store(&spec, &sample_artifact()).unwrap();
+        assert_eq!(cache.load(&spec), Some(sample_artifact()));
         let _ = fs::remove_dir_all(&root);
     }
 

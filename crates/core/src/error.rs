@@ -95,6 +95,14 @@ pub enum SfcError {
         /// The topology diameter that overflowed.
         diameter: u64,
     },
+    /// A whole-artifact computation panicked (outside the per-cell retry
+    /// machinery — e.g. in a daemon's `compute_artifact` leader). The panic
+    /// was contained with `catch_unwind`; the computation produced nothing
+    /// and must be reported as a typed failure, never a hang.
+    ComputePanicked {
+        /// The captured panic message.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for SfcError {
@@ -146,6 +154,9 @@ impl std::fmt::Display for SfcError {
                 "topology diameter {diameter} exceeds the distance oracle's \
                  u16 range"
             ),
+            SfcError::ComputePanicked { message } => {
+                write!(f, "artifact computation panicked: {message}")
+            }
         }
     }
 }
@@ -206,6 +217,12 @@ mod tests {
 
         let e = SfcError::OracleDistanceOverflow { diameter: 70_000 };
         assert!(e.to_string().contains("70000"));
+
+        let e = SfcError::ComputePanicked {
+            message: "index out of bounds".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("panicked") && msg.contains("index out of bounds"));
     }
 
     #[test]

@@ -1,64 +1,291 @@
-//! Minimal client for an `sfc-serve --socket` daemon: send one request per
-//! trailing argument (or per stdin line when no arguments are given) and
-//! print each response line to stdout.
+//! Client for an `sfc-serve --socket` daemon: send one request per trailing
+//! argument (or per stdin line when no arguments are given) and print each
+//! final response line to stdout.
 //!
 //! ```text
 //! sfc-serve-client --socket /tmp/sfc.sock '{"op":"stats"}'
-//! sfc-serve-client --socket /tmp/sfc.sock \
+//! sfc-serve-client --socket /tmp/sfc.sock --retries 3 --timeout-ms 5000 \
 //!     '{"id":1,"op":"run","artifact":"table1","scale":5,"trials":1}'
 //! ```
+//!
+//! The client never hangs: reads and writes are bounded by `--timeout-ms`
+//! (default 30000; 0 disables), and a connection that dies mid-response
+//! (EOF before the newline) becomes a typed `error_kind: "transport"`
+//! failure instead of a blocked `read_line`.
+//!
+//! With `--retries N`, failures whose `error_kind` is retryable per
+//! `sfc_bench::harness::error_kind::is_retryable` (`overloaded`,
+//! `compute_panic`, `transport`) are retried on a fresh connection with
+//! exponential backoff and decorrelated jitter. Non-retryable failures
+//! (`bad_request`, `deadline_exceeded`, `draining`) are printed as-is.
+//!
+//! Exactly one line is printed per request: the daemon's final response, or
+//! a synthesized `{"ok":false,"error_kind":"transport",...}` object when
+//! the daemon never answered. Exit status: 0 when every request got a
+//! daemon response (even `ok: false` ones), 1 when any request ended in a
+//! synthesized transport failure, 2 on usage errors.
 
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde_json::{Map, ToJson, Value};
+use sfc_bench::harness::error_kind;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::os::unix::net::UnixStream;
+use std::time::Duration;
 
-fn main() {
+const DEFAULT_TIMEOUT_MS: u64 = 30_000;
+const BACKOFF_BASE_MS: u64 = 25;
+const BACKOFF_CAP_MS: u64 = 2_000;
+
+fn usage() -> String {
+    "usage: sfc-serve-client --socket PATH [options] [REQUEST_JSON...]\n\
+     \n\
+     --socket PATH     daemon socket path (required)\n\
+     --timeout-ms N    read/write timeout per attempt (default 30000; 0 = none)\n\
+     --retries N       retry retryable failures up to N times (default 0)\n\
+     \n\
+     With no trailing request arguments, requests are read from stdin, one\n\
+     JSON object per line.\n"
+        .to_string()
+}
+
+struct Flags {
+    socket: String,
+    timeout: Option<Duration>,
+    retries: u64,
+    requests: Vec<String>,
+}
+
+fn parse_flags() -> Result<Flags, String> {
     let mut socket = None;
+    let mut timeout_ms = DEFAULT_TIMEOUT_MS;
+    let mut retries = 0;
     let mut requests = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--socket" => socket = it.next(),
+            "--socket" => socket = Some(it.next().ok_or("--socket needs a path")?),
+            "--timeout-ms" => {
+                let v = it.next().ok_or("--timeout-ms needs a value")?;
+                timeout_ms = v
+                    .parse()
+                    .map_err(|_| format!("--timeout-ms: `{v}` is not a number"))?;
+            }
+            "--retries" => {
+                let v = it.next().ok_or("--retries needs a value")?;
+                retries = v
+                    .parse()
+                    .map_err(|_| format!("--retries: `{v}` is not a number"))?;
+            }
             "--help" | "-h" => {
-                println!("usage: sfc-serve-client --socket PATH [REQUEST_JSON...]");
-                return;
+                print!("{}", usage());
+                std::process::exit(0);
             }
             _ => requests.push(arg),
         }
     }
-    let Some(path) = socket else {
-        eprintln!("error: --socket PATH is required");
-        std::process::exit(2);
-    };
+    let socket = socket.ok_or_else(|| format!("--socket PATH is required\n{}", usage()))?;
     if requests.is_empty() {
         let mut text = String::new();
-        if std::io::stdin().read_to_string(&mut text).is_err() {
-            eprintln!("error: cannot read requests from stdin");
-            std::process::exit(2);
-        }
+        std::io::stdin()
+            .read_to_string(&mut text)
+            .map_err(|e| format!("cannot read requests from stdin: {e}"))?;
         requests = text
             .lines()
             .filter(|l| !l.trim().is_empty())
             .map(str::to_string)
             .collect();
     }
+    Ok(Flags {
+        socket,
+        timeout: (timeout_ms > 0).then(|| Duration::from_millis(timeout_ms)),
+        retries,
+        requests,
+    })
+}
 
-    let stream = match UnixStream::connect(&path) {
-        Ok(s) => s,
+/// A connection with bounded reads and writes. Reconnecting is the caller's
+/// job (a failed exchange drops the whole connection).
+struct Connection {
+    writer: UnixStream,
+    reader: BufReader<UnixStream>,
+}
+
+impl Connection {
+    fn open(path: &str, timeout: Option<Duration>) -> Result<Connection, String> {
+        let stream =
+            UnixStream::connect(path).map_err(|e| format!("cannot connect to `{path}`: {e}"))?;
+        stream
+            .set_read_timeout(timeout)
+            .map_err(|e| format!("cannot set read timeout: {e}"))?;
+        stream
+            .set_write_timeout(timeout)
+            .map_err(|e| format!("cannot set write timeout: {e}"))?;
+        let reader = BufReader::new(
+            stream
+                .try_clone()
+                .map_err(|e| format!("cannot clone socket: {e}"))?,
+        );
+        Ok(Connection {
+            writer: stream,
+            reader,
+        })
+    }
+
+    /// Send one request line and read one response line. Any transport
+    /// fault — timeout, EOF before a newline, I/O error — is an `Err` with
+    /// a human-readable reason; the connection must then be discarded.
+    fn exchange(&mut self, request: &str) -> Result<String, String> {
+        writeln!(self.writer, "{request}")
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| format!("write failed: {e}"))?;
+        let mut response = String::new();
+        match self.reader.read_line(&mut response) {
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                Err("timed out waiting for the response".to_string())
+            }
+            Err(e) => Err(format!("read failed: {e}")),
+            Ok(0) => Err("daemon closed the connection before responding".to_string()),
+            Ok(_) if !response.ends_with('\n') => {
+                Err("connection dropped mid-response".to_string())
+            }
+            Ok(_) => Ok(response.trim_end().to_string()),
+        }
+    }
+}
+
+/// Decorrelated-jitter backoff (classic AWS recipe): each delay is drawn
+/// from `[base, prev * 3]`, capped. Spreads concurrent retries apart
+/// instead of letting them stampede in lockstep.
+struct Backoff {
+    rng: StdRng,
+    prev_ms: u64,
+}
+
+impl Backoff {
+    fn new(seed: u64) -> Backoff {
+        Backoff {
+            rng: StdRng::seed_from_u64(seed),
+            prev_ms: BACKOFF_BASE_MS,
+        }
+    }
+
+    fn next_delay(&mut self) -> Duration {
+        let high = (self.prev_ms.saturating_mul(3)).clamp(BACKOFF_BASE_MS + 1, BACKOFF_CAP_MS);
+        self.prev_ms = self.rng.gen_range(BACKOFF_BASE_MS..=high);
+        Duration::from_millis(self.prev_ms)
+    }
+}
+
+/// The `error_kind` of an `ok: false` response line, if any.
+fn response_error_kind(line: &str) -> Option<String> {
+    let doc: Value = serde_json::from_str(line).ok()?;
+    if doc.get("ok") == Some(&Value::Bool(false)) {
+        doc.get("error_kind")
+            .and_then(Value::as_str)
+            .map(str::to_string)
+    } else {
+        None
+    }
+}
+
+/// Synthesize the one-line transport failure printed when the daemon never
+/// produced a (complete) response, echoing the request's `id` when it has
+/// one so callers can still correlate.
+fn transport_error_line(request: &str, reason: &str, attempts: u64) -> String {
+    let id = serde_json::from_str::<Value>(request)
+        .ok()
+        .and_then(|doc| doc.get("id").cloned())
+        .unwrap_or(Value::Null);
+    let mut doc = Map::new();
+    doc.insert("id", id);
+    doc.insert("ok", Value::Bool(false));
+    doc.insert("error_kind", error_kind::TRANSPORT.to_json());
+    doc.insert("error", (reason).to_json());
+    doc.insert("attempts", (attempts).to_json());
+    serde_json::to_string(&Value::Object(doc)).expect("serialize transport error")
+}
+
+/// Run one request to completion: at most `1 + retries` attempts, retrying
+/// only retryable kinds, reconnecting after transport faults. Returns the
+/// line to print and whether the daemon ever answered.
+fn run_request(
+    conn: &mut Option<Connection>,
+    flags: &Flags,
+    backoff: &mut Backoff,
+    request: &str,
+) -> (String, bool) {
+    let attempts = 1 + flags.retries;
+    let mut last_transport_reason = String::new();
+    for attempt in 1..=attempts {
+        if attempt > 1 {
+            let delay = backoff.next_delay();
+            eprintln!(
+                "# client: attempt {attempt}/{attempts} after {}ms backoff",
+                delay.as_millis()
+            );
+            std::thread::sleep(delay);
+        }
+        if conn.is_none() {
+            match Connection::open(&flags.socket, flags.timeout) {
+                Ok(c) => *conn = Some(c),
+                Err(reason) => {
+                    eprintln!("# client: {reason}");
+                    last_transport_reason = reason;
+                    continue;
+                }
+            }
+        }
+        let c = conn.as_mut().expect("connection just ensured");
+        match c.exchange(request) {
+            Ok(line) => match response_error_kind(&line) {
+                Some(kind) if error_kind::is_retryable(&kind) && attempt < attempts => {
+                    eprintln!("# client: daemon answered `{kind}`; retrying");
+                }
+                _ => return (line, true),
+            },
+            Err(reason) => {
+                eprintln!("# client: {reason}");
+                *conn = None; // a failed exchange poisons the connection
+                last_transport_reason = reason;
+            }
+        }
+    }
+    // Out of attempts. If the last attempt got a retryable *daemon* answer
+    // we already returned it above (attempt == attempts falls through the
+    // `_` arm), so reaching here means the final attempt was a transport
+    // fault or a failed (re)connect.
+    (
+        transport_error_line(request, &last_transport_reason, attempts),
+        false,
+    )
+}
+
+fn main() {
+    let flags = match parse_flags() {
+        Ok(f) => f,
         Err(e) => {
-            eprintln!("error: cannot connect to `{path}`: {e}");
+            eprintln!("error: {e}");
             std::process::exit(2);
         }
     };
-    let mut writer = stream.try_clone().expect("clone socket");
-    let mut reader = BufReader::new(stream);
-    for request in &requests {
-        writeln!(writer, "{request}").expect("send request");
-        writer.flush().expect("flush request");
-        let mut response = String::new();
-        if reader.read_line(&mut response).expect("read response") == 0 {
-            eprintln!("error: daemon closed the connection");
-            std::process::exit(1);
+    // Seed the jitter off the pid: deterministic per process, decorrelated
+    // across the concurrent clients a smoke test fires.
+    let mut backoff = Backoff::new(u64::from(std::process::id()) ^ 0x5fc5_e12e);
+    let mut conn: Option<Connection> = None;
+    let mut transport_failures = 0u64;
+    for request in &flags.requests {
+        let (line, answered) = run_request(&mut conn, &flags, &mut backoff, request);
+        println!("{line}");
+        if !answered {
+            transport_failures += 1;
         }
-        print!("{response}");
+    }
+    if transport_failures > 0 {
+        eprintln!("error: {transport_failures} request(s) got no daemon response");
+        std::process::exit(1);
     }
 }

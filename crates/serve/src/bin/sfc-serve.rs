@@ -12,31 +12,88 @@
 //!   same in-flight dedup path as two socket clients. Correlate responses
 //!   by `id`.
 //!
-//! `--chaos-compute-ms N` sleeps N milliseconds before every computation —
-//! a test hook that widens the in-flight window so dedup can be asserted
-//! deterministically.
+//! ## Lifecycle
+//!
+//! SIGTERM/SIGINT and the `shutdown` op both trigger a graceful drain: the
+//! daemon stops accepting new work (connections accepted mid-drain get one
+//! typed `error_kind: "draining"` refusal line), answers every request it
+//! already accepted — bounded by `--deadline-ms` when set, 30 s otherwise —
+//! flushes a final stats line to stderr, removes the socket file and exits
+//! 0.
+//!
+//! ## Chaos hooks (test-only, deterministic)
+//!
+//! * `--chaos-compute-ms N` sleeps N ms before every computation, widening
+//!   the in-flight window so dedup can be asserted deterministically.
+//! * `--chaos-panic K` panics every K-th computation (contained; leader and
+//!   followers get `error_kind: "compute_panic"`).
+//! * `--chaos-disconnect K` drops every K-th connection-level response
+//!   mid-write (socket mode), so client transport-retry paths can be
+//!   exercised.
 
 use serde_json::to_string;
-use sfc_serve::Server;
+use sfc_serve::{drain_refusal_line, Server, ServerOptions};
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// SIGTERM/SIGINT latch. The handler only stores to an atomic — the accept
+/// loop polls it and runs the actual drain outside signal context.
+mod signals {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static TERM: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn on_term(_signum: i32) {
+        TERM.store(true, Ordering::SeqCst);
+    }
+
+    /// Install the latch for SIGTERM and SIGINT. Uses libc `signal(2)`
+    /// directly (declared here) to avoid a dependency; the handler is
+    /// async-signal-safe (one atomic store).
+    pub fn install() {
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        unsafe {
+            signal(SIGTERM, on_term);
+            signal(SIGINT, on_term);
+        }
+    }
+
+    /// Whether a termination signal has arrived.
+    pub fn term_requested() -> bool {
+        TERM.load(Ordering::SeqCst)
+    }
+}
 
 struct Flags {
     cache: String,
     socket: Option<String>,
     pipe: bool,
     chaos_compute_ms: u64,
+    chaos_panic: Option<u64>,
+    chaos_disconnect: Option<u64>,
+    deadline_ms: Option<u64>,
+    max_inflight: Option<usize>,
 }
 
 fn usage() -> String {
-    "usage: sfc-serve [--cache DIR] (--pipe | --socket PATH) [--chaos-compute-ms N]\n\
+    "usage: sfc-serve [--cache DIR] (--pipe | --socket PATH) [options]\n\
      \n\
      --cache DIR            content-addressed result cache directory (default: cache)\n\
      --pipe                 serve JSON-lines requests on stdin/stdout\n\
      --socket PATH          listen on a unix socket at PATH\n\
-     --chaos-compute-ms N   sleep N ms before each computation (test hook)\n"
+     --deadline-ms N        bound each request to N ms (expiry: error_kind deadline_exceeded)\n\
+     --max-inflight N       refuse work beyond N concurrent computations (error_kind overloaded)\n\
+     --chaos-compute-ms N   sleep N ms before each computation (test hook)\n\
+     --chaos-panic K        panic every K-th computation (test hook; contained)\n\
+     --chaos-disconnect K   drop every K-th response mid-write, socket mode (test hook)\n"
         .to_string()
 }
 
@@ -46,9 +103,18 @@ fn parse_flags() -> Result<Flags, String> {
         socket: None,
         pipe: false,
         chaos_compute_ms: 0,
+        chaos_panic: None,
+        chaos_disconnect: None,
+        deadline_ms: None,
+        max_inflight: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
+        let mut num = |name: &str| -> Result<u64, String> {
+            let v = it.next().ok_or(format!("{name} needs a value"))?;
+            v.parse()
+                .map_err(|_| format!("{name}: `{v}` is not a number"))
+        };
         match arg.as_str() {
             "--cache" => {
                 flags.cache = it.next().ok_or("--cache needs a directory")?;
@@ -57,12 +123,11 @@ fn parse_flags() -> Result<Flags, String> {
                 flags.socket = Some(it.next().ok_or("--socket needs a path")?);
             }
             "--pipe" => flags.pipe = true,
-            "--chaos-compute-ms" => {
-                let v = it.next().ok_or("--chaos-compute-ms needs a value")?;
-                flags.chaos_compute_ms = v
-                    .parse()
-                    .map_err(|_| format!("--chaos-compute-ms: `{v}` is not a number"))?;
-            }
+            "--chaos-compute-ms" => flags.chaos_compute_ms = num("--chaos-compute-ms")?,
+            "--chaos-panic" => flags.chaos_panic = Some(num("--chaos-panic")?),
+            "--chaos-disconnect" => flags.chaos_disconnect = Some(num("--chaos-disconnect")?),
+            "--deadline-ms" => flags.deadline_ms = Some(num("--deadline-ms")?),
+            "--max-inflight" => flags.max_inflight = Some(num("--max-inflight")? as usize),
             "--help" | "-h" => {
                 print!("{}", usage());
                 std::process::exit(0);
@@ -76,12 +141,53 @@ fn parse_flags() -> Result<Flags, String> {
             usage()
         ));
     }
+    if flags.chaos_panic == Some(0) {
+        return Err("--chaos-panic: K must be at least 1".to_string());
+    }
+    if flags.chaos_disconnect == Some(0) {
+        return Err("--chaos-disconnect: K must be at least 1".to_string());
+    }
     Ok(flags)
+}
+
+/// How long a drain may take: every in-flight request is itself bounded by
+/// the deadline when one is set, so wait a little longer than that; an
+/// unbounded daemon gets a generous fixed cap.
+fn drain_bound(flags: &Flags) -> Duration {
+    match flags.deadline_ms {
+        Some(ms) => Duration::from_millis(ms.saturating_mul(2).max(1_000)),
+        None => Duration::from_secs(30),
+    }
+}
+
+/// Wait until every accepted request has been answered and no computation
+/// is in flight (or the bound expires), then flush the final stats line.
+fn drain(server: &Server, bound: Duration) {
+    server.begin_drain();
+    eprintln!("# sfc-serve: draining ({} in flight)", server.inflight_len());
+    let deadline = Instant::now() + bound;
+    let mut quiet_polls = 0;
+    while Instant::now() < deadline {
+        if server.active_requests() == 0 && server.inflight_len() == 0 {
+            // Settle a few polls: a request's response write happens inside
+            // its active-token scope, but give the transport threads a
+            // moment to observe the world anyway.
+            quiet_polls += 1;
+            if quiet_polls >= 3 {
+                break;
+            }
+        } else {
+            quiet_polls = 0;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    eprintln!("# sfc-serve: final stats {}", server.stats_line());
 }
 
 /// Pipe mode: one worker thread per request line, responses interleaved on
 /// stdout as they complete (each as a single line, correlated by `id`).
 fn serve_pipe(server: Arc<Server>) {
+    signals::install();
     let stdout = Arc::new(Mutex::new(std::io::stdout()));
     let stop = Arc::new(AtomicBool::new(false));
     let mut workers = Vec::new();
@@ -93,31 +199,35 @@ fn serve_pipe(server: Arc<Server>) {
         if line.trim().is_empty() {
             continue;
         }
-        let server = Arc::clone(&server);
+        let server_for_worker = Arc::clone(&server);
         let stdout = Arc::clone(&stdout);
         let worker_stop = Arc::clone(&stop);
         workers.push(std::thread::spawn(move || {
-            let resp = server.handle_line(&line);
+            let _active = server_for_worker.track_active();
+            let resp = server_for_worker.handle_line(&line);
             let text = to_string(&resp.doc).expect("serialize response");
-            let mut out = stdout.lock().expect("stdout lock");
+            let mut out = stdout.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
             writeln!(out, "{text}").expect("write response");
             out.flush().expect("flush response");
             if resp.shutdown {
                 worker_stop.store(true, Ordering::SeqCst);
             }
         }));
-        if stop.load(Ordering::SeqCst) {
+        if stop.load(Ordering::SeqCst) || signals::term_requested() {
             break;
         }
     }
     for w in workers {
         let _ = w.join();
     }
+    eprintln!("# sfc-serve: final stats {}", server.stats_line());
 }
 
-/// Socket mode: accept loop, one thread per connection. A `shutdown`
-/// request stops the whole daemon after its response is flushed.
-fn serve_socket(server: Arc<Server>, path: &str) {
+/// Socket mode: non-blocking accept loop (so SIGTERM and `shutdown` are
+/// noticed promptly), one thread per connection. Drain answers what was
+/// accepted, refuses the rest, removes the socket file, and exits 0.
+fn serve_socket(server: Arc<Server>, path: &str, chaos_disconnect: Option<u64>, bound: Duration) {
+    signals::install();
     // A previous daemon's socket file would make bind fail; the unix
     // convention is to remove it first (a live daemon still holds the
     // listening socket, so this only clears stale files).
@@ -129,21 +239,63 @@ fn serve_socket(server: Arc<Server>, path: &str) {
             std::process::exit(2);
         }
     };
+    if let Err(e) = listener.set_nonblocking(true) {
+        eprintln!("error: cannot make `{path}` non-blocking: {e}");
+        std::process::exit(2);
+    }
     eprintln!("# sfc-serve: listening on {path}");
-    for conn in listener.incoming() {
-        let stream = match conn {
-            Ok(s) => s,
+    let responses_written = Arc::new(AtomicU64::new(0));
+    loop {
+        if signals::term_requested() || server.draining() {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                let server = Arc::clone(&server);
+                let counter = Arc::clone(&responses_written);
+                std::thread::spawn(move || {
+                    serve_connection(server, stream, chaos_disconnect, counter)
+                });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
             Err(e) => {
                 eprintln!("# sfc-serve: accept failed: {e}");
-                continue;
+                std::thread::sleep(Duration::from_millis(10));
             }
-        };
-        let server = Arc::clone(&server);
-        std::thread::spawn(move || serve_connection(server, stream));
+        }
     }
+    // Drain: answer accepted work while refusing late connections with one
+    // typed line each, then clean up the socket and exit 0.
+    server.begin_drain();
+    let refusals = std::thread::spawn({
+        let server = Arc::clone(&server);
+        move || {
+            while server.active_requests() > 0 || server.inflight_len() > 0 {
+                if let Ok((mut stream, _)) = listener.accept() {
+                    let _ = writeln!(stream, "{}", drain_refusal_line());
+                    let _ = stream.flush();
+                } else {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            }
+        }
+    });
+    drain(&server, bound);
+    let _ = std::fs::remove_file(path);
+    let _ = refusals.join();
 }
 
-fn serve_connection(server: Arc<Server>, stream: UnixStream) {
+/// Serve one socket connection. With `--chaos-disconnect K`, every K-th
+/// response (counted across all connections) is cut off mid-write and the
+/// connection dropped — deterministic fault injection for client retries.
+fn serve_connection(
+    server: Arc<Server>,
+    stream: UnixStream,
+    chaos_disconnect: Option<u64>,
+    responses_written: Arc<AtomicU64>,
+) {
     let reader = BufReader::new(match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
@@ -157,13 +309,30 @@ fn serve_connection(server: Arc<Server>, stream: UnixStream) {
         if line.trim().is_empty() {
             continue;
         }
+        let active = server.track_active();
         let resp = server.handle_line(&line);
         let text = to_string(&resp.doc).expect("serialize response");
-        if writeln!(writer, "{text}").and_then(|()| writer.flush()).is_err() {
+        let n = responses_written.fetch_add(1, Ordering::SeqCst) + 1;
+        if chaos_disconnect.is_some_and(|k| n.is_multiple_of(k)) {
+            // Write half the response, then hang up: the client sees a
+            // line that never terminates (a typed transport error on its
+            // side), never a corrupted-but-plausible payload.
+            let cut = text.len() / 2;
+            let _ = writer.write_all(&text.as_bytes()[..cut]);
+            let _ = writer.flush();
+            let _ = writer.shutdown(std::net::Shutdown::Both);
+            drop(active);
+            return;
+        }
+        let write_failed = writeln!(writer, "{text}").and_then(|()| writer.flush()).is_err();
+        drop(active);
+        if write_failed {
             return;
         }
         if resp.shutdown {
-            std::process::exit(0);
+            // The drain is already flagged on the server; the accept loop
+            // notices and runs the drain. This connection is done.
+            return;
         }
     }
 }
@@ -176,16 +345,23 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let server = match Server::new(&flags.cache, flags.chaos_compute_ms) {
+    let opts = ServerOptions {
+        chaos_compute_ms: flags.chaos_compute_ms,
+        chaos_panic: flags.chaos_panic,
+        deadline: flags.deadline_ms.map(Duration::from_millis),
+        max_inflight: flags.max_inflight,
+    };
+    let server = match Server::new(&flags.cache, opts) {
         Ok(s) => Arc::new(s),
         Err(e) => {
             eprintln!("error: cannot open cache `{}`: {e}", flags.cache);
             std::process::exit(2);
         }
     };
+    let bound = drain_bound(&flags);
     if flags.pipe {
         serve_pipe(server);
     } else if let Some(path) = &flags.socket {
-        serve_socket(server, path);
+        serve_socket(server, path, flags.chaos_disconnect, bound);
     }
 }

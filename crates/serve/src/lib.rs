@@ -22,7 +22,8 @@
 //! {"id": 1, "op": "run", "artifact": "table1", "scale": 5, "trials": 1,
 //!  "seed": 20130701, "format": "plain"}
 //! {"id": 2, "op": "stats"}
-//! {"id": 3, "op": "shutdown"}
+//! {"id": 3, "op": "health"}
+//! {"id": 4, "op": "shutdown"}
 //! ```
 //!
 //! A `run` response carries the requested payload stream (`format` is
@@ -30,19 +31,52 @@
 //! the answer was a cache `hit`, and whether the request was `deduped` into
 //! an in-flight computation. A `stats` response reports request counters,
 //! the cache hit rate, the in-flight dedup count and the accumulated
-//! per-phase kernel timings of everything this daemon computed.
+//! per-phase kernel timings of everything this daemon computed. A `health`
+//! response reports liveness (uptime, drain state, in-flight and active
+//! request counts, quarantined cache entries).
+//!
+//! ## Fault isolation and overload behavior
+//!
+//! Degraded service fails *typed and loud*, never silently and never by
+//! hanging. Every failure response is `ok: false` with an `error_kind` from
+//! the shared taxonomy in [`sfc_bench::harness::error_kind`]:
+//!
+//! * a panicking computation is contained with `catch_unwind`; the leader
+//!   *and* every follower deduplicated into it receive
+//!   `error_kind: "compute_panic"` and the daemon keeps serving — an
+//!   immediate re-request computes cleanly;
+//! * a configured deadline ([`ServerOptions::deadline`]) bounds each
+//!   request; expiry returns `error_kind: "deadline_exceeded"` and a
+//!   computation that finishes after its requester's deadline is discarded,
+//!   never cached;
+//! * admission control ([`ServerOptions::max_inflight`]) refuses work
+//!   beyond the bound with `error_kind: "overloaded"` and a
+//!   `retry_after_ms` hint instead of queueing unboundedly;
+//! * a draining daemon (SIGTERM or the `shutdown` op) answers everything it
+//!   already accepted and refuses new work with `error_kind: "draining"`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use serde_json::{Map, ToJson, Value};
 use sfc_bench::artifact::{compute, ComputeOpts};
+use sfc_bench::harness::error_kind;
 use sfc_bench::SweepArgs;
 use sfc_core::runner::{SweepRunner, SweepSummary};
-use sfc_core::{ArtifactKind, CachedArtifact, ExperimentSpec, ResultCache};
+use sfc_core::{ArtifactKind, CachedArtifact, ExperimentSpec, ResultCache, SfcError};
 use std::collections::HashMap;
-use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Lock a mutex, recovering from poisoning: a panic elsewhere (already
+/// contained by `catch_unwind`) must not brick the daemon's counters or
+/// in-flight table. All guarded state is simple bookkeeping that is valid
+/// at every instruction boundary, so the recovered guard is safe to use.
+fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// Compute the full artifact for `spec` exactly as its binary would: same
 /// banner, same body bytes, same JSON envelope. Returns the three cached
@@ -113,7 +147,9 @@ pub enum Request {
     },
     /// Report daemon counters.
     Stats,
-    /// Stop accepting requests and exit.
+    /// Report daemon liveness (uptime, drain state, in-flight counts).
+    Health,
+    /// Stop accepting requests, answer what is in flight, and exit.
     Shutdown,
 }
 
@@ -131,6 +167,7 @@ impl Request {
             .ok_or("missing `op` field")?;
         let req = match op {
             "stats" => Request::Stats,
+            "health" => Request::Health,
             "shutdown" => Request::Shutdown,
             "run" => {
                 let name = obj
@@ -180,7 +217,7 @@ pub struct Response {
 }
 
 /// One in-flight computation: followers block on the condvar until the
-/// leader publishes the result.
+/// leader publishes the result — or their deadline expires.
 struct Slot {
     result: Mutex<Option<RunOutcome>>,
     ready: Condvar,
@@ -194,28 +231,60 @@ impl Slot {
         }
     }
 
+    /// Publish the leader's outcome and wake every follower. Publishing to
+    /// a slot whose followers have all timed out is a no-op, never a panic.
     fn publish(&self, outcome: RunOutcome) {
-        *self.result.lock().expect("slot lock") = Some(outcome);
+        *lock_recover(&self.result) = Some(outcome);
         self.ready.notify_all();
     }
 
-    fn wait(&self) -> RunOutcome {
-        let mut guard = self.result.lock().expect("slot lock");
+    /// Wait for the leader's outcome, bounded by `deadline`; `None` means
+    /// the deadline expired first.
+    fn wait_deadline(&self, deadline: Option<Instant>) -> Option<RunOutcome> {
+        let mut guard = lock_recover(&self.result);
         loop {
-            match &*guard {
-                Some(outcome) => return outcome.clone(),
-                None => guard = self.ready.wait(guard).expect("slot lock"),
+            if let Some(outcome) = &*guard {
+                return Some(outcome.clone());
+            }
+            match deadline {
+                None => {
+                    guard = self
+                        .ready
+                        .wait(guard)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return None;
+                    }
+                    let (g, _) = self
+                        .ready
+                        .wait_timeout(guard, d - now)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    guard = g;
+                }
             }
         }
     }
 }
 
-/// The artifact a run produced plus whether the sweep completed (an
-/// incomplete artifact is served but never cached).
+/// What one leader computation produced: an artifact to serve (and possibly
+/// cache), or a typed failure that leader and followers all report.
 #[derive(Clone)]
-struct RunOutcome {
-    artifact: Arc<CachedArtifact>,
-    complete: bool,
+enum RunOutcome {
+    /// The artifact the run produced plus whether the sweep completed (an
+    /// incomplete artifact is served but never cached).
+    Ok {
+        artifact: Arc<CachedArtifact>,
+        complete: bool,
+    },
+    /// The computation failed (panicked, or outlived its deadline); nothing
+    /// was cached.
+    Failed {
+        kind: &'static str,
+        message: String,
+    },
 }
 
 /// Daemon counters, reported by the `stats` op.
@@ -227,6 +296,14 @@ struct Stats {
     computations: u64,
     deduped: u64,
     errors: u64,
+    /// Computations that panicked and were contained.
+    panics: u64,
+    /// Requests whose deadline expired before an answer was ready.
+    deadline_exceeded: u64,
+    /// Requests refused by `max_inflight` admission control.
+    overloaded: u64,
+    /// Run requests refused because the daemon was draining.
+    drain_refused: u64,
     /// Accumulated kernel-phase milliseconds of every cell this daemon
     /// computed, in first-use order.
     phase_ms: Vec<(String, f64)>,
@@ -245,6 +322,39 @@ impl Stats {
     }
 }
 
+/// Fault-tolerance and overload configuration of a [`Server`].
+#[derive(Debug, Clone, Default)]
+pub struct ServerOptions {
+    /// Test-only delay inserted before each computation, widening the
+    /// in-flight window so CI can assert dedup deterministically
+    /// (`--chaos-compute-ms`).
+    pub chaos_compute_ms: u64,
+    /// Deterministic fault injection: every K-th computation panics before
+    /// doing any work (`--chaos-panic K`). The panic is contained and
+    /// reported as `error_kind: "compute_panic"`.
+    pub chaos_panic: Option<u64>,
+    /// Per-request deadline (`--deadline-ms`): followers stop waiting and a
+    /// leader's late result is discarded (never cached) once expired.
+    pub deadline: Option<Duration>,
+    /// Admission control (`--max-inflight N`): a request that would start
+    /// computation number N+1 is refused with `error_kind: "overloaded"`
+    /// and a `retry_after_ms` hint. Duplicates of an in-flight computation
+    /// always dedup into it (they add no work).
+    pub max_inflight: Option<usize>,
+}
+
+/// An RAII token counting one request currently being handled (including
+/// writing its response). Transports hold one around `handle_line` plus the
+/// response write so a draining daemon knows when every accepted request
+/// has been fully answered.
+pub struct ActiveRequest<'a>(&'a AtomicU64);
+
+impl Drop for ActiveRequest<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 /// The daemon core: a result cache, the in-flight dedup table and the
 /// counters. Transport-independent — the socket and pipe front ends both
 /// feed request lines to [`Server::handle_line`] from as many threads as
@@ -253,35 +363,82 @@ pub struct Server {
     cache: ResultCache,
     inflight: Mutex<HashMap<String, Arc<Slot>>>,
     stats: Mutex<Stats>,
-    /// Test-only delay inserted before each computation, widening the
-    /// in-flight window so CI can assert dedup deterministically.
-    chaos_compute_ms: u64,
+    opts: ServerOptions,
+    /// Set once by [`Server::begin_drain`]; `run` requests are refused from
+    /// then on while `stats`/`health` stay answerable.
+    draining: AtomicBool,
+    /// Requests currently being handled (see [`Server::track_active`]).
+    active: AtomicU64,
+    /// Computations started (for `--chaos-panic` determinism).
+    computations_started: AtomicU64,
+    started: Instant,
 }
 
 impl Server {
     /// Open (or create) the cache directory and build a server around it.
-    pub fn new(cache_dir: &str, chaos_compute_ms: u64) -> std::io::Result<Server> {
+    pub fn new(cache_dir: &str, opts: ServerOptions) -> std::io::Result<Server> {
         Ok(Server {
             cache: ResultCache::new(cache_dir)?,
             inflight: Mutex::new(HashMap::new()),
             stats: Mutex::new(Stats::default()),
-            chaos_compute_ms,
+            opts,
+            draining: AtomicBool::new(false),
+            active: AtomicU64::new(0),
+            computations_started: AtomicU64::new(0),
+            started: Instant::now(),
         })
+    }
+
+    /// Stop accepting new `run` work. Idempotent. In-flight computations
+    /// finish and are answered; `stats` and `health` keep working so drain
+    /// progress is observable.
+    pub fn begin_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether [`Server::begin_drain`] has been called.
+    pub fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Requests currently being handled (tracked via
+    /// [`Server::track_active`]).
+    pub fn active_requests(&self) -> u64 {
+        self.active.load(Ordering::SeqCst)
+    }
+
+    /// Computations currently in flight.
+    pub fn inflight_len(&self) -> usize {
+        lock_recover(&self.inflight).len()
+    }
+
+    /// Count one request as being handled until the returned token drops.
+    pub fn track_active(&self) -> ActiveRequest<'_> {
+        self.active.fetch_add(1, Ordering::SeqCst);
+        ActiveRequest(&self.active)
+    }
+
+    /// One JSON line of the current counters, for the final stats flush a
+    /// draining daemon writes to stderr.
+    pub fn stats_line(&self) -> String {
+        serde_json::to_string(&Value::Object(self.stats_body())).expect("serialize stats")
     }
 
     /// Handle one request line, returning the response line to write back.
     /// Never panics on malformed input — errors become `ok: false`
-    /// responses.
+    /// responses with a typed `error_kind`.
     pub fn handle_line(&self, line: &str) -> Response {
-        self.stats.lock().expect("stats lock").requests += 1;
+        lock_recover(&self.stats).requests += 1;
         let (id, req) = match Request::parse(line) {
             Ok(parsed) => parsed,
-            Err(e) => return error_response(Value::Null, &e),
+            Err(e) => return typed_error(Value::Null, error_kind::BAD_REQUEST, &e, None),
         };
         match req {
             Request::Run { spec, format } => self.run(id, &spec, format),
             Request::Stats => self.report_stats(id),
+            Request::Health => self.report_health(id),
             Request::Shutdown => {
+                self.begin_drain();
                 let mut doc = Map::new();
                 doc.insert("id", id);
                 doc.insert("ok", Value::Bool(true));
@@ -297,19 +454,41 @@ impl Server {
     /// Answer a `run` request: cache hit, dedup into an in-flight
     /// computation, or compute (and populate the cache) ourselves.
     fn run(&self, id: Value, spec: &ExperimentSpec, format: Format) -> Response {
-        self.stats.lock().expect("stats lock").runs += 1;
+        lock_recover(&self.stats).runs += 1;
+        if self.draining() {
+            lock_recover(&self.stats).drain_refused += 1;
+            return typed_error(
+                id,
+                error_kind::DRAINING,
+                "daemon is draining; not accepting new work",
+                None,
+            );
+        }
+        let deadline = self.opts.deadline.map(|d| Instant::now() + d);
         let key = ResultCache::key(spec);
 
         if let Some(hit) = self.cache.load(spec) {
-            self.stats.lock().expect("stats lock").hits += 1;
+            lock_recover(&self.stats).hits += 1;
             return run_response(id, spec, &key, format, &hit, true, false, true);
         }
 
         let (slot, leader) = {
-            let mut inflight = self.inflight.lock().expect("inflight lock");
+            let mut inflight = lock_recover(&self.inflight);
             match inflight.get(&key) {
                 Some(slot) => (Arc::clone(slot), false),
                 None => {
+                    if let Some(max) = self.opts.max_inflight {
+                        if inflight.len() >= max {
+                            drop(inflight);
+                            lock_recover(&self.stats).overloaded += 1;
+                            return typed_error(
+                                id,
+                                error_kind::OVERLOADED,
+                                &format!("{max} computation(s) already in flight (--max-inflight)"),
+                                Some(self.retry_after_ms()),
+                            );
+                        }
+                    }
                     let slot = Arc::new(Slot::new());
                     inflight.insert(key.clone(), Arc::clone(&slot));
                     (slot, true)
@@ -318,59 +497,118 @@ impl Server {
         };
 
         if !leader {
-            self.stats.lock().expect("stats lock").deduped += 1;
-            let outcome = slot.wait();
-            return run_response(
-                id,
-                spec,
-                &key,
-                format,
-                &outcome.artifact,
-                false,
-                true,
-                outcome.complete,
-            );
+            lock_recover(&self.stats).deduped += 1;
+            return match slot.wait_deadline(deadline) {
+                None => {
+                    lock_recover(&self.stats).deadline_exceeded += 1;
+                    typed_error(
+                        id,
+                        error_kind::DEADLINE_EXCEEDED,
+                        "deadline expired while waiting for the in-flight computation",
+                        None,
+                    )
+                }
+                Some(RunOutcome::Ok { artifact, complete }) => {
+                    run_response(id, spec, &key, format, &artifact, false, true, complete)
+                }
+                Some(RunOutcome::Failed { kind, message }) => {
+                    typed_error(id, kind, &message, None)
+                }
+            };
         }
 
-        if self.chaos_compute_ms > 0 {
-            std::thread::sleep(Duration::from_millis(self.chaos_compute_ms));
-        }
-        let (artifact, summary) = compute_artifact(spec);
-        let outcome = RunOutcome {
-            artifact: Arc::new(artifact),
-            complete: summary.complete(),
-        };
-        {
-            let mut stats = self.stats.lock().expect("stats lock");
-            stats.computations += 1;
-            if !outcome.complete {
-                stats.errors += 1;
-            }
-            stats.absorb_phases(&summary);
-        }
-        if outcome.complete {
-            if let Err(e) = self.cache.store(spec, &outcome.artifact) {
-                eprintln!("# serve: cache store failed for {key}: {e}");
-            }
-        }
+        let outcome = self.compute_as_leader(spec, deadline);
+        // Publish before unregistering: a request landing in between joins
+        // as a follower and reads the published outcome immediately, while
+        // one landing after becomes a fresh leader (so a request arriving
+        // right after a panic recomputes cleanly).
         slot.publish(outcome.clone());
-        self.inflight.lock().expect("inflight lock").remove(&key);
-        run_response(
-            id,
-            spec,
-            &key,
-            format,
-            &outcome.artifact,
-            false,
-            false,
-            outcome.complete,
-        )
+        lock_recover(&self.inflight).remove(&key);
+        match outcome {
+            RunOutcome::Ok { artifact, complete } => {
+                run_response(id, spec, &key, format, &artifact, false, false, complete)
+            }
+            RunOutcome::Failed { kind, message } => typed_error(id, kind, &message, None),
+        }
     }
 
-    /// Answer a `stats` request from the counters.
-    fn report_stats(&self, id: Value) -> Response {
-        let inflight = self.inflight.lock().expect("inflight lock").len();
-        let stats = self.stats.lock().expect("stats lock");
+    /// Run one leader computation under `catch_unwind`, so a panicking
+    /// kernel produces a typed outcome for the slot instead of killing this
+    /// thread and stranding every follower on the condvar.
+    fn compute_as_leader(&self, spec: &ExperimentSpec, deadline: Option<Instant>) -> RunOutcome {
+        let n = self.computations_started.fetch_add(1, Ordering::SeqCst) + 1;
+        let chaos_panic = self.opts.chaos_panic.is_some_and(|k| k > 0 && n.is_multiple_of(k));
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            if self.opts.chaos_compute_ms > 0 {
+                std::thread::sleep(Duration::from_millis(self.opts.chaos_compute_ms));
+            }
+            if chaos_panic {
+                panic!("chaos-panic injection (computation {n})");
+            }
+            compute_artifact(spec)
+        }));
+        match result {
+            Ok((artifact, summary)) => {
+                let complete = summary.complete();
+                {
+                    let mut stats = lock_recover(&self.stats);
+                    stats.computations += 1;
+                    if !complete {
+                        stats.errors += 1;
+                    }
+                    stats.absorb_phases(&summary);
+                }
+                if deadline.is_some_and(|d| Instant::now() >= d) {
+                    // The computation outlived the request that asked for
+                    // it. Per the purity contract a deadline-expired
+                    // request leaves no cache entry, so the late result is
+                    // discarded rather than stored.
+                    lock_recover(&self.stats).deadline_exceeded += 1;
+                    return RunOutcome::Failed {
+                        kind: error_kind::DEADLINE_EXCEEDED,
+                        message: "computation finished after the request deadline; result discarded"
+                            .to_string(),
+                    };
+                }
+                if complete {
+                    if let Err(e) = self.cache.store(spec, &artifact) {
+                        eprintln!(
+                            "# serve: cache store failed for {}: {e}",
+                            ResultCache::key(spec)
+                        );
+                    }
+                }
+                RunOutcome::Ok {
+                    artifact: Arc::new(artifact),
+                    complete,
+                }
+            }
+            Err(payload) => {
+                let error = SfcError::ComputePanicked {
+                    message: panic_message(payload.as_ref()),
+                };
+                let mut stats = lock_recover(&self.stats);
+                stats.panics += 1;
+                stats.errors += 1;
+                RunOutcome::Failed {
+                    kind: error_kind::COMPUTE_PANIC,
+                    message: error.to_string(),
+                }
+            }
+        }
+    }
+
+    /// The `retry_after_ms` hint attached to `overloaded` refusals.
+    fn retry_after_ms(&self) -> u64 {
+        // Computations take at least the chaos delay when one is set; a
+        // plain daemon suggests a short, jitter-friendly pause.
+        self.opts.chaos_compute_ms.max(250)
+    }
+
+    /// The counters shared by the `stats` op and the final drain flush.
+    fn stats_body(&self) -> Map {
+        let inflight = self.inflight_len();
+        let stats = lock_recover(&self.stats);
         let hit_rate = if stats.runs == 0 {
             0.0
         } else {
@@ -387,17 +625,86 @@ impl Server {
         body.insert("computations", (stats.computations).to_json());
         body.insert("deduped", (stats.deduped).to_json());
         body.insert("errors", (stats.errors).to_json());
+        body.insert("panics", (stats.panics).to_json());
+        body.insert("deadline_exceeded", (stats.deadline_exceeded).to_json());
+        body.insert("overloaded", (stats.overloaded).to_json());
+        body.insert("drain_refused", (stats.drain_refused).to_json());
+        body.insert("quarantined", (self.cache.quarantined()).to_json());
         body.insert("hit_rate", (hit_rate).to_json());
         body.insert("inflight", (inflight as u64).to_json());
+        body.insert("draining", Value::Bool(self.draining()));
         body.insert("phases_ms", Value::Object(phases));
+        body
+    }
+
+    /// Answer a `stats` request from the counters.
+    fn report_stats(&self, id: Value) -> Response {
         let mut doc = Map::new();
         doc.insert("id", id);
         doc.insert("ok", Value::Bool(true));
-        doc.insert("stats", Value::Object(body));
+        doc.insert("stats", Value::Object(self.stats_body()));
         Response {
             doc: Value::Object(doc),
             shutdown: false,
         }
+    }
+
+    /// Answer a `health` request: liveness, drain state and load.
+    fn report_health(&self, id: Value) -> Response {
+        let mut body = Map::new();
+        body.insert("draining", Value::Bool(self.draining()));
+        body.insert("inflight", (self.inflight_len() as u64).to_json());
+        body.insert("active_requests", (self.active_requests()).to_json());
+        body.insert(
+            "uptime_ms",
+            ((self.started.elapsed().as_secs_f64() * 1e3) as u64).to_json(),
+        );
+        body.insert("quarantined", (self.cache.quarantined()).to_json());
+        body.insert(
+            "deadline_ms",
+            match self.opts.deadline {
+                Some(d) => (d.as_millis() as u64).to_json(),
+                None => Value::Null,
+            },
+        );
+        body.insert(
+            "max_inflight",
+            match self.opts.max_inflight {
+                Some(n) => (n as u64).to_json(),
+                None => Value::Null,
+            },
+        );
+        let mut doc = Map::new();
+        doc.insert("id", id);
+        doc.insert("ok", Value::Bool(true));
+        doc.insert("health", Value::Object(body));
+        Response {
+            doc: Value::Object(doc),
+            shutdown: false,
+        }
+    }
+}
+
+/// The one-line refusal a draining daemon writes to connections it will not
+/// serve (used by the socket front end for connections accepted mid-drain).
+pub fn drain_refusal_line() -> String {
+    let resp = typed_error(
+        Value::Null,
+        error_kind::DRAINING,
+        "daemon is draining; connection refused",
+        None,
+    );
+    serde_json::to_string(&resp.doc).expect("serialize refusal")
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -428,12 +735,17 @@ fn run_response(
     }
 }
 
-/// Build an `ok: false` response document.
-fn error_response(id: Value, message: &str) -> Response {
+/// Build an `ok: false` response document carrying a typed `error_kind`
+/// (and, for `overloaded`, the `retry_after_ms` hint).
+fn typed_error(id: Value, kind: &str, message: &str, retry_after_ms: Option<u64>) -> Response {
     let mut doc = Map::new();
     doc.insert("id", id);
     doc.insert("ok", Value::Bool(false));
+    doc.insert("error_kind", (kind).to_json());
     doc.insert("error", (message).to_json());
+    if let Some(ms) = retry_after_ms {
+        doc.insert("retry_after_ms", (ms).to_json());
+    }
     Response {
         doc: Value::Object(doc),
         shutdown: false,
@@ -450,15 +762,33 @@ mod tests {
         dir.to_string_lossy().into_owned()
     }
 
+    fn server(name: &str, opts: ServerOptions) -> Server {
+        Server::new(&tmpdir(name), opts).unwrap()
+    }
+
     fn run_line(scale: u32) -> String {
+        run_line_seeded(scale, 3)
+    }
+
+    /// table1 at scale 9: a 2x2 grid with one particle — trivial cells.
+    /// Distinct seeds make distinct cache keys, so one test can exercise
+    /// several independent computations cheaply.
+    fn run_line_seeded(scale: u32, seed: u64) -> String {
         format!(
-            r#"{{"id": 7, "op": "run", "artifact": "table1", "scale": {scale}, "trials": 1, "seed": 3, "format": "plain"}}"#
+            r#"{{"id": 7, "op": "run", "artifact": "table1", "scale": {scale}, "trials": 1, "seed": {seed}, "format": "plain"}}"#
         )
     }
 
+    fn kind_of(resp: &Response) -> &str {
+        resp.doc
+            .get("error_kind")
+            .and_then(Value::as_str)
+            .unwrap_or("")
+    }
+
     #[test]
-    fn malformed_lines_are_errors_not_panics() {
-        let server = Server::new(&tmpdir("malformed"), 0).unwrap();
+    fn malformed_lines_are_typed_bad_requests_not_panics() {
+        let server = server("malformed", ServerOptions::default());
         for line in [
             "not json",
             "[1, 2]",
@@ -470,14 +800,14 @@ mod tests {
         ] {
             let resp = server.handle_line(line);
             assert_eq!(resp.doc.get("ok"), Some(&Value::Bool(false)), "{line}");
+            assert_eq!(kind_of(&resp), "bad_request", "{line}");
             assert!(!resp.shutdown);
         }
     }
 
     #[test]
     fn repeat_run_is_a_cache_hit_with_identical_payload() {
-        let server = Server::new(&tmpdir("repeat"), 0).unwrap();
-        // table1 at scale 9: a 2x2 grid with one particle — trivial cells.
+        let server = server("repeat", ServerOptions::default());
         let first = server.handle_line(&run_line(9));
         assert_eq!(first.doc.get("hit"), Some(&Value::Bool(false)));
         assert_eq!(first.doc.get("complete"), Some(&Value::Bool(true)));
@@ -493,12 +823,18 @@ mod tests {
         assert_eq!(body.get("hits"), Some(&(1u64).to_json()));
         assert_eq!(body.get("computations"), Some(&(1u64).to_json()));
         assert_eq!(body.get("deduped"), Some(&(0u64).to_json()));
+        assert_eq!(body.get("panics"), Some(&(0u64).to_json()));
     }
 
     #[test]
     fn concurrent_identical_runs_compute_once() {
-        let server =
-            Arc::new(Server::new(&tmpdir("dedup"), 150).unwrap());
+        let server = Arc::new(server(
+            "dedup",
+            ServerOptions {
+                chaos_compute_ms: 150,
+                ..ServerOptions::default()
+            },
+        ));
         let threads: Vec<_> = (0..3)
             .map(|_| {
                 let server = Arc::clone(&server);
@@ -526,22 +862,292 @@ mod tests {
     }
 
     #[test]
-    fn shutdown_op_flags_the_connection() {
-        let server = Server::new(&tmpdir("shutdown"), 0).unwrap();
+    fn shutdown_op_flags_the_connection_and_starts_drain() {
+        let server = server("shutdown", ServerOptions::default());
         let resp = server.handle_line(r#"{"id": "bye", "op": "shutdown"}"#);
         assert!(resp.shutdown);
         assert_eq!(resp.doc.get("ok"), Some(&Value::Bool(true)));
         assert_eq!(resp.doc.get("id"), Some(&("bye").to_json()));
+        assert!(server.draining(), "shutdown must start the drain");
     }
 
     #[test]
     fn json_format_returns_the_envelope() {
-        let server = Server::new(&tmpdir("json"), 0).unwrap();
+        let server = server("json", ServerOptions::default());
         let line = r#"{"op": "run", "artifact": "table1", "scale": 9, "trials": 1, "seed": 3, "format": "json"}"#;
         let resp = server.handle_line(line);
         let payload = resp.doc.get("payload").unwrap().as_str().unwrap();
         let doc: Value = serde_json::from_str(payload).unwrap();
         assert_eq!(doc.get("artifact"), Some(&("table1").to_json()));
         assert!(doc.get("data").is_some());
+    }
+
+    #[test]
+    fn lock_recover_survives_a_poisoning_panic() {
+        let shared = Arc::new(Mutex::new(41u64));
+        let poisoner = Arc::clone(&shared);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.lock().unwrap();
+            panic!("poison the lock");
+        })
+        .join();
+        assert!(shared.lock().is_err(), "the lock must actually be poisoned");
+        let mut guard = lock_recover(&shared);
+        *guard += 1;
+        assert_eq!(*guard, 42);
+    }
+
+    #[test]
+    fn panicking_computation_is_contained_and_typed() {
+        let cache_dir = tmpdir("panic");
+        let server = Server::new(
+            &cache_dir,
+            ServerOptions {
+                chaos_panic: Some(1), // every computation panics
+                ..ServerOptions::default()
+            },
+        )
+        .unwrap();
+        let resp = server.handle_line(&run_line_seeded(9, 11));
+        assert_eq!(resp.doc.get("ok"), Some(&Value::Bool(false)));
+        assert_eq!(kind_of(&resp), "compute_panic");
+        assert!(resp
+            .doc
+            .get("error")
+            .and_then(Value::as_str)
+            .unwrap()
+            .contains("panicked"));
+
+        // The daemon keeps serving and the failure left no state behind:
+        // no cache entry, no in-flight slot, no quarantine debris.
+        assert_eq!(server.inflight_len(), 0);
+        let entries: Vec<_> = std::fs::read_dir(&cache_dir).unwrap().collect();
+        assert!(entries.is_empty(), "a panicked run must leave no cache state");
+        let stats = server.handle_line(r#"{"op": "stats"}"#);
+        let body = stats.doc.get("stats").unwrap();
+        assert_eq!(body.get("panics"), Some(&(1u64).to_json()));
+        assert_eq!(body.get("computations"), Some(&(0u64).to_json()));
+    }
+
+    #[test]
+    fn followers_of_a_panicked_leader_get_typed_errors_then_a_rerequest_recovers() {
+        let cache_dir = tmpdir("panic-followers");
+        let server = Arc::new(
+            Server::new(
+                &cache_dir,
+                ServerOptions {
+                    // Computation 2 panics (after the 200 ms window that
+                    // lets followers pile onto the slot); computations 1
+                    // and 3 compute cleanly.
+                    chaos_panic: Some(2),
+                    chaos_compute_ms: 200,
+                    ..ServerOptions::default()
+                },
+            )
+            .unwrap(),
+        );
+        // Computation 1: clean (seed 21).
+        let warm = server.handle_line(&run_line_seeded(9, 21));
+        assert_eq!(warm.doc.get("ok"), Some(&Value::Bool(true)));
+
+        // Computation 2 (seed 22) panics; three concurrent identical
+        // requests — one leader, the rest followers on the condvar slot —
+        // must ALL get typed compute_panic errors, none may hang.
+        let threads: Vec<_> = (0..3)
+            .map(|_| {
+                let server = Arc::clone(&server);
+                std::thread::spawn(move || server.handle_line(&run_line_seeded(9, 22)))
+            })
+            .collect();
+        for t in threads {
+            let resp = t.join().expect("no hung or crashed request thread");
+            assert_eq!(resp.doc.get("ok"), Some(&Value::Bool(false)));
+            assert_eq!(kind_of(&resp), "compute_panic");
+        }
+        assert_eq!(server.inflight_len(), 0, "the panicked slot must be cleared");
+
+        // An immediate re-request of the same spec computes cleanly
+        // (computation 3) and matches a chaos-free server byte for byte.
+        let recovered = server.handle_line(&run_line_seeded(9, 22));
+        assert_eq!(recovered.doc.get("ok"), Some(&Value::Bool(true)));
+        assert_eq!(recovered.doc.get("complete"), Some(&Value::Bool(true)));
+        let clean = server_clean_payload(22);
+        assert_eq!(
+            recovered.doc.get("payload").and_then(Value::as_str),
+            Some(clean.as_str()),
+            "post-panic artifact must be byte-identical to the non-chaos path"
+        );
+    }
+
+    fn server_clean_payload(seed: u64) -> String {
+        let server = server(&format!("clean-{seed}"), ServerOptions::default());
+        let resp = server.handle_line(&run_line_seeded(9, seed));
+        assert_eq!(resp.doc.get("ok"), Some(&Value::Bool(true)));
+        resp.doc
+            .get("payload")
+            .and_then(Value::as_str)
+            .unwrap()
+            .to_string()
+    }
+
+    #[test]
+    fn follower_deadline_expires_while_leader_computes_and_late_publish_is_discarded() {
+        let cache_dir = tmpdir("deadline");
+        let server = Arc::new(
+            Server::new(
+                &cache_dir,
+                ServerOptions {
+                    chaos_compute_ms: 400,
+                    deadline: Some(Duration::from_millis(100)),
+                    ..ServerOptions::default()
+                },
+            )
+            .unwrap(),
+        );
+        let threads: Vec<_> = (0..2)
+            .map(|_| {
+                let server = Arc::clone(&server);
+                std::thread::spawn(move || server.handle_line(&run_line_seeded(9, 31)))
+            })
+            .collect();
+        let started = Instant::now();
+        for t in threads {
+            let resp = t.join().expect("no hung request thread");
+            assert_eq!(resp.doc.get("ok"), Some(&Value::Bool(false)));
+            assert_eq!(kind_of(&resp), "deadline_exceeded");
+        }
+        // Both threads answered: the follower at ~100 ms, the leader when
+        // its (late, discarded) computation finished — and the publish to a
+        // slot with no remaining waiters did not panic.
+        assert!(started.elapsed() < Duration::from_secs(5));
+        assert_eq!(server.inflight_len(), 0);
+
+        // Purity: a deadline-expired request leaves no cache entry and no
+        // quarantine debris.
+        let entries: Vec<_> = std::fs::read_dir(&cache_dir).unwrap().collect();
+        assert!(
+            entries.is_empty(),
+            "a deadline-expired run must not populate the cache"
+        );
+        let stats = server.handle_line(r#"{"op": "stats"}"#);
+        let body = stats.doc.get("stats").unwrap();
+        assert_eq!(body.get("deadline_exceeded"), Some(&(2u64).to_json()));
+        assert_eq!(body.get("quarantined"), Some(&(0u64).to_json()));
+    }
+
+    #[test]
+    fn max_inflight_overload_is_typed_with_a_retry_hint() {
+        let server = Arc::new(server(
+            "overload",
+            ServerOptions {
+                chaos_compute_ms: 400,
+                max_inflight: Some(1),
+                ..ServerOptions::default()
+            },
+        ));
+        let barrier = Arc::new(std::sync::Barrier::new(3));
+        // Three concurrent *distinct* specs: exactly one is admitted, the
+        // other two are refused with overloaded + retry_after_ms.
+        let threads: Vec<_> = (0..3)
+            .map(|i| {
+                let server = Arc::clone(&server);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    server.handle_line(&run_line_seeded(9, 41 + i))
+                })
+            })
+            .collect();
+        let responses: Vec<Response> =
+            threads.into_iter().map(|t| t.join().unwrap()).collect();
+        let ok = responses
+            .iter()
+            .filter(|r| r.doc.get("ok") == Some(&Value::Bool(true)))
+            .count();
+        let overloaded: Vec<_> = responses
+            .iter()
+            .filter(|r| kind_of(r) == "overloaded")
+            .collect();
+        assert_eq!(ok, 1, "exactly one distinct spec may compute: {responses:?}");
+        assert_eq!(overloaded.len(), 2);
+        for r in overloaded {
+            let hint = r.doc.get("retry_after_ms").and_then(Value::as_u64);
+            assert!(hint.is_some_and(|ms| ms >= 250), "retry hint: {:?}", r.doc);
+        }
+        let stats = server.handle_line(r#"{"op": "stats"}"#);
+        assert_eq!(
+            stats.doc.get("stats").unwrap().get("overloaded"),
+            Some(&(2u64).to_json())
+        );
+    }
+
+    #[test]
+    fn draining_server_refuses_runs_but_answers_stats_and_health() {
+        let server = server("drain", ServerOptions::default());
+        server.begin_drain();
+        server.begin_drain(); // idempotent
+
+        let run = server.handle_line(&run_line(9));
+        assert_eq!(run.doc.get("ok"), Some(&Value::Bool(false)));
+        assert_eq!(kind_of(&run), "draining");
+
+        let stats = server.handle_line(r#"{"op": "stats"}"#);
+        assert_eq!(stats.doc.get("ok"), Some(&Value::Bool(true)));
+        let body = stats.doc.get("stats").unwrap();
+        assert_eq!(body.get("drain_refused"), Some(&(1u64).to_json()));
+        assert_eq!(body.get("draining"), Some(&Value::Bool(true)));
+
+        let health = server.handle_line(r#"{"op": "health"}"#);
+        assert_eq!(health.doc.get("ok"), Some(&Value::Bool(true)));
+        assert_eq!(
+            health.doc.get("health").unwrap().get("draining"),
+            Some(&Value::Bool(true))
+        );
+    }
+
+    #[test]
+    fn health_reports_load_and_configuration() {
+        let server = server(
+            "health",
+            ServerOptions {
+                deadline: Some(Duration::from_millis(1500)),
+                max_inflight: Some(4),
+                ..ServerOptions::default()
+            },
+        );
+        let _active = server.track_active();
+        let resp = server.handle_line(r#"{"id": 1, "op": "health"}"#);
+        let body = resp.doc.get("health").unwrap();
+        assert_eq!(body.get("draining"), Some(&Value::Bool(false)));
+        assert_eq!(body.get("inflight"), Some(&(0u64).to_json()));
+        assert_eq!(body.get("active_requests"), Some(&(1u64).to_json()));
+        assert_eq!(body.get("deadline_ms"), Some(&(1500u64).to_json()));
+        assert_eq!(body.get("max_inflight"), Some(&(4u64).to_json()));
+        assert_eq!(body.get("quarantined"), Some(&(0u64).to_json()));
+        assert!(body.get("uptime_ms").and_then(Value::as_u64).is_some());
+    }
+
+    #[test]
+    fn drain_refusal_line_is_one_typed_json_line() {
+        let line = drain_refusal_line();
+        assert!(!line.contains('\n'));
+        let doc: Value = serde_json::from_str(&line).unwrap();
+        assert_eq!(doc.get("ok"), Some(&Value::Bool(false)));
+        assert_eq!(
+            doc.get("error_kind").and_then(Value::as_str),
+            Some("draining")
+        );
+    }
+
+    #[test]
+    fn active_request_tracking_is_raii() {
+        let server = server("active", ServerOptions::default());
+        assert_eq!(server.active_requests(), 0);
+        {
+            let _a = server.track_active();
+            let _b = server.track_active();
+            assert_eq!(server.active_requests(), 2);
+        }
+        assert_eq!(server.active_requests(), 0);
     }
 }
