@@ -56,6 +56,10 @@ pub struct SweepArgs {
     /// cached spec replays the stored artifact byte-for-byte with zero
     /// sweep cells computed; a fresh complete run populates it.
     pub cache: Option<String>,
+    /// Byte budget (MiB) of the in-memory tier in front of the `--cache`
+    /// disk tier; 0 disables the tier. Within one process, repeats of a
+    /// loaded key skip file reads and sha256 verification entirely.
+    pub cache_mem_mb: u64,
 }
 
 impl Default for SweepArgs {
@@ -75,6 +79,7 @@ impl Default for SweepArgs {
             timing: None,
             no_oracle: false,
             cache: None,
+            cache_mem_mb: 64,
         }
     }
 }
@@ -141,6 +146,9 @@ impl SweepArgs {
                             .ok_or_else(|| "--cache needs a directory".to_string())?,
                     )
                 }
+                "--cache-mem-mb" => {
+                    out.cache_mem_mb = next_num(&mut it, "--cache-mem-mb")?
+                }
                 "--help" | "-h" => return Err(usage()),
                 other => return Err(format!("unknown flag `{other}`\n{}", usage())),
             }
@@ -184,7 +192,7 @@ fn next_num<I: Iterator<Item = String>>(it: &mut I, flag: &str) -> Result<u64, S
 
 fn usage() -> String {
     "usage: <bin> [--scale S] [--trials T] [--seed X] [--jobs N] [--markdown] [--json PATH] [--timing PATH] [--no-oracle]\n\
-     \u{20}          [--cache DIR] [--journal PATH] [--time-budget SECS] [--chaos LIST] [--chaos-persistent] [--chaos-journal N]\n\
+     \u{20}          [--cache DIR] [--cache-mem-mb N] [--journal PATH] [--time-budget SECS] [--chaos LIST] [--chaos-persistent] [--chaos-journal N]\n\
      --scale S            shrink the paper workload by 4^S (default 2; 0 = full size)\n\
      --trials T           independent trials to average (default 3)\n\
      --seed X             base RNG seed (default 20130701)\n\
@@ -198,6 +206,8 @@ fn usage() -> String {
      \u{20}                    closed-form distances (output bytes identical)\n\
      --cache DIR          content-addressed result cache: replay an already\n\
      \u{20}                    cached run byte-for-byte, else populate it\n\
+     --cache-mem-mb N     in-memory tier byte budget over --cache, in MiB\n\
+     \u{20}                    (default 64; 0 = disk only)\n\
      --journal PATH       append completed sweep cells to a JSONL journal and\n\
      \u{20}                    resume from it on restart\n\
      --time-budget SECS   stop scheduling new cells after SECS seconds; partial\n\
@@ -233,6 +243,7 @@ mod tests {
         assert_eq!(a.timing, None);
         assert!(!a.no_oracle);
         assert_eq!(a.cache, None);
+        assert_eq!(a.cache_mem_mb, 64);
     }
 
     #[test]
@@ -263,6 +274,8 @@ mod tests {
             "--no-oracle",
             "--cache",
             "/tmp/cache",
+            "--cache-mem-mb",
+            "16",
         ])
         .unwrap();
         assert_eq!(a.scale, 0);
@@ -279,6 +292,7 @@ mod tests {
         assert_eq!(a.timing.as_deref(), Some("/tmp/x.timing.json"));
         assert!(a.no_oracle);
         assert_eq!(a.cache.as_deref(), Some("/tmp/cache"));
+        assert_eq!(a.cache_mem_mb, 16);
     }
 
     #[test]
@@ -296,6 +310,7 @@ mod tests {
         assert!(parse(&["--chaos-journal", "many"]).is_err());
         assert!(parse(&["--timing"]).is_err());
         assert!(parse(&["--cache"]).is_err());
+        assert!(parse(&["--cache-mem-mb", "lots"]).is_err());
     }
 
     #[test]

@@ -163,11 +163,18 @@ pub fn run_artifact(kind: ArtifactKind) {
 /// [`run_artifact`] with the flags supplied by the caller (testable entry).
 pub fn run_artifact_with(kind: ArtifactKind, args: &SweepArgs) {
     let spec = args.spec(kind);
-    let cache = args.cache.as_ref().map(|dir| match ResultCache::new(dir) {
-        Ok(c) => c,
-        Err(e) => {
-            eprintln!("error: cannot open cache `{dir}`: {e}");
-            std::process::exit(2);
+    // The CLI gets the same two-tier cache as the daemon: an in-memory LRU
+    // (bounded by `--cache-mem-mb`) over the verified disk tier, so a
+    // process that loads the same key repeatedly pays the file reads and
+    // sha256 pass once.
+    let mem_budget = args.cache_mem_mb.saturating_mul(1024 * 1024);
+    let cache = args.cache.as_ref().map(|dir| {
+        match ResultCache::with_memory_budget(dir, mem_budget) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("error: cannot open cache `{dir}`: {e}");
+                std::process::exit(2);
+            }
         }
     });
 

@@ -45,14 +45,40 @@
 //! subsequent loads hit. Quarantined directories are kept (not deleted) so
 //! the corruption can be inspected; [`ResultCache::quarantined`] counts the
 //! entries this handle has quarantined.
+//!
+//! ## The memory tier
+//!
+//! The disk tier re-reads and re-sha256-verifies three payload files on
+//! *every* hit — correct, but the opposite of the locality the workspace
+//! preaches. A cache opened with [`ResultCache::with_memory_budget`] keeps
+//! a **byte-budgeted, sharded in-memory LRU tier** in front of the disk:
+//!
+//! * entries enter the tier when [`store`](ResultCache::store) publishes
+//!   them and when a disk load verifies them (**promotion**), so every
+//!   artifact in memory has passed the checksum gate exactly once;
+//! * a [`load`](ResultCache::load) consults memory first — a memory hit
+//!   returns the very same [`Arc<CachedArtifact>`] with **zero file I/O and
+//!   zero re-hashing**;
+//! * the tier is sharded by key (one mutex per shard) so concurrent daemon
+//!   workers do not serialize on one lock, and each shard evicts its
+//!   least-recently-used entries once its slice of the byte budget
+//!   overflows — evicted keys fall back to the (still verified) disk tier
+//!   with identical bytes;
+//! * [`quarantine`](ResultCache::load)-ing a key also evicts it from the
+//!   memory tier, so a corrupt key never survives in either tier.
+//!
+//! [`ResultCache::mem_stats`] snapshots the tier counters
+//! (`mem_hits`/`disk_hits`/`mem_evictions`/`mem_bytes`/`mem_entries`),
+//! which `sfc-serve` surfaces through its `stats` and `health` ops.
 
 use crate::spec::ExperimentSpec;
 use serde_json::{json, Value};
+use std::collections::HashMap;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Version tag of the metric kernels and artifact renderers, hashed into
 /// every cache key.
@@ -73,7 +99,174 @@ pub struct CachedArtifact {
     pub artifact_json: String,
 }
 
-/// A directory of content-addressed artifact entries.
+/// Which tier answered a [`ResultCache::load_tiered`] hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TierHit {
+    /// Served from the in-memory LRU tier: zero file I/O, zero hashing.
+    Memory,
+    /// Read and checksum-verified from disk (and promoted to memory when a
+    /// tier is configured).
+    Disk,
+}
+
+/// Snapshot of the memory-tier counters (all zero when the cache was opened
+/// without a memory tier).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemTierStats {
+    /// Loads answered from memory.
+    pub mem_hits: u64,
+    /// Loads answered from (verified) disk.
+    pub disk_hits: u64,
+    /// Entries evicted by the LRU byte budget.
+    pub mem_evictions: u64,
+    /// Payload bytes currently resident in the tier.
+    pub mem_bytes: u64,
+    /// Entries currently resident in the tier.
+    pub mem_entries: u64,
+}
+
+/// One resident artifact plus its LRU bookkeeping.
+struct MemEntry {
+    artifact: Arc<CachedArtifact>,
+    bytes: u64,
+    last_used: u64,
+}
+
+/// One lock's worth of the memory tier.
+#[derive(Default)]
+struct Shard {
+    entries: HashMap<String, MemEntry>,
+    bytes: u64,
+}
+
+/// The sharded in-memory LRU tier. Shared (via `Arc`) by every clone of a
+/// [`ResultCache`] so daemon worker threads see one coherent tier.
+struct MemTier {
+    shards: Vec<Mutex<Shard>>,
+    /// Per-shard byte budget (total budget / shard count).
+    shard_budget: u64,
+    /// Monotonic LRU clock; ticked on every touch.
+    clock: AtomicU64,
+    bytes: AtomicU64,
+    entries: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl std::fmt::Debug for MemTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemTier")
+            .field("shards", &self.shards.len())
+            .field("shard_budget", &self.shard_budget)
+            .field("bytes", &self.bytes.load(Ordering::SeqCst))
+            .finish()
+    }
+}
+
+impl MemTier {
+    fn new(budget_bytes: u64, shards: usize) -> MemTier {
+        let shards = shards.max(1);
+        MemTier {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_budget: budget_bytes / shards as u64,
+            clock: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+            entries: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Lock the shard a key lives in. Keys are sha256 hex, so the first
+    /// byte is already uniformly distributed — no extra hashing needed.
+    fn shard(&self, key: &str) -> std::sync::MutexGuard<'_, Shard> {
+        let b = key.as_bytes().first().copied().unwrap_or(0) as usize;
+        self.shards[b % self.shards.len()]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn get(&self, key: &str) -> Option<Arc<CachedArtifact>> {
+        let mut shard = self.shard(key);
+        let entry = shard.entries.get_mut(key)?;
+        entry.last_used = self.clock.fetch_add(1, Ordering::Relaxed);
+        Some(Arc::clone(&entry.artifact))
+    }
+
+    /// Insert (or refresh) `key`, evicting least-recently-used entries
+    /// until the shard fits its budget again. An artifact too large to
+    /// ever fit a shard's budget is not cached at all — evicting the
+    /// whole shard for it would only thrash.
+    fn insert(&self, key: &str, artifact: Arc<CachedArtifact>) {
+        let bytes = entry_bytes(key, &artifact);
+        if bytes > self.shard_budget {
+            return;
+        }
+        let mut shard = self.shard(key);
+        if let Some(existing) = shard.entries.get_mut(key) {
+            // Determinism guarantees byte-identity, so refreshing the LRU
+            // stamp is all a re-insert needs to do.
+            existing.last_used = self.clock.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        while shard.bytes + bytes > self.shard_budget {
+            let victim = shard
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone());
+            match victim {
+                Some(k) => {
+                    if let Some(evicted) = shard.entries.remove(&k) {
+                        shard.bytes -= evicted.bytes;
+                        self.bytes.fetch_sub(evicted.bytes, Ordering::SeqCst);
+                        self.entries.fetch_sub(1, Ordering::SeqCst);
+                        self.evictions.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+                None => break,
+            }
+        }
+        shard.bytes += bytes;
+        self.bytes.fetch_add(bytes, Ordering::SeqCst);
+        self.entries.fetch_add(1, Ordering::SeqCst);
+        shard.entries.insert(
+            key.to_string(),
+            MemEntry {
+                artifact,
+                bytes,
+                last_used: self.clock.fetch_add(1, Ordering::Relaxed),
+            },
+        );
+    }
+
+    /// Drop `key` from the tier (quarantine path). Not counted as an
+    /// eviction — evictions measure budget pressure, not corruption.
+    fn remove(&self, key: &str) {
+        let mut shard = self.shard(key);
+        if let Some(entry) = shard.entries.remove(key) {
+            shard.bytes -= entry.bytes;
+            self.bytes.fetch_sub(entry.bytes, Ordering::SeqCst);
+            self.entries.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Resident cost of one entry: the three payload streams plus the key and
+/// a small fixed overhead for the map slot and `Arc` bookkeeping.
+fn entry_bytes(key: &str, artifact: &CachedArtifact) -> u64 {
+    (artifact.stdout_plain.len()
+        + artifact.stdout_markdown.len()
+        + artifact.artifact_json.len()
+        + key.len()
+        + 64) as u64
+}
+
+/// Default shard count of the memory tier: enough to keep a daemon's
+/// worker pool from serializing on one lock, few enough that tiny budgets
+/// still hold a useful number of entries per shard.
+pub const DEFAULT_MEM_SHARDS: usize = 8;
+
+/// A directory of content-addressed artifact entries, optionally fronted
+/// by a sharded in-memory LRU tier (see the module docs).
 #[derive(Debug, Clone)]
 pub struct ResultCache {
     root: PathBuf,
@@ -81,17 +274,72 @@ pub struct ResultCache {
     /// daemon's stats see every quarantine regardless of which worker
     /// thread hit the corruption).
     quarantined: Arc<AtomicU64>,
+    /// The optional memory tier, shared across clones.
+    mem: Option<Arc<MemTier>>,
+    /// Tier hit counters (kept outside `MemTier` so `disk_hits` counts
+    /// even when no memory tier is configured).
+    mem_hits: Arc<AtomicU64>,
+    disk_hits: Arc<AtomicU64>,
 }
 
 impl ResultCache {
-    /// Open (and create, if needed) a cache rooted at `root`.
+    /// Open (and create, if needed) a cache rooted at `root`, without a
+    /// memory tier: every load reads and verifies from disk.
     pub fn new(root: impl Into<PathBuf>) -> io::Result<ResultCache> {
-        let root = root.into();
+        Self::build(root.into(), None)
+    }
+
+    /// Open a cache whose loads are fronted by an in-memory LRU tier
+    /// bounded to `budget_bytes` payload bytes (sharded
+    /// [`DEFAULT_MEM_SHARDS`] ways). A budget of 0 disables the tier.
+    pub fn with_memory_budget(
+        root: impl Into<PathBuf>,
+        budget_bytes: u64,
+    ) -> io::Result<ResultCache> {
+        Self::with_memory_tier(root, budget_bytes, DEFAULT_MEM_SHARDS)
+    }
+
+    /// [`ResultCache::with_memory_budget`] with an explicit shard count
+    /// (tests pin it to 1 for deterministic LRU order; servers tune it to
+    /// their worker count).
+    pub fn with_memory_tier(
+        root: impl Into<PathBuf>,
+        budget_bytes: u64,
+        shards: usize,
+    ) -> io::Result<ResultCache> {
+        let tier = (budget_bytes > 0).then(|| Arc::new(MemTier::new(budget_bytes, shards)));
+        Self::build(root.into(), tier)
+    }
+
+    fn build(root: PathBuf, mem: Option<Arc<MemTier>>) -> io::Result<ResultCache> {
         fs::create_dir_all(&root)?;
         Ok(ResultCache {
             root,
             quarantined: Arc::new(AtomicU64::new(0)),
+            mem,
+            mem_hits: Arc::new(AtomicU64::new(0)),
+            disk_hits: Arc::new(AtomicU64::new(0)),
         })
+    }
+
+    /// Snapshot the tier counters.
+    pub fn mem_stats(&self) -> MemTierStats {
+        MemTierStats {
+            mem_hits: self.mem_hits.load(Ordering::SeqCst),
+            disk_hits: self.disk_hits.load(Ordering::SeqCst),
+            mem_evictions: self
+                .mem
+                .as_ref()
+                .map_or(0, |m| m.evictions.load(Ordering::SeqCst)),
+            mem_bytes: self
+                .mem
+                .as_ref()
+                .map_or(0, |m| m.bytes.load(Ordering::SeqCst)),
+            mem_entries: self
+                .mem
+                .as_ref()
+                .map_or(0, |m| m.entries.load(Ordering::SeqCst)),
+        }
     }
 
     /// The cache's root directory.
@@ -119,14 +367,42 @@ impl ResultCache {
     /// miss, so the next [`store`](ResultCache::store) can publish a clean
     /// replacement instead of being shadowed forever.
     pub fn load(&self, spec: &ExperimentSpec) -> Option<CachedArtifact> {
+        self.load_tiered(spec).map(|(a, _)| (*a).clone())
+    }
+
+    /// [`ResultCache::load`] without the final clone: the artifact arrives
+    /// behind an `Arc`, which on a memory hit is the very allocation the
+    /// tier holds.
+    pub fn load_arc(&self, spec: &ExperimentSpec) -> Option<Arc<CachedArtifact>> {
+        self.load_tiered(spec).map(|(a, _)| a)
+    }
+
+    /// Load with tier provenance: memory first (zero file I/O, zero
+    /// hashing), then verified disk, promoting a disk hit into the memory
+    /// tier so its next load is a memory hit.
+    pub fn load_tiered(&self, spec: &ExperimentSpec) -> Option<(Arc<CachedArtifact>, TierHit)> {
+        let key = Self::key(spec);
+        if let Some(mem) = &self.mem {
+            if let Some(artifact) = mem.get(&key) {
+                self.mem_hits.fetch_add(1, Ordering::SeqCst);
+                return Some((artifact, TierHit::Memory));
+            }
+        }
         let dir = self.entry_dir(spec);
         if !dir.exists() {
             return None;
         }
         match self.load_entry(&dir, spec) {
-            Ok(artifact) => Some(artifact),
+            Ok(artifact) => {
+                self.disk_hits.fetch_add(1, Ordering::SeqCst);
+                let artifact = Arc::new(artifact);
+                if let Some(mem) = &self.mem {
+                    mem.insert(&key, Arc::clone(&artifact));
+                }
+                Some((artifact, TierHit::Disk))
+            }
             Err(reason) => {
-                self.quarantine(&dir, &Self::key(spec), &reason);
+                self.quarantine(&dir, &key, &reason);
                 None
             }
         }
@@ -181,7 +457,12 @@ impl ResultCache {
     /// `<root>/.quarantine/<key>-<n>/` (first free `n`). Best-effort: a
     /// concurrent quarantine of the same entry may win the rename, which is
     /// fine — the goal is only that the entry no longer shadows stores.
+    /// The key is also evicted from the memory tier, so a quarantined key
+    /// is gone from *both* tiers at once.
     fn quarantine(&self, dir: &Path, key: &str, reason: &str) {
+        if let Some(mem) = &self.mem {
+            mem.remove(key);
+        }
         let qroot = self.root.join(".quarantine");
         if let Err(e) = fs::create_dir_all(&qroot) {
             eprintln!("# cache: cannot create quarantine dir: {e}");
@@ -265,7 +546,15 @@ impl ResultCache {
         fs::write(tmp.join("stdout.md"), &artifact.stdout_markdown)?;
         fs::write(tmp.join("artifact.json"), &artifact.artifact_json)?;
         match fs::rename(&tmp, &dir) {
-            Ok(()) => Ok(()),
+            Ok(()) => {
+                // Only the writer that actually published seeds the memory
+                // tier: a store that yielded to an existing entry must not
+                // let its (unverified-against-disk) bytes shadow it.
+                if let Some(mem) = &self.mem {
+                    mem.insert(&key, Arc::new(artifact.clone()));
+                }
+                Ok(())
+            }
             Err(e) => {
                 // Lost a publish race (or the target appeared concurrently):
                 // the existing entry is byte-identical, keep it.
@@ -455,6 +744,149 @@ mod tests {
             Some(first),
             "an existing entry must never be overwritten"
         );
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn memory_tier_serves_repeats_with_zero_file_io() {
+        let root = temp_root("mem-hit");
+        let cache = ResultCache::with_memory_budget(&root, 1 << 20).unwrap();
+        let spec = ExperimentSpec::table1(5, 1, 7);
+        let artifact = sample_artifact();
+        cache.store(&spec, &artifact).unwrap();
+
+        // The store seeded the tier; deleting the disk entry proves the
+        // following hits touch no file at all.
+        fs::remove_dir_all(cache.entry_dir(&spec)).unwrap();
+        let (hit, tier) = cache.load_tiered(&spec).unwrap();
+        assert_eq!(tier, TierHit::Memory);
+        assert_eq!(*hit, artifact);
+        assert_eq!(cache.load(&spec), Some(artifact));
+
+        let stats = cache.mem_stats();
+        assert_eq!(stats.mem_hits, 2);
+        assert_eq!(stats.disk_hits, 0);
+        assert_eq!(stats.mem_entries, 1);
+        assert!(stats.mem_bytes > 0);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn disk_hit_promotes_into_the_memory_tier() {
+        let root = temp_root("promote");
+        let spec = ExperimentSpec::table1(5, 1, 7);
+        let artifact = sample_artifact();
+        // Written by a handle with no tier (a CLI run, say)...
+        ResultCache::new(&root).unwrap().store(&spec, &artifact).unwrap();
+
+        // ...then read through a tiered handle: first load verifies from
+        // disk and promotes, the second is pure memory. All three paths —
+        // the freshly stored artifact, the disk hit, and the memory hit —
+        // are byte-identical.
+        let cache = ResultCache::with_memory_budget(&root, 1 << 20).unwrap();
+        let (from_disk, t1) = cache.load_tiered(&spec).unwrap();
+        let (from_mem, t2) = cache.load_tiered(&spec).unwrap();
+        assert_eq!(t1, TierHit::Disk);
+        assert_eq!(t2, TierHit::Memory);
+        assert_eq!(*from_disk, artifact);
+        assert_eq!(*from_mem, artifact);
+
+        let stats = cache.mem_stats();
+        assert_eq!((stats.disk_hits, stats.mem_hits, stats.mem_entries), (1, 1, 1));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn lru_eviction_respects_the_byte_budget_and_falls_back_to_disk() {
+        let root = temp_root("evict");
+        // One shard for a deterministic LRU order; the budget holds about
+        // two sample entries.
+        let budget = 2 * entry_bytes("k".repeat(64).as_str(), &sample_artifact()) + 16;
+        let cache = ResultCache::with_memory_tier(&root, budget, 1).unwrap();
+        let specs: Vec<ExperimentSpec> =
+            (0..4).map(|s| ExperimentSpec::table1(5, 1, 100 + s)).collect();
+        for spec in &specs {
+            cache.store(spec, &sample_artifact()).unwrap();
+        }
+        let stats = cache.mem_stats();
+        assert!(stats.mem_evictions >= 2, "evictions: {}", stats.mem_evictions);
+        assert!(stats.mem_bytes <= budget, "{} > {budget}", stats.mem_bytes);
+        assert_eq!(stats.mem_entries, 2);
+
+        // The oldest key was evicted from memory but still hits the disk
+        // tier with identical bytes — and is promoted back in.
+        let (hit, tier) = cache.load_tiered(&specs[0]).unwrap();
+        assert_eq!(tier, TierHit::Disk);
+        assert_eq!(*hit, sample_artifact());
+        let (_, tier) = cache.load_tiered(&specs[0]).unwrap();
+        assert_eq!(tier, TierHit::Memory);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn oversized_artifact_skips_the_memory_tier() {
+        let root = temp_root("oversize");
+        let cache = ResultCache::with_memory_tier(&root, 32, 1).unwrap();
+        let spec = ExperimentSpec::table1(5, 1, 7);
+        cache.store(&spec, &sample_artifact()).unwrap();
+        assert_eq!(cache.mem_stats().mem_entries, 0);
+        assert_eq!(cache.mem_stats().mem_evictions, 0, "no thrash for a lost cause");
+        // Still served, from disk, byte-identically.
+        let (hit, tier) = cache.load_tiered(&spec).unwrap();
+        assert_eq!(tier, TierHit::Disk);
+        assert_eq!(*hit, sample_artifact());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn quarantine_evicts_the_key_from_the_memory_tier_too() {
+        let root = temp_root("mem-quarantine");
+        let cache = ResultCache::with_memory_budget(&root, 1 << 20).unwrap();
+        let spec = ExperimentSpec::table1(5, 1, 7);
+        cache.store(&spec, &sample_artifact()).unwrap();
+        assert_eq!(cache.mem_stats().mem_entries, 1);
+
+        // Corrupt the disk entry and force the quarantine path (in normal
+        // operation a memory hit would shadow the corruption until the key
+        // is evicted; the invariant is that *whenever* quarantine fires,
+        // the key leaves both tiers).
+        let dir = cache.entry_dir(&spec);
+        fs::write(dir.join("artifact.json"), "{trunc").unwrap();
+        cache.quarantine(&dir, &ResultCache::key(&spec), "test corruption");
+
+        assert_eq!(cache.quarantined(), 1);
+        assert_eq!(cache.mem_stats().mem_entries, 0, "key must leave the memory tier");
+        assert_eq!(cache.load(&spec), None, "no tier may still answer the key");
+
+        // And the repaired key serves from both tiers again.
+        cache.store(&spec, &sample_artifact()).unwrap();
+        assert_eq!(cache.load(&spec), Some(sample_artifact()));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn clones_share_one_memory_tier() {
+        let root = temp_root("mem-clone");
+        let cache = ResultCache::with_memory_budget(&root, 1 << 20).unwrap();
+        let clone = cache.clone();
+        clone.store(&ExperimentSpec::table1(5, 1, 7), &sample_artifact()).unwrap();
+        let (_, tier) = cache.load_tiered(&ExperimentSpec::table1(5, 1, 7)).unwrap();
+        assert_eq!(tier, TierHit::Memory, "clone's store must seed the shared tier");
+        assert_eq!(cache.mem_stats().mem_hits, 1);
+        assert_eq!(clone.mem_stats().mem_hits, 1, "counters are shared too");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn zero_budget_disables_the_tier() {
+        let root = temp_root("mem-zero");
+        let cache = ResultCache::with_memory_budget(&root, 0).unwrap();
+        let spec = ExperimentSpec::table1(5, 1, 7);
+        cache.store(&spec, &sample_artifact()).unwrap();
+        let (_, tier) = cache.load_tiered(&spec).unwrap();
+        assert_eq!(tier, TierHit::Disk);
+        let stats = cache.mem_stats();
+        assert_eq!((stats.mem_hits, stats.disk_hits, stats.mem_bytes), (0, 1, 0));
         let _ = fs::remove_dir_all(&root);
     }
 

@@ -72,7 +72,7 @@ pub mod timing;
 
 pub use anns::{anns_radius, StretchResult};
 pub use assignment::Assignment;
-pub use cache::{CachedArtifact, ResultCache, KERNEL_VERSION};
+pub use cache::{CachedArtifact, MemTierStats, ResultCache, TierHit, KERNEL_VERSION};
 pub use error::SfcError;
 pub use experiment::{AcdExperiment, AcdMeasurement};
 pub use machine::Machine;
@@ -80,4 +80,4 @@ pub use oracle::DistanceOracle;
 pub use runner::{BatchCell, CellResult, ChaosInjector, RunnerOptions, SweepRunner, SweepSummary};
 pub use spec::{ArtifactKind, ExperimentSpec};
 pub use stats::Stats;
-pub use timing::CellTiming;
+pub use timing::{CellTiming, LatencyHistogram};

@@ -77,6 +77,81 @@ pub fn phase<T>(name: &str, f: impl FnOnce() -> T) -> T {
     out
 }
 
+/// A fixed-bucket latency histogram with power-of-two microsecond buckets.
+///
+/// Bucket `i` counts observations in `[2^i, 2^(i+1))` µs (bucket 0 also
+/// absorbs sub-microsecond observations, the last bucket absorbs everything
+/// above its lower bound). The layout is fixed so two histograms — or the
+/// same histogram across daemon restarts — are always mergeable and
+/// comparable without bucket-boundary negotiation; `sfc-serve` reports one
+/// per request kind in its `stats` op.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: [u64; Self::BUCKETS],
+    total: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            counts: [0; Self::BUCKETS],
+            total: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Number of buckets: `2^31` µs is ~36 minutes, far beyond any request
+    /// this daemon answers, so the top bucket is a pure overflow guard.
+    pub const BUCKETS: usize = 32;
+
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one observation of `micros` µs.
+    pub fn record_micros(&mut self, micros: u64) {
+        let idx = (63 - micros.max(1).leading_zeros() as usize).min(Self::BUCKETS - 1);
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Record one observed duration.
+    pub fn record(&mut self, elapsed: std::time::Duration) {
+        self.record_micros(elapsed.as_micros().try_into().unwrap_or(u64::MAX));
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The non-empty buckets as `(exclusive upper bound in µs, count)`
+    /// pairs, in ascending bound order. The top bucket's bound is reported
+    /// as `u64::MAX` since it absorbs every overflow.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let bound = if i + 1 >= 64 || i == Self::BUCKETS - 1 {
+                    u64::MAX
+                } else {
+                    1u64 << (i + 1)
+                };
+                (bound, c)
+            })
+            .collect()
+    }
+}
+
 /// Begin recording phases on this thread (runner-internal; called before
 /// each cell attempt). Any previous recording on the thread is discarded.
 pub(crate) fn start_recording() {
@@ -124,6 +199,30 @@ mod tests {
         let phases = take_recording();
         assert_eq!(phases.len(), 1);
         assert_eq!(phases[0].0, "fresh");
+    }
+
+    #[test]
+    fn histogram_buckets_are_powers_of_two_micros() {
+        let mut h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        h.record_micros(0); // sub-µs lands in bucket 0 ([1, 2))
+        h.record_micros(1);
+        h.record_micros(3); // [2, 4)
+        h.record_micros(4); // [4, 8)
+        h.record_micros(7);
+        h.record_micros(u64::MAX); // overflow guard bucket
+        assert_eq!(h.count(), 6);
+        assert_eq!(
+            h.nonzero_buckets(),
+            vec![(2, 2), (4, 1), (8, 2), (u64::MAX, 1)]
+        );
+    }
+
+    #[test]
+    fn histogram_records_durations() {
+        let mut h = LatencyHistogram::new();
+        h.record(std::time::Duration::from_micros(100)); // [64, 128)
+        assert_eq!(h.nonzero_buckets(), vec![(128, 1)]);
     }
 
     #[test]

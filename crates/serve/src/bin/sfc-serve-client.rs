@@ -16,8 +16,10 @@
 //! With `--retries N`, failures whose `error_kind` is retryable per
 //! `sfc_bench::harness::error_kind::is_retryable` (`overloaded`,
 //! `compute_panic`, `transport`) are retried on a fresh connection with
-//! exponential backoff and decorrelated jitter. Non-retryable failures
-//! (`bad_request`, `deadline_exceeded`, `draining`) are printed as-is.
+//! exponential backoff and decorrelated jitter; when the daemon's refusal
+//! carries a `retry_after_ms` hint the client sleeps the *larger* of the
+//! hint and its own jitter. Non-retryable failures (`bad_request`,
+//! `deadline_exceeded`, `draining`) are printed as-is.
 //!
 //! Exactly one line is printed per request: the daemon's final response, or
 //! a synthesized `{"ok":false,"error_kind":"transport",...}` object when
@@ -180,15 +182,32 @@ impl Backoff {
     }
 }
 
-/// The `error_kind` of an `ok: false` response line, if any.
-fn response_error_kind(line: &str) -> Option<String> {
+/// The `error_kind` of an `ok: false` response line plus the daemon's
+/// `retry_after_ms` hint when it sent one (`overloaded` refusals do).
+fn response_failure(line: &str) -> Option<(String, Option<u64>)> {
     let doc: Value = serde_json::from_str(line).ok()?;
     if doc.get("ok") == Some(&Value::Bool(false)) {
-        doc.get("error_kind")
+        let kind = doc
+            .get("error_kind")
             .and_then(Value::as_str)
-            .map(str::to_string)
+            .map(str::to_string)?;
+        let hint = doc.get("retry_after_ms").and_then(Value::as_u64);
+        Some((kind, hint))
     } else {
         None
+    }
+}
+
+/// The delay before the next attempt: the larger of the daemon's
+/// `retry_after_ms` hint and our own decorrelated jitter. The hint is the
+/// daemon saying "don't come back sooner than this"; the jitter keeps
+/// concurrent clients from stampeding back in lockstep the instant the
+/// hint expires — ignoring either reintroduces the problem the other
+/// solves.
+fn retry_delay(hint_ms: Option<u64>, jitter: Duration) -> Duration {
+    match hint_ms {
+        Some(ms) => jitter.max(Duration::from_millis(ms)),
+        None => jitter,
     }
 }
 
@@ -220,9 +239,10 @@ fn run_request(
 ) -> (String, bool) {
     let attempts = 1 + flags.retries;
     let mut last_transport_reason = String::new();
+    let mut retry_hint_ms: Option<u64> = None;
     for attempt in 1..=attempts {
         if attempt > 1 {
-            let delay = backoff.next_delay();
+            let delay = retry_delay(retry_hint_ms.take(), backoff.next_delay());
             eprintln!(
                 "# client: attempt {attempt}/{attempts} after {}ms backoff",
                 delay.as_millis()
@@ -241,9 +261,15 @@ fn run_request(
         }
         let c = conn.as_mut().expect("connection just ensured");
         match c.exchange(request) {
-            Ok(line) => match response_error_kind(&line) {
-                Some(kind) if error_kind::is_retryable(&kind) && attempt < attempts => {
-                    eprintln!("# client: daemon answered `{kind}`; retrying");
+            Ok(line) => match response_failure(&line) {
+                Some((kind, hint)) if error_kind::is_retryable(&kind) && attempt < attempts => {
+                    match hint {
+                        Some(ms) => eprintln!(
+                            "# client: daemon answered `{kind}` (retry_after_ms {ms}); retrying"
+                        ),
+                        None => eprintln!("# client: daemon answered `{kind}`; retrying"),
+                    }
+                    retry_hint_ms = hint;
                 }
                 _ => return (line, true),
             },
@@ -287,5 +313,47 @@ fn main() {
     if transport_failures > 0 {
         eprintln!("error: {transport_failures} request(s) got no daemon response");
         std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_delay_takes_the_daemon_hint_when_it_exceeds_the_jitter() {
+        let jitter = Duration::from_millis(40);
+        assert_eq!(
+            retry_delay(Some(500), jitter),
+            Duration::from_millis(500),
+            "a hint above the jitter wins"
+        );
+    }
+
+    #[test]
+    fn retry_delay_keeps_the_jitter_when_the_hint_is_smaller_or_absent() {
+        let jitter = Duration::from_millis(700);
+        assert_eq!(
+            retry_delay(Some(250), jitter),
+            jitter,
+            "a short hint never shrinks the jitter (that would stampede)"
+        );
+        assert_eq!(retry_delay(None, jitter), jitter);
+    }
+
+    #[test]
+    fn response_failure_extracts_kind_and_retry_hint() {
+        let line = r#"{"id":1,"ok":false,"error_kind":"overloaded","retry_after_ms":250}"#;
+        assert_eq!(
+            response_failure(line),
+            Some(("overloaded".to_string(), Some(250)))
+        );
+        let no_hint = r#"{"id":2,"ok":false,"error_kind":"compute_panic"}"#;
+        assert_eq!(
+            response_failure(no_hint),
+            Some(("compute_panic".to_string(), None))
+        );
+        assert_eq!(response_failure(r#"{"id":3,"ok":true}"#), None);
+        assert_eq!(response_failure("not json"), None);
     }
 }

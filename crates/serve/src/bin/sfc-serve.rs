@@ -3,9 +3,14 @@
 //!
 //! Two transports share one [`Server`] core:
 //!
-//! * `--socket PATH` — listen on a unix socket; one thread per connection,
-//!   so identical requests from different clients dedup into a single
-//!   computation.
+//! * `--socket PATH` — listen on a unix socket. Connections are served by
+//!   a **fixed pool of `--workers` threads** (default: all cores) fed from
+//!   a bounded accept queue; when every worker is busy and the queue is
+//!   full, the overflow connection gets one typed `overloaded` +
+//!   `retry_after_ms` line instead of unbounded thread growth. The accept
+//!   loop blocks in `poll(2)` with a short timeout — a hot cache hit is no
+//!   longer floor-bounded by an accept-loop sleep, while SIGTERM and
+//!   `shutdown` are still noticed promptly.
 //! * `--pipe` — JSON-lines over stdin/stdout (CI and scripting). Each
 //!   request is handled on its own thread and responses are written as they
 //!   complete, so two identical requests sent back-to-back exercise the
@@ -32,10 +37,12 @@
 //!   exercised.
 
 use serde_json::to_string;
-use sfc_serve::{drain_refusal_line, Server, ServerOptions};
+use sfc_serve::{drain_refusal_line, LogLimiter, Server, ServerOptions};
 use std::io::{BufRead, BufReader, Write};
+use std::os::unix::io::AsRawFd;
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -72,10 +79,50 @@ mod signals {
     }
 }
 
+/// Minimal `poll(2)` binding for the accept loop. Declared here (like
+/// `signal(2)` above) to avoid a libc dependency; the daemon is unix-only
+/// already by virtue of `UnixListener`.
+mod readiness {
+    use std::time::Duration;
+
+    #[repr(C)]
+    struct PollFd {
+        fd: i32,
+        events: i16,
+        revents: i16,
+    }
+
+    const POLLIN: i16 = 0x001;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+    }
+
+    /// Block until `fd` is readable or `timeout` elapses. Returns whether
+    /// the descriptor is (probably) readable; a signal interruption or
+    /// poll error reports "not readable" so the caller re-checks its latch
+    /// and comes back around.
+    pub fn wait_readable(fd: i32, timeout: Duration) -> bool {
+        let mut pfd = PollFd {
+            fd,
+            events: POLLIN,
+            revents: 0,
+        };
+        let timeout_ms = i32::try_from(timeout.as_millis()).unwrap_or(i32::MAX);
+        let n = unsafe { poll(&mut pfd, 1, timeout_ms) };
+        n > 0 && (pfd.revents & POLLIN) != 0
+    }
+}
+
+/// Default byte budget of the in-memory cache tier, in MiB.
+const DEFAULT_CACHE_MEM_MB: u64 = 64;
+
 struct Flags {
     cache: String,
     socket: Option<String>,
     pipe: bool,
+    workers: usize,
+    cache_mem_mb: u64,
     chaos_compute_ms: u64,
     chaos_panic: Option<u64>,
     chaos_disconnect: Option<u64>,
@@ -83,12 +130,19 @@ struct Flags {
     max_inflight: Option<usize>,
 }
 
+fn default_workers() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
 fn usage() -> String {
     "usage: sfc-serve [--cache DIR] (--pipe | --socket PATH) [options]\n\
      \n\
      --cache DIR            content-addressed result cache directory (default: cache)\n\
+     --cache-mem-mb N       in-memory cache tier byte budget in MiB (default 64; 0 disables)\n\
      --pipe                 serve JSON-lines requests on stdin/stdout\n\
      --socket PATH          listen on a unix socket at PATH\n\
+     --workers N            connection worker threads, socket mode (default: all cores);\n\
+                            overflow past the bounded accept queue answers `overloaded`\n\
      --deadline-ms N        bound each request to N ms (expiry: error_kind deadline_exceeded)\n\
      --max-inflight N       refuse work beyond N concurrent computations (error_kind overloaded)\n\
      --chaos-compute-ms N   sleep N ms before each computation (test hook)\n\
@@ -102,6 +156,8 @@ fn parse_flags() -> Result<Flags, String> {
         cache: "cache".to_string(),
         socket: None,
         pipe: false,
+        workers: default_workers(),
+        cache_mem_mb: DEFAULT_CACHE_MEM_MB,
         chaos_compute_ms: 0,
         chaos_panic: None,
         chaos_disconnect: None,
@@ -123,6 +179,14 @@ fn parse_flags() -> Result<Flags, String> {
                 flags.socket = Some(it.next().ok_or("--socket needs a path")?);
             }
             "--pipe" => flags.pipe = true,
+            "--workers" => {
+                let n = num("--workers")? as usize;
+                if n == 0 {
+                    return Err("--workers must be at least 1".to_string());
+                }
+                flags.workers = n;
+            }
+            "--cache-mem-mb" => flags.cache_mem_mb = num("--cache-mem-mb")?,
             "--chaos-compute-ms" => flags.chaos_compute_ms = num("--chaos-compute-ms")?,
             "--chaos-panic" => flags.chaos_panic = Some(num("--chaos-panic")?),
             "--chaos-disconnect" => flags.chaos_disconnect = Some(num("--chaos-disconnect")?),
@@ -223,10 +287,31 @@ fn serve_pipe(server: Arc<Server>) {
     eprintln!("# sfc-serve: final stats {}", server.stats_line());
 }
 
-/// Socket mode: non-blocking accept loop (so SIGTERM and `shutdown` are
-/// noticed promptly), one thread per connection. Drain answers what was
-/// accepted, refuses the rest, removes the socket file, and exits 0.
-fn serve_socket(server: Arc<Server>, path: &str, chaos_disconnect: Option<u64>, bound: Duration) {
+/// How long the accept loop blocks in `poll(2)` before re-checking the
+/// SIGTERM latch and drain flag. A waiting connection wakes the loop
+/// immediately — this is only the signal-latency bound, not a hit-latency
+/// floor.
+const ACCEPT_POLL: Duration = Duration::from_millis(50);
+
+/// One log line per distinct accept-error kind per this window; the rest
+/// are counted and summarized (a persistent error like EMFILE used to
+/// write ~100 identical lines a second).
+const ACCEPT_LOG_WINDOW: Duration = Duration::from_secs(5);
+
+/// Socket mode: a poll-based accept loop (so SIGTERM and `shutdown` are
+/// noticed promptly without a sleep floor on hot accepts) feeding a
+/// bounded queue of connections served by a fixed pool of `workers`
+/// threads. Queue overflow answers one typed `overloaded` line with a
+/// `retry_after_ms` hint, exactly like `--max-inflight`. Drain answers
+/// what was accepted, refuses the rest, removes the socket file, and
+/// exits 0.
+fn serve_socket(
+    server: Arc<Server>,
+    path: &str,
+    workers: usize,
+    chaos_disconnect: Option<u64>,
+    bound: Duration,
+) {
     signals::install();
     // A previous daemon's socket file would make bind fail; the unix
     // convention is to remove it first (a live daemon still holds the
@@ -243,29 +328,86 @@ fn serve_socket(server: Arc<Server>, path: &str, chaos_disconnect: Option<u64>, 
         eprintln!("error: cannot make `{path}` non-blocking: {e}");
         std::process::exit(2);
     }
-    eprintln!("# sfc-serve: listening on {path}");
+    eprintln!("# sfc-serve: listening on {path} ({workers} worker(s))");
     let responses_written = Arc::new(AtomicU64::new(0));
+
+    // The fixed worker pool: a bounded queue of accepted connections, one
+    // slot of headroom per worker. Workers pull connections and serve them
+    // to completion; the pool size — not the connection count — bounds the
+    // daemon's thread count.
+    let (queue, receiver) = sync_channel::<UnixStream>(workers * 2);
+    let receiver: Arc<Mutex<Receiver<UnixStream>>> = Arc::new(Mutex::new(receiver));
+    for _ in 0..workers {
+        let server = Arc::clone(&server);
+        let receiver = Arc::clone(&receiver);
+        let counter = Arc::clone(&responses_written);
+        std::thread::spawn(move || loop {
+            // Hold the lock only for the recv itself: the next idle worker
+            // can pull a connection while this one is still serving.
+            let next = {
+                let guard = receiver
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                guard.recv()
+            };
+            match next {
+                Ok(stream) => {
+                    serve_connection(
+                        Arc::clone(&server),
+                        stream,
+                        chaos_disconnect,
+                        Arc::clone(&counter),
+                    );
+                }
+                Err(_) => return, // queue closed: daemon is exiting
+            }
+        });
+    }
+
+    let mut limiter = LogLimiter::new(ACCEPT_LOG_WINDOW);
+    let fd = listener.as_raw_fd();
     loop {
         if signals::term_requested() || server.draining() {
             break;
         }
+        if !readiness::wait_readable(fd, ACCEPT_POLL) {
+            continue;
+        }
         match listener.accept() {
-            Ok((stream, _addr)) => {
-                let server = Arc::clone(&server);
-                let counter = Arc::clone(&responses_written);
-                std::thread::spawn(move || {
-                    serve_connection(server, stream, chaos_disconnect, counter)
-                });
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(10));
-            }
+            Ok((stream, _addr)) => match queue.try_send(stream) {
+                Ok(()) => {}
+                Err(TrySendError::Full(mut rejected)) => {
+                    // Every worker is busy and the queue is full: refuse
+                    // typed instead of queueing unboundedly, mirroring
+                    // `--max-inflight`.
+                    let _ = writeln!(rejected, "{}", server.overloaded_refusal_line());
+                    let _ = rejected.flush();
+                }
+                Err(TrySendError::Disconnected(_)) => break,
+            },
+            // Raced another wakeup (or poll was spurious): just go around.
+            Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
             Err(e) => {
-                eprintln!("# sfc-serve: accept failed: {e}");
+                if let Some(suppressed) = limiter.should_log(&format!("{:?}", e.kind()), Instant::now()) {
+                    if suppressed > 0 {
+                        eprintln!(
+                            "# sfc-serve: accept failed: {e} ({suppressed} similar suppressed in the last {}s)",
+                            ACCEPT_LOG_WINDOW.as_secs()
+                        );
+                    } else {
+                        eprintln!("# sfc-serve: accept failed: {e}");
+                    }
+                }
+                // Persistent errors (EMFILE and friends) must not spin the
+                // loop; transient ones barely notice the pause.
                 std::thread::sleep(Duration::from_millis(10));
             }
         }
     }
+    // Close the queue: idle workers exit; busy ones finish their current
+    // connection (whose remaining requests the draining server answers
+    // with typed refusals).
+    drop(queue);
     // Drain: answer accepted work while refusing late connections with one
     // typed line each, then clean up the socket and exit 0.
     server.begin_drain();
@@ -350,6 +492,7 @@ fn main() {
         chaos_panic: flags.chaos_panic,
         deadline: flags.deadline_ms.map(Duration::from_millis),
         max_inflight: flags.max_inflight,
+        cache_mem_bytes: flags.cache_mem_mb.saturating_mul(1024 * 1024),
     };
     let server = match Server::new(&flags.cache, opts) {
         Ok(s) => Arc::new(s),
@@ -362,6 +505,6 @@ fn main() {
     if flags.pipe {
         serve_pipe(server);
     } else if let Some(path) = &flags.socket {
-        serve_socket(server, path, flags.chaos_disconnect, bound);
+        serve_socket(server, path, flags.workers, flags.chaos_disconnect, bound);
     }
 }

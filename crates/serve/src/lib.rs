@@ -63,7 +63,9 @@ use sfc_bench::artifact::{compute, ComputeOpts};
 use sfc_bench::harness::error_kind;
 use sfc_bench::SweepArgs;
 use sfc_core::runner::{SweepRunner, SweepSummary};
-use sfc_core::{ArtifactKind, CachedArtifact, ExperimentSpec, ResultCache, SfcError};
+use sfc_core::{
+    ArtifactKind, CachedArtifact, ExperimentSpec, LatencyHistogram, ResultCache, SfcError, TierHit,
+};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -307,9 +309,25 @@ struct Stats {
     /// Accumulated kernel-phase milliseconds of every cell this daemon
     /// computed, in first-use order.
     phase_ms: Vec<(String, f64)>,
+    /// Per-op latency histograms (power-of-two µs buckets), in first-use
+    /// order: `run_mem_hit` / `run_disk_hit` / `run_compute` / `run_dedup`
+    /// / `run_refused` plus `stats` / `health` / `shutdown` /
+    /// `bad_request`.
+    op_latency: Vec<(String, LatencyHistogram)>,
 }
 
 impl Stats {
+    fn record_latency(&mut self, op: &str, elapsed: Duration) {
+        match self.op_latency.iter_mut().find(|(n, _)| n == op) {
+            Some((_, hist)) => hist.record(elapsed),
+            None => {
+                let mut hist = LatencyHistogram::new();
+                hist.record(elapsed);
+                self.op_latency.push((op.to_string(), hist));
+            }
+        }
+    }
+
     fn absorb_phases(&mut self, summary: &SweepSummary) {
         for (_cell, timing) in &summary.timings {
             for (name, ms) in &timing.phases {
@@ -341,6 +359,10 @@ pub struct ServerOptions {
     /// and a `retry_after_ms` hint. Duplicates of an in-flight computation
     /// always dedup into it (they add no work).
     pub max_inflight: Option<usize>,
+    /// Byte budget of the in-memory cache tier (`--cache-mem-mb`, in
+    /// bytes). 0 disables the tier: every hit re-reads and re-verifies
+    /// from disk.
+    pub cache_mem_bytes: u64,
 }
 
 /// An RAII token counting one request currently being handled (including
@@ -376,9 +398,11 @@ pub struct Server {
 
 impl Server {
     /// Open (or create) the cache directory and build a server around it.
+    /// With a non-zero [`ServerOptions::cache_mem_bytes`] the cache gets
+    /// an in-memory LRU tier in front of the disk entries.
     pub fn new(cache_dir: &str, opts: ServerOptions) -> std::io::Result<Server> {
         Ok(Server {
-            cache: ResultCache::new(cache_dir)?,
+            cache: ResultCache::with_memory_budget(cache_dir, opts.cache_mem_bytes)?,
             inflight: Mutex::new(HashMap::new()),
             stats: Mutex::new(Stats::default()),
             opts,
@@ -426,50 +450,80 @@ impl Server {
 
     /// Handle one request line, returning the response line to write back.
     /// Never panics on malformed input — errors become `ok: false`
-    /// responses with a typed `error_kind`.
+    /// responses with a typed `error_kind`. Every line's wall time lands
+    /// in the per-op latency histograms the `stats` op reports.
     pub fn handle_line(&self, line: &str) -> Response {
+        let started = Instant::now();
         lock_recover(&self.stats).requests += 1;
+        let (resp, op) = self.dispatch(line);
+        lock_recover(&self.stats).record_latency(op, started.elapsed());
+        resp
+    }
+
+    /// Parse and answer one line, naming the latency-histogram label its
+    /// wall time belongs to.
+    fn dispatch(&self, line: &str) -> (Response, &'static str) {
         let (id, req) = match Request::parse(line) {
             Ok(parsed) => parsed,
-            Err(e) => return typed_error(Value::Null, error_kind::BAD_REQUEST, &e, None),
+            Err(e) => {
+                return (
+                    typed_error(Value::Null, error_kind::BAD_REQUEST, &e, None),
+                    "bad_request",
+                )
+            }
         };
         match req {
             Request::Run { spec, format } => self.run(id, &spec, format),
-            Request::Stats => self.report_stats(id),
-            Request::Health => self.report_health(id),
+            Request::Stats => (self.report_stats(id), "stats"),
+            Request::Health => (self.report_health(id), "health"),
             Request::Shutdown => {
                 self.begin_drain();
                 let mut doc = Map::new();
                 doc.insert("id", id);
                 doc.insert("ok", Value::Bool(true));
                 doc.insert("shutting_down", Value::Bool(true));
-                Response {
-                    doc: Value::Object(doc),
-                    shutdown: true,
-                }
+                (
+                    Response {
+                        doc: Value::Object(doc),
+                        shutdown: true,
+                    },
+                    "shutdown",
+                )
             }
         }
     }
 
-    /// Answer a `run` request: cache hit, dedup into an in-flight
-    /// computation, or compute (and populate the cache) ourselves.
-    fn run(&self, id: Value, spec: &ExperimentSpec, format: Format) -> Response {
+    /// Answer a `run` request: memory-tier hit, verified disk hit, dedup
+    /// into an in-flight computation, or compute (and populate both cache
+    /// tiers) ourselves. The second tuple element is the latency label of
+    /// the path taken.
+    fn run(&self, id: Value, spec: &ExperimentSpec, format: Format) -> (Response, &'static str) {
         lock_recover(&self.stats).runs += 1;
         if self.draining() {
             lock_recover(&self.stats).drain_refused += 1;
-            return typed_error(
-                id,
-                error_kind::DRAINING,
-                "daemon is draining; not accepting new work",
-                None,
+            return (
+                typed_error(
+                    id,
+                    error_kind::DRAINING,
+                    "daemon is draining; not accepting new work",
+                    None,
+                ),
+                "run_refused",
             );
         }
         let deadline = self.opts.deadline.map(|d| Instant::now() + d);
         let key = ResultCache::key(spec);
 
-        if let Some(hit) = self.cache.load(spec) {
+        if let Some((hit, tier)) = self.cache.load_tiered(spec) {
             lock_recover(&self.stats).hits += 1;
-            return run_response(id, spec, &key, format, &hit, true, false, true);
+            let label = match tier {
+                TierHit::Memory => "run_mem_hit",
+                TierHit::Disk => "run_disk_hit",
+            };
+            return (
+                run_response(id, spec, &key, format, &hit, true, false, true),
+                label,
+            );
         }
 
         let (slot, leader) = {
@@ -481,11 +535,16 @@ impl Server {
                         if inflight.len() >= max {
                             drop(inflight);
                             lock_recover(&self.stats).overloaded += 1;
-                            return typed_error(
-                                id,
-                                error_kind::OVERLOADED,
-                                &format!("{max} computation(s) already in flight (--max-inflight)"),
-                                Some(self.retry_after_ms()),
+                            return (
+                                typed_error(
+                                    id,
+                                    error_kind::OVERLOADED,
+                                    &format!(
+                                        "{max} computation(s) already in flight (--max-inflight)"
+                                    ),
+                                    Some(self.retry_after_ms()),
+                                ),
+                                "run_refused",
                             );
                         }
                     }
@@ -498,7 +557,7 @@ impl Server {
 
         if !leader {
             lock_recover(&self.stats).deduped += 1;
-            return match slot.wait_deadline(deadline) {
+            let resp = match slot.wait_deadline(deadline) {
                 None => {
                     lock_recover(&self.stats).deadline_exceeded += 1;
                     typed_error(
@@ -515,6 +574,7 @@ impl Server {
                     typed_error(id, kind, &message, None)
                 }
             };
+            return (resp, "run_dedup");
         }
 
         let outcome = self.compute_as_leader(spec, deadline);
@@ -524,12 +584,13 @@ impl Server {
         // right after a panic recomputes cleanly).
         slot.publish(outcome.clone());
         lock_recover(&self.inflight).remove(&key);
-        match outcome {
+        let resp = match outcome {
             RunOutcome::Ok { artifact, complete } => {
                 run_response(id, spec, &key, format, &artifact, false, false, complete)
             }
             RunOutcome::Failed { kind, message } => typed_error(id, kind, &message, None),
-        }
+        };
+        (resp, "run_compute")
     }
 
     /// Run one leader computation under `catch_unwind`, so a panicking
@@ -605,6 +666,21 @@ impl Server {
         self.opts.chaos_compute_ms.max(250)
     }
 
+    /// The one-line `overloaded` refusal the socket front end writes to a
+    /// connection its bounded accept queue cannot take — same shape (and
+    /// `retry_after_ms` hint) as a `--max-inflight` refusal, and counted
+    /// in the same `overloaded` stat.
+    pub fn overloaded_refusal_line(&self) -> String {
+        lock_recover(&self.stats).overloaded += 1;
+        let resp = typed_error(
+            Value::Null,
+            error_kind::OVERLOADED,
+            "accept queue full; all workers busy",
+            Some(self.retry_after_ms()),
+        );
+        serde_json::to_string(&resp.doc).expect("serialize refusal")
+    }
+
     /// The counters shared by the `stats` op and the final drain flush.
     fn stats_body(&self) -> Map {
         let inflight = self.inflight_len();
@@ -618,6 +694,23 @@ impl Server {
         for (name, ms) in &stats.phase_ms {
             phases.insert(name.clone(), (*ms).to_json());
         }
+        let mut latency = Map::new();
+        for (op, hist) in &stats.op_latency {
+            let mut buckets = Map::new();
+            for (bound, count) in hist.nonzero_buckets() {
+                let label = if bound == u64::MAX {
+                    "inf".to_string()
+                } else {
+                    bound.to_string()
+                };
+                buckets.insert(label, count.to_json());
+            }
+            let mut entry = Map::new();
+            entry.insert("count", hist.count().to_json());
+            entry.insert("le_us", Value::Object(buckets));
+            latency.insert(op.clone(), Value::Object(entry));
+        }
+        let mem = self.cache.mem_stats();
         let mut body = Map::new();
         body.insert("requests", (stats.requests).to_json());
         body.insert("runs", (stats.runs).to_json());
@@ -630,10 +723,16 @@ impl Server {
         body.insert("overloaded", (stats.overloaded).to_json());
         body.insert("drain_refused", (stats.drain_refused).to_json());
         body.insert("quarantined", (self.cache.quarantined()).to_json());
+        body.insert("mem_hits", (mem.mem_hits).to_json());
+        body.insert("disk_hits", (mem.disk_hits).to_json());
+        body.insert("mem_evictions", (mem.mem_evictions).to_json());
+        body.insert("mem_bytes", (mem.mem_bytes).to_json());
+        body.insert("mem_entries", (mem.mem_entries).to_json());
         body.insert("hit_rate", (hit_rate).to_json());
         body.insert("inflight", (inflight as u64).to_json());
         body.insert("draining", Value::Bool(self.draining()));
         body.insert("phases_ms", Value::Object(phases));
+        body.insert("latency_us", Value::Object(latency));
         body
     }
 
@@ -660,6 +759,11 @@ impl Server {
             ((self.started.elapsed().as_secs_f64() * 1e3) as u64).to_json(),
         );
         body.insert("quarantined", (self.cache.quarantined()).to_json());
+        let mem = self.cache.mem_stats();
+        body.insert("mem_hits", (mem.mem_hits).to_json());
+        body.insert("disk_hits", (mem.disk_hits).to_json());
+        body.insert("mem_evictions", (mem.mem_evictions).to_json());
+        body.insert("mem_bytes", (mem.mem_bytes).to_json());
         body.insert(
             "deadline_ms",
             match self.opts.deadline {
@@ -681,6 +785,53 @@ impl Server {
         Response {
             doc: Value::Object(doc),
             shutdown: false,
+        }
+    }
+}
+
+/// Rate limiter for repeated error log lines, keyed by an error-kind
+/// string: the first occurrence of a kind logs immediately, repeats inside
+/// the window are suppressed (and counted), and the first occurrence after
+/// the window logs again carrying the suppressed count. A persistent
+/// accept-loop error thus costs one stderr line per window instead of
+/// ~100/s.
+pub struct LogLimiter {
+    window: Duration,
+    /// `(kind, last logged, suppressed since then)`, first-use order — the
+    /// distinct-kind population is tiny (I/O error kinds).
+    seen: Vec<(String, Instant, u64)>,
+}
+
+impl LogLimiter {
+    /// A limiter allowing one line per error kind per `window`.
+    pub fn new(window: Duration) -> LogLimiter {
+        LogLimiter {
+            window,
+            seen: Vec::new(),
+        }
+    }
+
+    /// Report one occurrence of `kind` at `now`. `Some(n)` means the
+    /// caller should log it, where `n` is how many occurrences of the same
+    /// kind were suppressed since the last logged line; `None` means stay
+    /// quiet.
+    pub fn should_log(&mut self, kind: &str, now: Instant) -> Option<u64> {
+        match self.seen.iter_mut().find(|(k, _, _)| k == kind) {
+            None => {
+                self.seen.push((kind.to_string(), now, 0));
+                Some(0)
+            }
+            Some((_, last, suppressed)) => {
+                if now.duration_since(*last) >= self.window {
+                    let n = *suppressed;
+                    *last = now;
+                    *suppressed = 0;
+                    Some(n)
+                } else {
+                    *suppressed += 1;
+                    None
+                }
+            }
         }
     }
 }
@@ -1136,6 +1287,132 @@ mod tests {
         assert_eq!(
             doc.get("error_kind").and_then(Value::as_str),
             Some("draining")
+        );
+    }
+
+    #[test]
+    fn memory_tier_serves_repeats_and_reports_tier_counters() {
+        let server = server(
+            "mem-tier",
+            ServerOptions {
+                cache_mem_bytes: 64 << 20,
+                ..ServerOptions::default()
+            },
+        );
+        let first = server.handle_line(&run_line(9));
+        assert_eq!(first.doc.get("hit"), Some(&Value::Bool(false)));
+        // Repeats are memory hits: the store seeded the tier, so no disk
+        // read (and no sha256 pass) happens again.
+        let second = server.handle_line(&run_line(9));
+        let third = server.handle_line(&run_line(9));
+        assert_eq!(second.doc.get("hit"), Some(&Value::Bool(true)));
+        assert_eq!(first.doc.get("payload"), second.doc.get("payload"));
+        assert_eq!(first.doc.get("payload"), third.doc.get("payload"));
+
+        // An op's latency is recorded when its response is complete, so the
+        // first stats body cannot contain the `stats` histogram yet — ask
+        // twice and assert on the second.
+        server.handle_line(r#"{"op": "stats"}"#);
+        let stats = server.handle_line(r#"{"op": "stats"}"#);
+        let body = stats.doc.get("stats").unwrap();
+        assert_eq!(body.get("mem_hits"), Some(&(2u64).to_json()));
+        assert_eq!(body.get("disk_hits"), Some(&(0u64).to_json()));
+        assert_eq!(body.get("mem_evictions"), Some(&(0u64).to_json()));
+        assert!(body.get("mem_bytes").unwrap().as_u64().unwrap() > 0);
+        assert_eq!(body.get("mem_entries"), Some(&(1u64).to_json()));
+
+        // The latency histograms saw every path this test exercised.
+        let latency = body.get("latency_us").unwrap();
+        for op in ["run_compute", "run_mem_hit", "stats"] {
+            let hist = latency
+                .get(op)
+                .unwrap_or_else(|| panic!("latency histogram for {op}"));
+            assert!(hist.get("count").unwrap().as_u64().unwrap() > 0, "{op}");
+            let buckets = hist.get("le_us").unwrap().as_object().unwrap();
+            assert!(!buckets.is_empty(), "{op} buckets must be non-empty");
+        }
+    }
+
+    #[test]
+    fn cold_memory_warm_disk_restart_replays_byte_identically() {
+        let dir = tmpdir("mem-restart");
+        let opts = || ServerOptions {
+            cache_mem_bytes: 64 << 20,
+            ..ServerOptions::default()
+        };
+        let first = Server::new(&dir, opts()).unwrap();
+        let computed = first.handle_line(&run_line(9));
+        assert_eq!(computed.doc.get("hit"), Some(&Value::Bool(false)));
+
+        // A second daemon over the same cache dir: its memory tier is
+        // cold, so the first hit verifies from disk (and promotes), the
+        // next comes from memory — all byte-identical, zero recomputation.
+        let second = Server::new(&dir, opts()).unwrap();
+        let from_disk = second.handle_line(&run_line(9));
+        let from_mem = second.handle_line(&run_line(9));
+        assert_eq!(from_disk.doc.get("hit"), Some(&Value::Bool(true)));
+        assert_eq!(from_mem.doc.get("hit"), Some(&Value::Bool(true)));
+        assert_eq!(computed.doc.get("payload"), from_disk.doc.get("payload"));
+        assert_eq!(computed.doc.get("payload"), from_mem.doc.get("payload"));
+
+        let stats = second.handle_line(r#"{"op": "stats"}"#);
+        let body = stats.doc.get("stats").unwrap();
+        assert_eq!(body.get("computations"), Some(&(0u64).to_json()));
+        assert_eq!(body.get("disk_hits"), Some(&(1u64).to_json()));
+        assert_eq!(body.get("mem_hits"), Some(&(1u64).to_json()));
+    }
+
+    #[test]
+    fn overloaded_refusal_line_carries_the_retry_hint_and_counts() {
+        let server = server("queue-refusal", ServerOptions::default());
+        let line = server.overloaded_refusal_line();
+        assert!(!line.contains('\n'));
+        let doc: Value = serde_json::from_str(&line).unwrap();
+        assert_eq!(doc.get("ok"), Some(&Value::Bool(false)));
+        assert_eq!(
+            doc.get("error_kind").and_then(Value::as_str),
+            Some("overloaded")
+        );
+        assert!(doc.get("retry_after_ms").and_then(Value::as_u64).unwrap() >= 250);
+        let stats = server.handle_line(r#"{"op": "stats"}"#);
+        assert_eq!(
+            stats.doc.get("stats").unwrap().get("overloaded"),
+            Some(&(1u64).to_json())
+        );
+    }
+
+    #[test]
+    fn log_limiter_allows_one_line_per_kind_per_window() {
+        let mut limiter = LogLimiter::new(Duration::from_secs(5));
+        let t0 = Instant::now();
+        // First occurrence of each kind logs immediately.
+        assert_eq!(limiter.should_log("ConnectionAborted", t0), Some(0));
+        assert_eq!(limiter.should_log("PermissionDenied", t0), Some(0));
+        // Repeats inside the window are suppressed and counted.
+        for _ in 0..7 {
+            assert_eq!(
+                limiter.should_log("ConnectionAborted", t0 + Duration::from_secs(1)),
+                None
+            );
+        }
+        // Other kinds are unaffected by that suppression window.
+        assert_eq!(
+            limiter.should_log("PermissionDenied", t0 + Duration::from_secs(6)),
+            Some(0)
+        );
+        // After the window the kind logs again, reporting what was eaten.
+        assert_eq!(
+            limiter.should_log("ConnectionAborted", t0 + Duration::from_secs(6)),
+            Some(7)
+        );
+        // And the counter restarts.
+        assert_eq!(
+            limiter.should_log("ConnectionAborted", t0 + Duration::from_secs(7)),
+            None
+        );
+        assert_eq!(
+            limiter.should_log("ConnectionAborted", t0 + Duration::from_secs(12)),
+            Some(1)
         );
     }
 
