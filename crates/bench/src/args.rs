@@ -60,6 +60,10 @@ pub struct SweepArgs {
     /// disk tier; 0 disables the tier. Within one process, repeats of a
     /// loaded key skip file reads and sha256 verification entirely.
     pub cache_mem_mb: u64,
+    /// Print the canonical spec this invocation would compute (one JSON
+    /// line, directly usable as an `sfc-serve` `warm`/`batch` item) and
+    /// exit without computing anything.
+    pub emit_specs: bool,
 }
 
 impl Default for SweepArgs {
@@ -80,6 +84,7 @@ impl Default for SweepArgs {
             no_oracle: false,
             cache: None,
             cache_mem_mb: 64,
+            emit_specs: false,
         }
     }
 }
@@ -149,6 +154,7 @@ impl SweepArgs {
                 "--cache-mem-mb" => {
                     out.cache_mem_mb = next_num(&mut it, "--cache-mem-mb")?
                 }
+                "--emit-specs" => out.emit_specs = true,
                 "--help" | "-h" => return Err(usage()),
                 other => return Err(format!("unknown flag `{other}`\n{}", usage())),
             }
@@ -191,7 +197,7 @@ fn next_num<I: Iterator<Item = String>>(it: &mut I, flag: &str) -> Result<u64, S
 }
 
 fn usage() -> String {
-    "usage: <bin> [--scale S] [--trials T] [--seed X] [--jobs N] [--markdown] [--json PATH] [--timing PATH] [--no-oracle]\n\
+    "usage: <bin> [--scale S] [--trials T] [--seed X] [--jobs N] [--markdown] [--json PATH] [--timing PATH] [--no-oracle] [--emit-specs]\n\
      \u{20}          [--cache DIR] [--cache-mem-mb N] [--journal PATH] [--time-budget SECS] [--chaos LIST] [--chaos-persistent] [--chaos-journal N]\n\
      --scale S            shrink the paper workload by 4^S (default 2; 0 = full size)\n\
      --trials T           independent trials to average (default 3)\n\
@@ -208,6 +214,9 @@ fn usage() -> String {
      \u{20}                    cached run byte-for-byte, else populate it\n\
      --cache-mem-mb N     in-memory tier byte budget over --cache, in MiB\n\
      \u{20}                    (default 64; 0 = disk only)\n\
+     --emit-specs         print the canonical spec this invocation would\n\
+     \u{20}                    compute (one JSON line, an sfc-serve warm/batch\n\
+     \u{20}                    item) and exit without computing\n\
      --journal PATH       append completed sweep cells to a JSONL journal and\n\
      \u{20}                    resume from it on restart\n\
      --time-budget SECS   stop scheduling new cells after SECS seconds; partial\n\
@@ -244,6 +253,7 @@ mod tests {
         assert!(!a.no_oracle);
         assert_eq!(a.cache, None);
         assert_eq!(a.cache_mem_mb, 64);
+        assert!(!a.emit_specs);
     }
 
     #[test]
@@ -276,6 +286,7 @@ mod tests {
             "/tmp/cache",
             "--cache-mem-mb",
             "16",
+            "--emit-specs",
         ])
         .unwrap();
         assert_eq!(a.scale, 0);
@@ -293,6 +304,16 @@ mod tests {
         assert!(a.no_oracle);
         assert_eq!(a.cache.as_deref(), Some("/tmp/cache"));
         assert_eq!(a.cache_mem_mb, 16);
+        assert!(a.emit_specs);
+    }
+
+    #[test]
+    fn emit_specs_prints_the_canonical_spec() {
+        let a = parse(&["--scale", "4", "--trials", "1", "--seed", "7", "--emit-specs"]).unwrap();
+        // The emitted line is exactly the spec's canonical string — the
+        // same identity the cache and daemon key the run by.
+        let spec = a.spec(ArtifactKind::Figure7);
+        assert_eq!(spec.canonical_string(), ExperimentSpec::figure7(4, 1, 7).canonical_string());
     }
 
     #[test]

@@ -40,13 +40,18 @@ pub mod error_kind {
     /// The connection died or timed out mid-exchange (client-synthesized —
     /// the daemon never got to answer, or its answer was cut off).
     pub const TRANSPORT: &str = "transport";
+    /// The background warm queue is full; the `warm` items past capacity
+    /// were refused. The queue drains in the background, so a later retry
+    /// usually lands.
+    pub const WARM_QUEUE_FULL: &str = "warm_queue_full";
 
     /// Whether a request that failed with `kind` is worth retrying against
     /// the same daemon: overload clears, a panic-poisoned slot recomputes,
-    /// and a dropped connection may be transient — but a bad request stays
-    /// bad, a deadline re-expires, and a draining daemon is going away.
+    /// a warm queue drains, and a dropped connection may be transient — but
+    /// a bad request stays bad, a deadline re-expires, and a draining
+    /// daemon is going away.
     pub fn is_retryable(kind: &str) -> bool {
-        matches!(kind, OVERLOADED | COMPUTE_PANIC | TRANSPORT)
+        matches!(kind, OVERLOADED | COMPUTE_PANIC | TRANSPORT | WARM_QUEUE_FULL)
     }
 }
 
@@ -163,6 +168,13 @@ pub fn run_artifact(kind: ArtifactKind) {
 /// [`run_artifact`] with the flags supplied by the caller (testable entry).
 pub fn run_artifact_with(kind: ArtifactKind, args: &SweepArgs) {
     let spec = args.spec(kind);
+    if args.emit_specs {
+        // One canonical spec line and nothing else: the exact cache/daemon
+        // identity this invocation would compute, suitable verbatim as an
+        // `sfc-serve` `warm`/`batch` item (see EXPERIMENTS.md).
+        println!("{}", spec.canonical_string());
+        return;
+    }
     // The CLI gets the same two-tier cache as the daemon: an in-memory LRU
     // (bounded by `--cache-mem-mb`) over the verified disk tier, so a
     // process that loads the same key repeatedly pays the file reads and
@@ -304,6 +316,7 @@ mod tests {
         assert!(is_retryable(OVERLOADED));
         assert!(is_retryable(COMPUTE_PANIC));
         assert!(is_retryable(TRANSPORT));
+        assert!(is_retryable(WARM_QUEUE_FULL));
         assert!(!is_retryable(BAD_REQUEST));
         assert!(!is_retryable(DEADLINE_EXCEEDED));
         assert!(!is_retryable(DRAINING));

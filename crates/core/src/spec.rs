@@ -211,6 +211,32 @@ fn scaled_procs(scale: u32) -> u64 {
 }
 
 impl ExperimentSpec {
+    /// The JSON keys naming sweep axes — everything beyond
+    /// `artifact`/`scale`/`trials`/`seed`. A request object carrying any of
+    /// these spells out a full spec and must go through
+    /// [`ExperimentSpec::from_json`]; one carrying none of them is the
+    /// shorthand whose axes come from [`ExperimentSpec::for_artifact`].
+    pub const AXIS_KEYS: [&'static str; 11] = [
+        "grid_order",
+        "particles",
+        "particle_curves",
+        "processor_curves",
+        "topologies",
+        "distributions",
+        "orders",
+        "processors",
+        "particle_counts",
+        "radii",
+        "norm",
+    ];
+
+    /// Whether `obj` names any axis field (see
+    /// [`ExperimentSpec::AXIS_KEYS`]), i.e. spells out a full spec rather
+    /// than the artifact/scale/trials/seed shorthand.
+    pub fn json_names_axes(obj: &Map) -> bool {
+        Self::AXIS_KEYS.iter().any(|k| obj.get(k).is_some())
+    }
+
     /// Build the spec for `artifact` at the given scale/trials/seed — the
     /// single entry point the binaries and the daemon construct specs
     /// through.
@@ -855,6 +881,38 @@ mod tests {
                 .map(|k| k.default_params())
                 .collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn axis_keys_distinguish_full_specs_from_shorthand() {
+        // Every canonical spec names axes; the shorthand never does.
+        for artifact in ArtifactKind::ALL {
+            let spec = ExperimentSpec::for_artifact(artifact, 4, 1, 7);
+            let canon = spec.canonical_json();
+            assert!(
+                ExperimentSpec::json_names_axes(canon.as_object().unwrap()),
+                "{artifact}: canonical form must name axes"
+            );
+        }
+        let shorthand = serde_json::json!({
+            "id": 1, "op": "run", "artifact": "table1",
+            "scale": 4, "trials": 1, "seed": 7, "format": "plain",
+        });
+        assert!(!ExperimentSpec::json_names_axes(
+            shorthand.as_object().unwrap()
+        ));
+        // AXIS_KEYS stays in sync with the canonical key list: it is the
+        // canonical order minus the four identity fields.
+        let spec = ExperimentSpec::table1(4, 1, 7);
+        let canon = spec.canonical_json();
+        let canonical_keys: Vec<&str> = canon
+            .as_object()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .filter(|k| !matches!(*k, "artifact" | "scale" | "trials" | "seed"))
+            .collect();
+        assert_eq!(canonical_keys, ExperimentSpec::AXIS_KEYS.to_vec());
     }
 
     #[test]

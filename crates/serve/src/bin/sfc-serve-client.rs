@@ -26,6 +26,16 @@
 //! the daemon never answered. Exit status: 0 when every request got a
 //! daemon response (even `ok: false` ones), 1 when any request ended in a
 //! synthesized transport failure, 2 on usage errors.
+//!
+//! `--batch-file PATH` wraps the file's JSON-object lines (shorthand run
+//! fields or full canonical specs — the same shapes a `run` accepts) into
+//! one `batch` request and prints every per-item line as it streams back,
+//! then the `batch_done` summary. Batches are never retried: items already
+//! served before a fault would be recomputed by a blind resend, so a
+//! transport fault mid-stream synthesizes one transport line and exits 1,
+//! leaving the retry decision to the caller. `--warm-file PATH` wraps the
+//! same line format into one `warm` request, which flows through the
+//! normal (retryable — `warm_queue_full` backs off and retries) path.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -45,9 +55,12 @@ fn usage() -> String {
      --socket PATH     daemon socket path (required)\n\
      --timeout-ms N    read/write timeout per attempt (default 30000; 0 = none)\n\
      --retries N       retry retryable failures up to N times (default 0)\n\
+     --batch-file P    send P's JSON-object lines as one `batch` request and\n\
+                       stream the per-item responses (never retried)\n\
+     --warm-file P     send P's JSON-object lines as one `warm` request\n\
      \n\
-     With no trailing request arguments, requests are read from stdin, one\n\
-     JSON object per line.\n"
+     With no trailing request arguments (and neither file flag), requests\n\
+     are read from stdin, one JSON object per line.\n"
         .to_string()
 }
 
@@ -55,18 +68,57 @@ struct Flags {
     socket: String,
     timeout: Option<Duration>,
     retries: u64,
+    batch_request: Option<String>,
     requests: Vec<String>,
+}
+
+/// Parse a warm/batch spec file: one JSON object per non-empty line —
+/// either shorthand run fields (`{"artifact":"table1","scale":4}`) or a
+/// full canonical spec as emitted by `sfc-bench --emit-specs`.
+fn items_from_file(path: &str) -> Result<Vec<Value>, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let mut items = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let doc: Value = serde_json::from_str(line)
+            .map_err(|e| format!("{path}:{}: not a JSON object: {e}", i + 1))?;
+        if !matches!(doc, Value::Object(_)) {
+            return Err(format!("{path}:{}: each line must be a JSON object", i + 1));
+        }
+        items.push(doc);
+    }
+    if items.is_empty() {
+        return Err(format!("`{path}` contains no spec lines"));
+    }
+    Ok(items)
+}
+
+/// Wrap a spec file into one `{"op": <op>, "items": [...]}` request line.
+fn file_request(op: &str, path: &str) -> Result<String, String> {
+    let items = items_from_file(path)?;
+    let mut doc = Map::new();
+    doc.insert("id", (format!("{op}-file")).to_json());
+    doc.insert("op", (op).to_json());
+    doc.insert("items", Value::Array(items));
+    Ok(serde_json::to_string(&Value::Object(doc)).expect("serialize file request"))
 }
 
 fn parse_flags() -> Result<Flags, String> {
     let mut socket = None;
     let mut timeout_ms = DEFAULT_TIMEOUT_MS;
     let mut retries = 0;
+    let mut batch_file = None;
+    let mut warm_file = None;
     let mut requests = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--socket" => socket = Some(it.next().ok_or("--socket needs a path")?),
+            "--batch-file" => batch_file = Some(it.next().ok_or("--batch-file needs a path")?),
+            "--warm-file" => warm_file = Some(it.next().ok_or("--warm-file needs a path")?),
             "--timeout-ms" => {
                 let v = it.next().ok_or("--timeout-ms needs a value")?;
                 timeout_ms = v
@@ -87,7 +139,20 @@ fn parse_flags() -> Result<Flags, String> {
         }
     }
     let socket = socket.ok_or_else(|| format!("--socket PATH is required\n{}", usage()))?;
-    if requests.is_empty() {
+    if (batch_file.is_some() || warm_file.is_some()) && !requests.is_empty() {
+        return Err("--batch-file/--warm-file cannot be combined with trailing requests".into());
+    }
+    if batch_file.is_some() && warm_file.is_some() {
+        return Err("--batch-file and --warm-file are mutually exclusive".into());
+    }
+    let batch_request = match &batch_file {
+        Some(path) => Some(file_request("batch", path)?),
+        None => None,
+    };
+    if let Some(path) = &warm_file {
+        requests.push(file_request("warm", path)?);
+    }
+    if requests.is_empty() && batch_request.is_none() {
         let mut text = String::new();
         std::io::stdin()
             .read_to_string(&mut text)
@@ -102,6 +167,7 @@ fn parse_flags() -> Result<Flags, String> {
         socket,
         timeout: (timeout_ms > 0).then(|| Duration::from_millis(timeout_ms)),
         retries,
+        batch_request,
         requests,
     })
 }
@@ -138,9 +204,19 @@ impl Connection {
     /// fault — timeout, EOF before a newline, I/O error — is an `Err` with
     /// a human-readable reason; the connection must then be discarded.
     fn exchange(&mut self, request: &str) -> Result<String, String> {
+        self.send(request)?;
+        self.read_response_line()
+    }
+
+    fn send(&mut self, request: &str) -> Result<(), String> {
         writeln!(self.writer, "{request}")
             .and_then(|()| self.writer.flush())
-            .map_err(|e| format!("write failed: {e}"))?;
+            .map_err(|e| format!("write failed: {e}"))
+    }
+
+    /// Read one complete response line, mapping every transport fault to a
+    /// human-readable reason.
+    fn read_response_line(&mut self) -> Result<String, String> {
         let mut response = String::new();
         match self.reader.read_line(&mut response) {
             Err(e)
@@ -290,6 +366,47 @@ fn run_request(
     )
 }
 
+/// Run one `batch` request, printing every streamed line (per-item
+/// responses in completion order, then the `batch_done` summary) as it
+/// arrives. Returns whether the stream completed. The stream ends at the
+/// `batch_done` line, or at a whole-batch refusal — an `ok: false` line
+/// with no `index` field (a refused *item* carries its index and the
+/// stream continues).
+fn run_batch_stream(flags: &Flags, request: &str) -> bool {
+    let mut conn = match Connection::open(&flags.socket, flags.timeout) {
+        Ok(c) => c,
+        Err(reason) => {
+            eprintln!("# client: {reason}");
+            println!("{}", transport_error_line(request, &reason, 1));
+            return false;
+        }
+    };
+    if let Err(reason) = conn.send(request) {
+        eprintln!("# client: {reason}");
+        println!("{}", transport_error_line(request, &reason, 1));
+        return false;
+    }
+    loop {
+        let line = match conn.read_response_line() {
+            Ok(l) => l,
+            Err(reason) => {
+                eprintln!("# client: {reason}");
+                println!("{}", transport_error_line(request, &reason, 1));
+                return false;
+            }
+        };
+        println!("{line}");
+        let doc: Option<Value> = serde_json::from_str(&line).ok();
+        let finished = doc.as_ref().is_some_and(|d| {
+            d.get("batch_done") == Some(&Value::Bool(true))
+                || (d.get("ok") == Some(&Value::Bool(false)) && d.get("index").is_none())
+        });
+        if finished {
+            return true;
+        }
+    }
+}
+
 fn main() {
     let flags = match parse_flags() {
         Ok(f) => f,
@@ -298,6 +415,13 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if let Some(request) = &flags.batch_request {
+        if !run_batch_stream(&flags, request) {
+            eprintln!("error: the batch stream did not complete");
+            std::process::exit(1);
+        }
+        return;
+    }
     // Seed the jitter off the pid: deterministic per process, decorrelated
     // across the concurrent clients a smoke test fires.
     let mut backoff = Backoff::new(u64::from(std::process::id()) ^ 0x5fc5_e12e);

@@ -93,16 +93,37 @@ mod readiness {
     }
 
     const POLLIN: i16 = 0x001;
+    /// Set in `revents` when the descriptor is not open: `poll(2)` returns
+    /// *immediately* with this bit instead of blocking, which is exactly
+    /// the case that must not be treated as a quiet timeout.
+    const POLLNVAL: i16 = 0x020;
+    /// `poll(2)` interrupted by a signal — a normal wakeup, not an error:
+    /// the caller re-checks its SIGTERM latch and comes back around.
+    const EINTR: i32 = 4;
 
     extern "C" {
         fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
     }
 
-    /// Block until `fd` is readable or `timeout` elapses. Returns whether
-    /// the descriptor is (probably) readable; a signal interruption or
-    /// poll error reports "not readable" so the caller re-checks its latch
-    /// and comes back around.
-    pub fn wait_readable(fd: i32, timeout: Duration) -> bool {
+    /// Outcome of one readiness wait. The caller must distinguish a quiet
+    /// timeout (just poll again) from a poll failure: failures return
+    /// immediately, so treating them as "not readable" spins the accept
+    /// loop at 100% CPU with no log line.
+    #[derive(Debug)]
+    pub enum Readiness {
+        /// The descriptor is (probably) readable — try the accept.
+        Readable,
+        /// Nothing arrived within the timeout.
+        TimedOut,
+        /// A signal interrupted the wait before the timeout.
+        Interrupted,
+        /// `poll(2)` itself failed, or the descriptor is invalid.
+        Failed(std::io::Error),
+    }
+
+    /// Block until `fd` is readable, `timeout` elapses, a signal arrives,
+    /// or the poll fails.
+    pub fn wait_readable(fd: i32, timeout: Duration) -> Readiness {
         let mut pfd = PollFd {
             fd,
             events: POLLIN,
@@ -110,7 +131,24 @@ mod readiness {
         };
         let timeout_ms = i32::try_from(timeout.as_millis()).unwrap_or(i32::MAX);
         let n = unsafe { poll(&mut pfd, 1, timeout_ms) };
-        n > 0 && (pfd.revents & POLLIN) != 0
+        if n < 0 {
+            let err = std::io::Error::last_os_error();
+            return if err.raw_os_error() == Some(EINTR) {
+                Readiness::Interrupted
+            } else {
+                Readiness::Failed(err)
+            };
+        }
+        if n == 0 {
+            return Readiness::TimedOut;
+        }
+        if (pfd.revents & POLLNVAL) != 0 {
+            return Readiness::Failed(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "poll: invalid listener descriptor (POLLNVAL)",
+            ));
+        }
+        Readiness::Readable
     }
 }
 
@@ -122,6 +160,9 @@ struct Flags {
     socket: Option<String>,
     pipe: bool,
     workers: usize,
+    batch_workers: usize,
+    warm_workers: usize,
+    warm_queue: usize,
     cache_mem_mb: u64,
     chaos_compute_ms: u64,
     chaos_panic: Option<u64>,
@@ -143,6 +184,10 @@ fn usage() -> String {
      --socket PATH          listen on a unix socket at PATH\n\
      --workers N            connection worker threads, socket mode (default: all cores);\n\
                             overflow past the bounded accept queue answers `overloaded`\n\
+     --batch-workers N      compute threads fanning out one `batch` request (default: all cores)\n\
+     --warm-workers N       background cache-warmer threads (default 1; 0 disables `warm`)\n\
+     --warm-queue N         bounded warm-queue capacity (default 256; overflow answers\n\
+                            `warm_queue_full`)\n\
      --deadline-ms N        bound each request to N ms (expiry: error_kind deadline_exceeded)\n\
      --max-inflight N       refuse work beyond N concurrent computations (error_kind overloaded)\n\
      --chaos-compute-ms N   sleep N ms before each computation (test hook)\n\
@@ -157,6 +202,9 @@ fn parse_flags() -> Result<Flags, String> {
         socket: None,
         pipe: false,
         workers: default_workers(),
+        batch_workers: 0,
+        warm_workers: 1,
+        warm_queue: 256,
         cache_mem_mb: DEFAULT_CACHE_MEM_MB,
         chaos_compute_ms: 0,
         chaos_panic: None,
@@ -185,6 +233,21 @@ fn parse_flags() -> Result<Flags, String> {
                     return Err("--workers must be at least 1".to_string());
                 }
                 flags.workers = n;
+            }
+            "--batch-workers" => {
+                let n = num("--batch-workers")? as usize;
+                if n == 0 {
+                    return Err("--batch-workers must be at least 1".to_string());
+                }
+                flags.batch_workers = n;
+            }
+            "--warm-workers" => flags.warm_workers = num("--warm-workers")? as usize,
+            "--warm-queue" => {
+                let n = num("--warm-queue")? as usize;
+                if n == 0 {
+                    return Err("--warm-queue must be at least 1".to_string());
+                }
+                flags.warm_queue = n;
             }
             "--cache-mem-mb" => flags.cache_mem_mb = num("--cache-mem-mb")?,
             "--chaos-compute-ms" => flags.chaos_compute_ms = num("--chaos-compute-ms")?,
@@ -268,7 +331,16 @@ fn serve_pipe(server: Arc<Server>) {
         let worker_stop = Arc::clone(&stop);
         workers.push(std::thread::spawn(move || {
             let _active = server_for_worker.track_active();
-            let resp = server_for_worker.handle_line(&line);
+            // Batch item lines stream through `emit` as they complete;
+            // the stdout mutex keeps each line atomic against other
+            // request threads.
+            let mut emit = |doc: &serde_json::Value| {
+                let text = to_string(doc).expect("serialize item response");
+                let mut out = stdout.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                writeln!(out, "{text}").expect("write item response");
+                out.flush().expect("flush item response");
+            };
+            let resp = server_for_worker.handle_line_with(&line, &mut emit);
             let text = to_string(&resp.doc).expect("serialize response");
             let mut out = stdout.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
             writeln!(out, "{text}").expect("write response");
@@ -370,8 +442,30 @@ fn serve_socket(
         if signals::term_requested() || server.draining() {
             break;
         }
-        if !readiness::wait_readable(fd, ACCEPT_POLL) {
-            continue;
+        let wait_started = Instant::now();
+        match readiness::wait_readable(fd, ACCEPT_POLL) {
+            readiness::Readiness::Readable => {}
+            // A quiet timeout or signal wakeup: re-check the latch above.
+            readiness::Readiness::TimedOut | readiness::Readiness::Interrupted => continue,
+            readiness::Readiness::Failed(e) => {
+                if let Some(suppressed) =
+                    limiter.should_log(&format!("poll:{:?}", e.kind()), Instant::now())
+                {
+                    if suppressed > 0 {
+                        eprintln!(
+                            "# sfc-serve: poll failed: {e} ({suppressed} similar suppressed in the last {}s)",
+                            ACCEPT_LOG_WINDOW.as_secs()
+                        );
+                    } else {
+                        eprintln!("# sfc-serve: poll failed: {e}");
+                    }
+                }
+                // Failures return immediately; sleep out the rest of the
+                // poll interval so a persistent error (EBADF, POLLNVAL)
+                // cannot busy-spin the loop.
+                std::thread::sleep(ACCEPT_POLL.saturating_sub(wait_started.elapsed()));
+                continue;
+            }
         }
         match listener.accept() {
             Ok((stream, _addr)) => match queue.try_send(stream) {
@@ -452,7 +546,27 @@ fn serve_connection(
             continue;
         }
         let active = server.track_active();
-        let resp = server.handle_line(&line);
+        // Batch item lines stream back as they complete. A client that
+        // hangs up mid-batch is noticed here; the final response (and the
+        // chaos-disconnect counter, which counts only final responses) is
+        // skipped for it.
+        let mut emit_failed = false;
+        let resp = {
+            let mut emit = |doc: &serde_json::Value| {
+                if emit_failed {
+                    return;
+                }
+                let text = to_string(doc).expect("serialize item response");
+                emit_failed = writeln!(writer, "{text}")
+                    .and_then(|()| writer.flush())
+                    .is_err();
+            };
+            server.handle_line_with(&line, &mut emit)
+        };
+        if emit_failed {
+            drop(active);
+            return;
+        }
         let text = to_string(&resp.doc).expect("serialize response");
         let n = responses_written.fetch_add(1, Ordering::SeqCst) + 1;
         if chaos_disconnect.is_some_and(|k| n.is_multiple_of(k)) {
@@ -493,6 +607,8 @@ fn main() {
         deadline: flags.deadline_ms.map(Duration::from_millis),
         max_inflight: flags.max_inflight,
         cache_mem_bytes: flags.cache_mem_mb.saturating_mul(1024 * 1024),
+        batch_workers: flags.batch_workers,
+        warm_queue_cap: flags.warm_queue,
     };
     let server = match Server::new(&flags.cache, opts) {
         Ok(s) => Arc::new(s),
@@ -501,10 +617,61 @@ fn main() {
             std::process::exit(2);
         }
     };
+    server.start_warmers(flags.warm_workers);
     let bound = drain_bound(&flags);
     if flags.pipe {
         serve_pipe(server);
     } else if let Some(path) = &flags.socket {
         serve_socket(server, path, flags.workers, flags.chaos_disconnect, bound);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_socket_with_pending_bytes_is_readable() {
+        let (mut a, b) = UnixStream::pair().unwrap();
+        a.write_all(b"x").unwrap();
+        a.flush().unwrap();
+        match readiness::wait_readable(b.as_raw_fd(), Duration::from_millis(500)) {
+            readiness::Readiness::Readable => {}
+            other => panic!("expected Readable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn a_quiet_socket_times_out() {
+        let (_a, b) = UnixStream::pair().unwrap();
+        let started = Instant::now();
+        match readiness::wait_readable(b.as_raw_fd(), Duration::from_millis(25)) {
+            readiness::Readiness::TimedOut => {}
+            other => panic!("expected TimedOut, got {other:?}"),
+        }
+        assert!(
+            started.elapsed() >= Duration::from_millis(20),
+            "a timeout must actually block for (about) the timeout"
+        );
+    }
+
+    #[test]
+    fn an_invalid_descriptor_fails_instead_of_timing_out() {
+        // A descriptor number nothing in this process has open: poll(2)
+        // reports POLLNVAL *immediately*. Before the fix this surfaced as
+        // "not readable" and the accept loop spun at 100% CPU; now it is a
+        // distinguishable failure the loop logs and sleeps on.
+        let started = Instant::now();
+        match readiness::wait_readable(999_999, Duration::from_millis(500)) {
+            readiness::Readiness::Failed(e) => {
+                assert!(e.to_string().contains("POLLNVAL"), "unexpected error: {e}");
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
+        assert!(
+            started.elapsed() < Duration::from_millis(400),
+            "POLLNVAL returns immediately — that immediacy is why it must not \
+             be conflated with a quiet timeout"
+        );
     }
 }

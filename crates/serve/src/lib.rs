@@ -24,16 +24,36 @@
 //! {"id": 2, "op": "stats"}
 //! {"id": 3, "op": "health"}
 //! {"id": 4, "op": "shutdown"}
+//! {"id": 5, "op": "batch", "defaults": {"artifact": "table1", "trials": 1},
+//!  "items": [{"scale": 5}, {"scale": 6, "format": "json"}]}
+//! {"id": 6, "op": "warm", "items": [{"artifact": "fig7", "scale": 5, "trials": 1}]}
 //! ```
 //!
 //! A `run` response carries the requested payload stream (`format` is
 //! `plain`, `markdown` or `json`) plus provenance: the cache `key`, whether
 //! the answer was a cache `hit`, and whether the request was `deduped` into
-//! an in-flight computation. A `stats` response reports request counters,
+//! an in-flight computation. A `run`-shaped object (standalone, or a
+//! `batch`/`warm` item) may either use the shorthand above — `artifact`
+//! plus optional `scale`/`trials`/`seed`, axes filled by
+//! [`ExperimentSpec::for_artifact`] — or spell out a full canonical spec
+//! (any axis key present), so `sfc-bench --emit-specs` output is directly
+//! usable as items.
+//!
+//! A `batch` request fans its items (each the shallow merge of the
+//! request-level `defaults` object and the item's own fields) over a
+//! bounded internal pool and streams back **one response line per item**
+//! in completion order, each tagged with the item's submission `index` and
+//! otherwise identical to the equivalent standalone `run` response,
+//! terminated by a `batch_done` summary line. A `warm` request enqueues
+//! its items for the background warmer threads
+//! ([`Server::start_warmers`]) and answers immediately; warmed artifacts
+//! fill both cache tiers but are never sent anywhere.
+//!
+//! A `stats` response reports request counters,
 //! the cache hit rate, the in-flight dedup count and the accumulated
 //! per-phase kernel timings of everything this daemon computed. A `health`
 //! response reports liveness (uptime, drain state, in-flight and active
-//! request counts, quarantined cache entries).
+//! request counts, quarantined cache entries, warm-queue depth).
 //!
 //! ## Fault isolation and overload behavior
 //!
@@ -66,9 +86,9 @@ use sfc_core::runner::{SweepRunner, SweepSummary};
 use sfc_core::{
     ArtifactKind, CachedArtifact, ExperimentSpec, LatencyHistogram, ResultCache, SfcError, TierHit,
 };
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
@@ -136,6 +156,16 @@ impl Format {
     }
 }
 
+/// One sub-request of a `batch` op: a resolved spec plus the payload
+/// stream its response line should carry.
+#[derive(Debug, Clone)]
+pub struct BatchItem {
+    /// The resolved canonical spec.
+    pub spec: Box<ExperimentSpec>,
+    /// Which payload stream to return.
+    pub format: Format,
+}
+
 /// A parsed request line.
 #[derive(Debug, Clone)]
 pub enum Request {
@@ -147,12 +177,109 @@ pub enum Request {
         /// Which payload stream to return.
         format: Format,
     },
+    /// Run several specs as one request, streaming one response line per
+    /// item (tagged with its submission `index`, in completion order)
+    /// before a final `batch_done` summary line.
+    Batch {
+        /// The items, in submission order.
+        items: Vec<BatchItem>,
+    },
+    /// Enqueue specs for the background warmer threads. Warming populates
+    /// the cache tiers; it returns no payloads, so item `format` fields
+    /// are ignored.
+    Warm {
+        /// The specs to warm, in submission order.
+        specs: Vec<ExperimentSpec>,
+    },
     /// Report daemon counters.
     Stats,
     /// Report daemon liveness (uptime, drain state, in-flight counts).
     Health,
     /// Stop accepting requests, answer what is in flight, and exit.
     Shutdown,
+}
+
+/// Parse the spec and format of one run-shaped object: a standalone `run`
+/// request, or one `batch`/`warm` item merged over its request-level
+/// defaults. Two spellings are accepted: the shorthand (`artifact` plus
+/// optional `scale`/`trials`/`seed`, axes filled by
+/// [`ExperimentSpec::for_artifact`] exactly as the binaries' flags would)
+/// and a full canonical spec (any axis key present routes through
+/// [`ExperimentSpec::from_json`]), so `sfc-bench --emit-specs` output is
+/// usable verbatim.
+fn parse_run_fields(obj: &Map) -> Result<(Box<ExperimentSpec>, Format), String> {
+    let format = match obj.get("format") {
+        None => Format::Plain,
+        Some(v) => Format::parse(v.as_str().ok_or("`format` must be a string")?)?,
+    };
+    let spec = if ExperimentSpec::json_names_axes(obj) {
+        ExperimentSpec::from_json(&Value::Object(obj.clone()))?
+    } else {
+        let name = obj
+            .get("artifact")
+            .and_then(Value::as_str)
+            .ok_or("missing `artifact` field")?;
+        let kind =
+            ArtifactKind::parse(name).ok_or_else(|| format!("unknown artifact `{name}`"))?;
+        let defaults = SweepArgs::default();
+        let num = |key: &str, default: u64| -> Result<u64, String> {
+            match obj.get(key) {
+                None => Ok(default),
+                Some(v) => v
+                    .as_u64()
+                    .ok_or_else(|| format!("`{key}` must be a non-negative integer")),
+            }
+        };
+        let scale = num("scale", defaults.scale as u64)? as u32;
+        let trials = num("trials", defaults.trials)?;
+        let seed = num("seed", defaults.seed)?;
+        ExperimentSpec::for_artifact(kind, scale, trials, seed)
+    };
+    spec.validate().map_err(|e| format!("invalid spec: {e}"))?;
+    Ok((Box::new(spec), format))
+}
+
+/// Shallow-merge one `batch`/`warm` item's fields over the request-level
+/// `defaults` object. Item keys win; neither input is mutated.
+fn merge_over(defaults: &Map, item: &Map) -> Map {
+    let mut merged = defaults.clone();
+    for (k, v) in item.iter() {
+        merged.insert(k.clone(), v.clone());
+    }
+    merged
+}
+
+/// Parse the `defaults` + `items` shape shared by `batch` and `warm`:
+/// every item is the merge of the optional request-level `defaults` object
+/// and its own fields. One malformed item fails the whole request — a
+/// partial batch would silently drop work.
+fn parse_items(op: &str, obj: &Map) -> Result<Vec<(Box<ExperimentSpec>, Format)>, String> {
+    let empty = Map::new();
+    let defaults = match obj.get("defaults") {
+        None => &empty,
+        Some(v) => v
+            .as_object()
+            .ok_or_else(|| format!("{op}: `defaults` must be an object"))?,
+    };
+    let items = obj
+        .get("items")
+        .ok_or_else(|| format!("{op}: missing `items` array"))?
+        .as_array()
+        .ok_or_else(|| format!("{op}: `items` must be an array"))?;
+    if items.is_empty() {
+        return Err(format!("{op}: `items` must not be empty"));
+    }
+    items
+        .iter()
+        .enumerate()
+        .map(|(i, item)| {
+            let overrides = item
+                .as_object()
+                .ok_or_else(|| format!("{op}: item {i} must be an object"))?;
+            parse_run_fields(&merge_over(defaults, overrides))
+                .map_err(|e| format!("{op}: item {i}: {e}"))
+        })
+        .collect()
 }
 
 impl Request {
@@ -172,37 +299,21 @@ impl Request {
             "health" => Request::Health,
             "shutdown" => Request::Shutdown,
             "run" => {
-                let name = obj
-                    .get("artifact")
-                    .and_then(Value::as_str)
-                    .ok_or("run: missing `artifact` field")?;
-                let kind = ArtifactKind::parse(name)
-                    .ok_or_else(|| format!("run: unknown artifact `{name}`"))?;
-                let defaults = SweepArgs::default();
-                let num = |key: &str, default: u64| -> Result<u64, String> {
-                    match obj.get(key) {
-                        None => Ok(default),
-                        Some(v) => v
-                            .as_u64()
-                            .ok_or_else(|| format!("run: `{key}` must be a non-negative integer")),
-                    }
-                };
-                let scale = num("scale", defaults.scale as u64)? as u32;
-                let trials = num("trials", defaults.trials)?;
-                let seed = num("seed", defaults.seed)?;
-                let format = match obj.get("format") {
-                    None => Format::Plain,
-                    Some(v) => Format::parse(
-                        v.as_str().ok_or("run: `format` must be a string")?,
-                    )?,
-                };
-                let spec = ExperimentSpec::for_artifact(kind, scale, trials, seed);
-                spec.validate().map_err(|e| format!("run: invalid spec: {e}"))?;
-                Request::Run {
-                    spec: Box::new(spec),
-                    format,
-                }
+                let (spec, format) = parse_run_fields(obj).map_err(|e| format!("run: {e}"))?;
+                Request::Run { spec, format }
             }
+            "batch" => Request::Batch {
+                items: parse_items("batch", obj)?
+                    .into_iter()
+                    .map(|(spec, format)| BatchItem { spec, format })
+                    .collect(),
+            },
+            "warm" => Request::Warm {
+                specs: parse_items("warm", obj)?
+                    .into_iter()
+                    .map(|(spec, _format)| *spec)
+                    .collect(),
+            },
             other => return Err(format!("unknown op `{other}`")),
         };
         Ok((id, req))
@@ -306,6 +417,13 @@ struct Stats {
     overloaded: u64,
     /// Run requests refused because the daemon was draining.
     drain_refused: u64,
+    /// Warm items accepted into the background queue.
+    warm_queued: u64,
+    /// Warm items whose computation completed (and populated the cache).
+    warm_computed: u64,
+    /// Warm items discarded: refused at enqueue (queue full) or dropped by
+    /// a drain before a warmer got to them.
+    warm_dropped: u64,
     /// Accumulated kernel-phase milliseconds of every cell this daemon
     /// computed, in first-use order.
     phase_ms: Vec<(String, f64)>,
@@ -341,7 +459,7 @@ impl Stats {
 }
 
 /// Fault-tolerance and overload configuration of a [`Server`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ServerOptions {
     /// Test-only delay inserted before each computation, widening the
     /// in-flight window so CI can assert dedup deterministically
@@ -363,6 +481,29 @@ pub struct ServerOptions {
     /// bytes). 0 disables the tier: every hit re-reads and re-verifies
     /// from disk.
     pub cache_mem_bytes: u64,
+    /// Worker threads one `batch` request fans its items over
+    /// (`--batch-workers`; 0 = all cores). Each batch gets its own scoped
+    /// pool, additionally bounded by the batch's item count.
+    pub batch_workers: usize,
+    /// Capacity of the background warm queue (`--warm-queue`). `warm`
+    /// items past it are refused with `error_kind: "warm_queue_full"`.
+    pub warm_queue_cap: usize,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            chaos_compute_ms: 0,
+            chaos_panic: None,
+            deadline: None,
+            max_inflight: None,
+            cache_mem_bytes: 0,
+            batch_workers: 0,
+            // A drained queue costs nothing, so the default is generous
+            // enough for every artifact's full sweep grid.
+            warm_queue_cap: 256,
+        }
+    }
 }
 
 /// An RAII token counting one request currently being handled (including
@@ -385,6 +526,12 @@ pub struct Server {
     cache: ResultCache,
     inflight: Mutex<HashMap<String, Arc<Slot>>>,
     stats: Mutex<Stats>,
+    /// Background warm backlog, drained by [`Server::start_warmers`]
+    /// threads when no interactive work is active.
+    warm_queue: Mutex<VecDeque<ExperimentSpec>>,
+    /// Wakes idle warmer threads when warm work arrives (or a drain
+    /// starts).
+    warm_ready: Condvar,
     opts: ServerOptions,
     /// Set once by [`Server::begin_drain`]; `run` requests are refused from
     /// then on while `stats`/`health` stay answerable.
@@ -405,6 +552,8 @@ impl Server {
             cache: ResultCache::with_memory_budget(cache_dir, opts.cache_mem_bytes)?,
             inflight: Mutex::new(HashMap::new()),
             stats: Mutex::new(Stats::default()),
+            warm_queue: Mutex::new(VecDeque::new()),
+            warm_ready: Condvar::new(),
             opts,
             draining: AtomicBool::new(false),
             active: AtomicU64::new(0),
@@ -415,9 +564,16 @@ impl Server {
 
     /// Stop accepting new `run` work. Idempotent. In-flight computations
     /// finish and are answered; `stats` and `health` keep working so drain
-    /// progress is observable.
+    /// progress is observable. The warm backlog is discarded — warm work
+    /// is advisory and must never delay a drain — and counted as
+    /// `warm_dropped`.
     pub fn begin_drain(&self) {
         self.draining.store(true, Ordering::SeqCst);
+        let dropped = lock_recover(&self.warm_queue).drain(..).count() as u64;
+        if dropped > 0 {
+            lock_recover(&self.stats).warm_dropped += dropped;
+        }
+        self.warm_ready.notify_all();
     }
 
     /// Whether [`Server::begin_drain`] has been called.
@@ -436,6 +592,11 @@ impl Server {
         lock_recover(&self.inflight).len()
     }
 
+    /// Warm items waiting in the background queue.
+    pub fn warm_queue_len(&self) -> usize {
+        lock_recover(&self.warm_queue).len()
+    }
+
     /// Count one request as being handled until the returned token drops.
     pub fn track_active(&self) -> ActiveRequest<'_> {
         self.active.fetch_add(1, Ordering::SeqCst);
@@ -452,17 +613,31 @@ impl Server {
     /// Never panics on malformed input — errors become `ok: false`
     /// responses with a typed `error_kind`. Every line's wall time lands
     /// in the per-op latency histograms the `stats` op reports.
+    ///
+    /// A `batch` request's per-item lines are dropped on the floor here;
+    /// use [`Server::handle_line_with`] when the transport can stream
+    /// them.
     pub fn handle_line(&self, line: &str) -> Response {
+        self.handle_line_with(line, &mut |_| {})
+    }
+
+    /// [`Server::handle_line`], streaming intermediate response lines
+    /// through `emit` before the final response is returned: a `batch`
+    /// request emits one document per item (in completion order) and
+    /// returns the `batch_done` summary. Every other op never calls
+    /// `emit`. Transports must write each emitted document as its own
+    /// JSON line, in emission order, before the returned response.
+    pub fn handle_line_with(&self, line: &str, emit: &mut dyn FnMut(&Value)) -> Response {
         let started = Instant::now();
         lock_recover(&self.stats).requests += 1;
-        let (resp, op) = self.dispatch(line);
+        let (resp, op) = self.dispatch(line, emit);
         lock_recover(&self.stats).record_latency(op, started.elapsed());
         resp
     }
 
     /// Parse and answer one line, naming the latency-histogram label its
     /// wall time belongs to.
-    fn dispatch(&self, line: &str) -> (Response, &'static str) {
+    fn dispatch(&self, line: &str, emit: &mut dyn FnMut(&Value)) -> (Response, &'static str) {
         let (id, req) = match Request::parse(line) {
             Ok(parsed) => parsed,
             Err(e) => {
@@ -474,6 +649,8 @@ impl Server {
         };
         match req {
             Request::Run { spec, format } => self.run(id, &spec, format),
+            Request::Batch { items } => self.run_batch(id, items, emit),
+            Request::Warm { specs } => self.warm(id, specs),
             Request::Stats => (self.report_stats(id), "stats"),
             Request::Health => (self.report_health(id), "health"),
             Request::Shutdown => {
@@ -497,8 +674,12 @@ impl Server {
     /// into an in-flight computation, or compute (and populate both cache
     /// tiers) ourselves. The second tuple element is the latency label of
     /// the path taken.
+    ///
+    /// `runs` (the `hit_rate` denominator) counts only requests the daemon
+    /// actually *served* — drain and overload refusals increment their own
+    /// counters and nothing else, so a burst of refused traffic cannot
+    /// deflate the hit rate.
     fn run(&self, id: Value, spec: &ExperimentSpec, format: Format) -> (Response, &'static str) {
-        lock_recover(&self.stats).runs += 1;
         if self.draining() {
             lock_recover(&self.stats).drain_refused += 1;
             return (
@@ -515,7 +696,11 @@ impl Server {
         let key = ResultCache::key(spec);
 
         if let Some((hit, tier)) = self.cache.load_tiered(spec) {
-            lock_recover(&self.stats).hits += 1;
+            {
+                let mut stats = lock_recover(&self.stats);
+                stats.runs += 1;
+                stats.hits += 1;
+            }
             let label = match tier {
                 TierHit::Memory => "run_mem_hit",
                 TierHit::Disk => "run_disk_hit",
@@ -554,6 +739,9 @@ impl Server {
                 }
             }
         };
+        // Admitted (as leader or follower): this request will be served,
+        // so it joins the hit-rate denominator.
+        lock_recover(&self.stats).runs += 1;
 
         if !leader {
             lock_recover(&self.stats).deduped += 1;
@@ -591,6 +779,255 @@ impl Server {
             RunOutcome::Failed { kind, message } => typed_error(id, kind, &message, None),
         };
         (resp, "run_compute")
+    }
+
+    /// Answer a `batch` request: fan the items over a bounded scoped pool
+    /// and stream each item's response line (tagged with its submission
+    /// `index`) through `emit` in completion order, then return the
+    /// `batch_done` summary. Every item goes through the same
+    /// [`Server::run`] path as a standalone `run` — same cache tiers, same
+    /// in-flight dedup slots, same per-item deadline, same counters — so
+    /// its `payload` is byte-identical to the standalone response and two
+    /// batches (or a batch racing single runs) dedup against each other.
+    fn run_batch(
+        &self,
+        id: Value,
+        items: Vec<BatchItem>,
+        emit: &mut dyn FnMut(&Value),
+    ) -> (Response, &'static str) {
+        let workers = match self.opts.batch_workers {
+            0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            n => n,
+        }
+        .min(items.len())
+        .max(1);
+        let total = items.len();
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = std::sync::mpsc::channel::<(usize, Response, &'static str, Duration)>();
+        let mut ok_items = 0u64;
+        let mut failed_items = 0u64;
+        let mut hits = 0u64;
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let next = &next;
+                let items = &items;
+                let id = &id;
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::SeqCst);
+                    if i >= total {
+                        return;
+                    }
+                    let item = &items[i];
+                    let started = Instant::now();
+                    let (resp, label) = self.run(id.clone(), &item.spec, item.format);
+                    if tx.send((i, resp, label, started.elapsed())).is_err() {
+                        return;
+                    }
+                });
+            }
+            drop(tx);
+            // Stream each finished item as its own line the moment it
+            // completes; a slow item never blocks a fast sibling's line.
+            for (i, resp, label, elapsed) in rx {
+                lock_recover(&self.stats).record_latency(label, elapsed);
+                if resp.doc.get("ok") == Some(&Value::Bool(true)) {
+                    ok_items += 1;
+                } else {
+                    failed_items += 1;
+                }
+                if resp.doc.get("hit") == Some(&Value::Bool(true)) {
+                    hits += 1;
+                }
+                let mut doc = match resp.doc {
+                    Value::Object(m) => m,
+                    other => {
+                        // `run` always answers an object; keep the line
+                        // well-formed even if that ever changes.
+                        let mut m = Map::new();
+                        m.insert("value", other);
+                        m
+                    }
+                };
+                doc.insert("index", (i as u64).to_json());
+                emit(&Value::Object(doc));
+            }
+        });
+        let mut doc = Map::new();
+        doc.insert("id", id);
+        doc.insert("ok", Value::Bool(true));
+        doc.insert("batch_done", Value::Bool(true));
+        doc.insert("items", (total as u64).to_json());
+        doc.insert("ok_items", ok_items.to_json());
+        doc.insert("failed_items", failed_items.to_json());
+        doc.insert("hits", hits.to_json());
+        (
+            Response {
+                doc: Value::Object(doc),
+                shutdown: false,
+            },
+            "batch",
+        )
+    }
+
+    /// Answer a `warm` request: enqueue each spec for the background
+    /// warmer threads, up to [`ServerOptions::warm_queue_cap`]. Items past
+    /// capacity are refused with `error_kind: "warm_queue_full"`
+    /// (retryable: the queue drains in the background) and counted as
+    /// `warm_dropped`; a draining daemon refuses the whole request.
+    fn warm(&self, id: Value, specs: Vec<ExperimentSpec>) -> (Response, &'static str) {
+        if self.draining() {
+            lock_recover(&self.stats).drain_refused += 1;
+            return (
+                typed_error(
+                    id,
+                    error_kind::DRAINING,
+                    "daemon is draining; not accepting warm work",
+                    None,
+                ),
+                "warm_refused",
+            );
+        }
+        let cap = self.opts.warm_queue_cap;
+        let (queued, refused) = {
+            let mut queue = lock_recover(&self.warm_queue);
+            let mut queued = 0u64;
+            let mut refused = 0u64;
+            for spec in specs {
+                if queue.len() >= cap {
+                    refused += 1;
+                } else {
+                    queue.push_back(spec);
+                    queued += 1;
+                }
+            }
+            (queued, refused)
+        };
+        if queued > 0 {
+            self.warm_ready.notify_all();
+        }
+        {
+            let mut stats = lock_recover(&self.stats);
+            stats.warm_queued += queued;
+            stats.warm_dropped += refused;
+        }
+        if refused > 0 {
+            let mut resp = typed_error(
+                id,
+                error_kind::WARM_QUEUE_FULL,
+                &format!("warm queue full ({cap} slot(s)); {refused} item(s) refused"),
+                Some(self.retry_after_ms()),
+            );
+            if let Value::Object(doc) = &mut resp.doc {
+                doc.insert("queued", queued.to_json());
+                doc.insert("refused", refused.to_json());
+            }
+            (resp, "warm_refused")
+        } else {
+            let mut doc = Map::new();
+            doc.insert("id", id);
+            doc.insert("ok", Value::Bool(true));
+            doc.insert("queued", queued.to_json());
+            (
+                Response {
+                    doc: Value::Object(doc),
+                    shutdown: false,
+                },
+                "warm",
+            )
+        }
+    }
+
+    /// Spawn `n` detached warmer threads draining the warm queue for the
+    /// life of the process. Warmers are strictly lower priority than
+    /// interactive work: a popped item waits until no request is being
+    /// handled and nothing is in flight before computing, dedups against
+    /// the in-flight table and both cache tiers, and the whole backlog is
+    /// discarded when a drain starts.
+    pub fn start_warmers(self: &Arc<Self>, n: usize) {
+        for _ in 0..n {
+            let server = Arc::clone(self);
+            std::thread::spawn(move || server.warm_loop());
+        }
+    }
+
+    /// One warmer thread: pop, wait for idleness, warm, repeat — until the
+    /// daemon drains.
+    fn warm_loop(&self) {
+        loop {
+            let spec = {
+                let mut queue = lock_recover(&self.warm_queue);
+                loop {
+                    if self.draining() {
+                        return;
+                    }
+                    if let Some(spec) = queue.pop_front() {
+                        break spec;
+                    }
+                    // The timeout is a liveness backstop (a drain that
+                    // raced the notify); warm arrivals wake us directly.
+                    let (q, _) = self
+                        .warm_ready
+                        .wait_timeout(queue, Duration::from_millis(100))
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    queue = q;
+                }
+            };
+            // Low priority: only compute when interactive work has left
+            // the daemon idle. Polling is cheap next to a computation and
+            // keeps warmers completely out of every request path.
+            while !self.draining()
+                && (self.active_requests() > 0 || self.inflight_len() > 0)
+            {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            if self.draining() {
+                // Popped but never computed: account it with the backlog
+                // the drain discarded.
+                lock_recover(&self.stats).warm_dropped += 1;
+                continue;
+            }
+            self.warm_one(&spec);
+        }
+    }
+
+    /// Warm one spec: skip when either cache tier already holds it
+    /// (`warm_hit` — the probe itself promotes a disk entry into the
+    /// memory tier) or an identical computation is in flight
+    /// (`warm_dedup`); otherwise register a slot and compute exactly like
+    /// a leader, so interactive requests arriving mid-warm dedup into the
+    /// warmer's computation. Failures are contained by the leader path and
+    /// only ever visible in the stats — warming answers nobody.
+    fn warm_one(&self, spec: &ExperimentSpec) {
+        let started = Instant::now();
+        let key = ResultCache::key(spec);
+        if self.cache.load_tiered(spec).is_some() {
+            lock_recover(&self.stats).record_latency("warm_hit", started.elapsed());
+            return;
+        }
+        let slot = {
+            let mut inflight = lock_recover(&self.inflight);
+            if inflight.contains_key(&key) {
+                None
+            } else {
+                let slot = Arc::new(Slot::new());
+                inflight.insert(key.clone(), Arc::clone(&slot));
+                Some(slot)
+            }
+        };
+        let Some(slot) = slot else {
+            lock_recover(&self.stats).record_latency("warm_dedup", started.elapsed());
+            return;
+        };
+        let outcome = self.compute_as_leader(spec, None);
+        // Same publish-before-unregister ordering as `run`: followers that
+        // joined mid-warm read the published outcome.
+        slot.publish(outcome.clone());
+        lock_recover(&self.inflight).remove(&key);
+        if matches!(outcome, RunOutcome::Ok { .. }) {
+            lock_recover(&self.stats).warm_computed += 1;
+        }
+        lock_recover(&self.stats).record_latency("warm_compute", started.elapsed());
     }
 
     /// Run one leader computation under `catch_unwind`, so a panicking
@@ -659,11 +1096,10 @@ impl Server {
         }
     }
 
-    /// The `retry_after_ms` hint attached to `overloaded` refusals.
+    /// The `retry_after_ms` hint attached to `overloaded` and
+    /// `warm_queue_full` refusals, scaled with current load.
     fn retry_after_ms(&self) -> u64 {
-        // Computations take at least the chaos delay when one is set; a
-        // plain daemon suggests a short, jitter-friendly pause.
-        self.opts.chaos_compute_ms.max(250)
+        retry_after_hint(self.opts.chaos_compute_ms, self.inflight_len() as u64)
     }
 
     /// The one-line `overloaded` refusal the socket front end writes to a
@@ -722,6 +1158,9 @@ impl Server {
         body.insert("deadline_exceeded", (stats.deadline_exceeded).to_json());
         body.insert("overloaded", (stats.overloaded).to_json());
         body.insert("drain_refused", (stats.drain_refused).to_json());
+        body.insert("warm_queued", (stats.warm_queued).to_json());
+        body.insert("warm_computed", (stats.warm_computed).to_json());
+        body.insert("warm_dropped", (stats.warm_dropped).to_json());
         body.insert("quarantined", (self.cache.quarantined()).to_json());
         body.insert("mem_hits", (mem.mem_hits).to_json());
         body.insert("disk_hits", (mem.disk_hits).to_json());
@@ -759,6 +1198,13 @@ impl Server {
             ((self.started.elapsed().as_secs_f64() * 1e3) as u64).to_json(),
         );
         body.insert("quarantined", (self.cache.quarantined()).to_json());
+        body.insert("warm_queue_depth", (self.warm_queue_len() as u64).to_json());
+        {
+            let stats = lock_recover(&self.stats);
+            body.insert("warm_queued", (stats.warm_queued).to_json());
+            body.insert("warm_computed", (stats.warm_computed).to_json());
+            body.insert("warm_dropped", (stats.warm_dropped).to_json());
+        }
         let mem = self.cache.mem_stats();
         body.insert("mem_hits", (mem.mem_hits).to_json());
         body.insert("disk_hits", (mem.disk_hits).to_json());
@@ -884,6 +1330,18 @@ fn run_response(
         doc: Value::Object(doc),
         shutdown: false,
     }
+}
+
+/// The retry hint for a refusal issued when the daemon already has
+/// `depth` computations in flight. A loaded daemon pushes refused clients
+/// further out instead of re-synchronizing the whole herd onto a constant
+/// 250 ms beat: the hint grows linearly with depth from a base of one
+/// expected computation time (the chaos delay when one is set, 250 ms
+/// floor otherwise), capped at 10 s so an extreme backlog still retries
+/// within a human-scale pause. Clients add their own jitter on top.
+fn retry_after_hint(chaos_compute_ms: u64, depth: u64) -> u64 {
+    let base = chaos_compute_ms.max(250);
+    base.saturating_mul(depth + 1).min(base.max(10_000))
 }
 
 /// Build an `ok: false` response document carrying a typed `error_kind`
@@ -1426,5 +1884,291 @@ mod tests {
             assert_eq!(server.active_requests(), 2);
         }
         assert_eq!(server.active_requests(), 0);
+    }
+
+    /// Handle one line, collecting the streamed (batch item) documents.
+    fn handle_collect(server: &Server, line: &str) -> (Response, Vec<Value>) {
+        let mut emitted = Vec::new();
+        let resp = server.handle_line_with(line, &mut |doc| emitted.push(doc.clone()));
+        (resp, emitted)
+    }
+
+    /// A `batch` line over table1-scale-9 cells distinguished by seed,
+    /// exercising the shared-defaults + per-item-override merge.
+    fn batch_line(seeds: &[u64]) -> String {
+        let items: Vec<String> = seeds.iter().map(|s| format!(r#"{{"seed": {s}}}"#)).collect();
+        format!(
+            r#"{{"id": "b", "op": "batch", "defaults": {{"artifact": "table1", "scale": 9, "trials": 1, "format": "plain"}}, "items": [{}]}}"#,
+            items.join(", ")
+        )
+    }
+
+    fn warm_line(seeds: &[u64]) -> String {
+        let items: Vec<String> = seeds
+            .iter()
+            .map(|s| format!(r#"{{"artifact": "table1", "scale": 9, "trials": 1, "seed": {s}}}"#))
+            .collect();
+        format!(
+            r#"{{"id": "w", "op": "warm", "items": [{}]}}"#,
+            items.join(", ")
+        )
+    }
+
+    #[test]
+    fn batch_items_match_standalone_runs_byte_identically() {
+        let server = server("batch-ident", ServerOptions::default());
+        // Seed 21 is cached before the batch: the batch sees a mixed
+        // hit/miss population, the acceptance shape from the issue.
+        let standalone_21 = server.handle_line(&run_line_seeded(9, 21));
+        let (done, items) = handle_collect(&server, &batch_line(&[21, 22, 23]));
+
+        assert_eq!(done.doc.get("ok"), Some(&Value::Bool(true)));
+        assert_eq!(done.doc.get("batch_done"), Some(&Value::Bool(true)));
+        assert_eq!(done.doc.get("items"), Some(&(3u64).to_json()));
+        assert_eq!(done.doc.get("ok_items"), Some(&(3u64).to_json()));
+        assert_eq!(done.doc.get("failed_items"), Some(&(0u64).to_json()));
+        assert_eq!(done.doc.get("hits"), Some(&(1u64).to_json()));
+        assert!(!done.shutdown);
+
+        // Every index is present exactly once (completion order may vary).
+        let mut indexes: Vec<u64> = items
+            .iter()
+            .map(|doc| doc.get("index").and_then(Value::as_u64).unwrap())
+            .collect();
+        indexes.sort_unstable();
+        assert_eq!(indexes, vec![0, 1, 2]);
+
+        for doc in &items {
+            let index = doc.get("index").and_then(Value::as_u64).unwrap();
+            let seed = [21u64, 22, 23][index as usize];
+            // The equivalent standalone run: for seed 21 it already ran
+            // above; for the others it replays the cache the batch filled.
+            let standalone = if seed == 21 {
+                standalone_21.doc.clone()
+            } else {
+                server.handle_line(&run_line_seeded(9, seed)).doc
+            };
+            assert_eq!(doc.get("ok"), Some(&Value::Bool(true)), "seed {seed}");
+            assert_eq!(
+                doc.get("payload"),
+                standalone.get("payload"),
+                "batch item payload must be byte-identical to a standalone run (seed {seed})"
+            );
+            assert_eq!(doc.get("key"), standalone.get("key"), "seed {seed}");
+            // The batch id, not the item seed, correlates the lines.
+            assert_eq!(doc.get("id"), Some(&("b").to_json()));
+        }
+        // Seed 21 was a hit inside the batch (it was pre-cached).
+        let hit_21 = items
+            .iter()
+            .find(|d| d.get("index") == Some(&(0u64).to_json()))
+            .unwrap();
+        assert_eq!(hit_21.get("hit"), Some(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn batch_sibling_items_survive_a_chaos_panic() {
+        // One batch worker makes the chaos counter deterministic: the
+        // items compute in submission order, so computation #2 — seed 32 —
+        // is the one that panics.
+        let server = server(
+            "batch-panic",
+            ServerOptions {
+                chaos_panic: Some(2),
+                batch_workers: 1,
+                ..ServerOptions::default()
+            },
+        );
+        let (done, items) = handle_collect(&server, &batch_line(&[31, 32, 33]));
+        assert_eq!(done.doc.get("ok_items"), Some(&(2u64).to_json()));
+        assert_eq!(done.doc.get("failed_items"), Some(&(1u64).to_json()));
+
+        let by_index = |i: u64| {
+            items
+                .iter()
+                .find(|d| d.get("index") == Some(&i.to_json()))
+                .unwrap()
+        };
+        assert_eq!(by_index(1).get("ok"), Some(&Value::Bool(false)));
+        assert_eq!(
+            by_index(1).get("error_kind").and_then(Value::as_str),
+            Some(error_kind::COMPUTE_PANIC)
+        );
+        // The siblings are not poisoned: their payloads equal a clean
+        // server's (computation is deterministic across instances).
+        let clean = Server::new(&tmpdir("batch-panic-clean"), ServerOptions::default()).unwrap();
+        for (i, seed) in [(0u64, 31u64), (2, 33)] {
+            let doc = by_index(i);
+            assert_eq!(doc.get("ok"), Some(&Value::Bool(true)), "seed {seed}");
+            let standalone = clean.handle_line(&run_line_seeded(9, seed)).doc;
+            assert_eq!(doc.get("payload"), standalone.get("payload"), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn batch_and_warm_parse_errors_are_bad_requests() {
+        let server = server("batch-parse", ServerOptions::default());
+        for line in [
+            r#"{"op": "batch"}"#,
+            r#"{"op": "batch", "items": []}"#,
+            r#"{"op": "batch", "items": "nope"}"#,
+            r#"{"op": "batch", "items": [{"artifact": "nope"}]}"#,
+            r#"{"op": "batch", "defaults": [], "items": [{"artifact": "table1"}]}"#,
+            r#"{"op": "warm", "items": [{"artifact": "table1", "scale": "big"}]}"#,
+        ] {
+            let resp = server.handle_line(line);
+            assert_eq!(resp.doc.get("ok"), Some(&Value::Bool(false)), "{line}");
+            assert_eq!(kind_of(&resp), error_kind::BAD_REQUEST, "{line}");
+        }
+    }
+
+    #[test]
+    fn warm_queue_overflow_is_typed_and_counted() {
+        // No warmers running: the queue only fills. Capacity 2, 4 items.
+        let server = server(
+            "warm-overflow",
+            ServerOptions {
+                warm_queue_cap: 2,
+                ..ServerOptions::default()
+            },
+        );
+        let resp = server.handle_line(&warm_line(&[61, 62, 63, 64]));
+        assert_eq!(resp.doc.get("ok"), Some(&Value::Bool(false)));
+        assert_eq!(kind_of(&resp), error_kind::WARM_QUEUE_FULL);
+        assert_eq!(resp.doc.get("queued"), Some(&(2u64).to_json()));
+        assert_eq!(resp.doc.get("refused"), Some(&(2u64).to_json()));
+        assert!(resp.doc.get("retry_after_ms").and_then(Value::as_u64).unwrap() >= 250);
+        assert_eq!(server.warm_queue_len(), 2);
+
+        let stats = server.handle_line(r#"{"op": "stats"}"#);
+        let body = stats.doc.get("stats").unwrap();
+        assert_eq!(body.get("warm_queued"), Some(&(2u64).to_json()));
+        assert_eq!(body.get("warm_dropped"), Some(&(2u64).to_json()));
+        assert_eq!(body.get("warm_computed"), Some(&(0u64).to_json()));
+    }
+
+    #[test]
+    fn warm_queue_is_discarded_on_drain() {
+        let server = server("warm-drain", ServerOptions::default());
+        let resp = server.handle_line(&warm_line(&[71, 72]));
+        assert_eq!(resp.doc.get("ok"), Some(&Value::Bool(true)));
+        assert_eq!(resp.doc.get("queued"), Some(&(2u64).to_json()));
+        assert_eq!(server.warm_queue_len(), 2);
+
+        server.begin_drain();
+        assert_eq!(server.warm_queue_len(), 0, "drain discards the backlog");
+        let stats = server.handle_line(r#"{"op": "stats"}"#);
+        let body = stats.doc.get("stats").unwrap();
+        assert_eq!(body.get("warm_dropped"), Some(&(2u64).to_json()));
+
+        // And a draining daemon refuses new warm work outright.
+        let refused = server.handle_line(&warm_line(&[73]));
+        assert_eq!(kind_of(&refused), error_kind::DRAINING);
+    }
+
+    #[test]
+    fn warmer_computes_in_the_background_and_makes_runs_hit() {
+        let server = Arc::new(server("warm-e2e", ServerOptions::default()));
+        server.start_warmers(1);
+        let resp = server.handle_line(&warm_line(&[81]));
+        assert_eq!(resp.doc.get("ok"), Some(&Value::Bool(true)));
+
+        let warm_computed = |server: &Server| {
+            let stats = server.handle_line(r#"{"op": "stats"}"#);
+            stats
+                .doc
+                .get("stats")
+                .and_then(|b| b.get("warm_computed"))
+                .and_then(Value::as_u64)
+                .unwrap()
+        };
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while warm_computed(&server) < 1 {
+            assert!(Instant::now() < deadline, "warmer never computed the spec");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+
+        // The first interactive run of the warmed spec is already a hit.
+        let run = server.handle_line(&run_line_seeded(9, 81));
+        assert_eq!(run.doc.get("hit"), Some(&Value::Bool(true)));
+
+        // Warming an already-cached spec is a no-op for the counter: the
+        // warmer resolves it as a warm_hit instead of recomputing.
+        server.handle_line(&warm_line(&[81]));
+        let warm_hits = |server: &Server| {
+            let stats = server.handle_line(r#"{"op": "stats"}"#);
+            stats
+                .doc
+                .get("stats")
+                .and_then(|b| b.get("latency_us"))
+                .and_then(|l| l.get("warm_hit"))
+                .and_then(|e| e.get("count"))
+                .and_then(Value::as_u64)
+                .unwrap_or(0)
+        };
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while warm_hits(&server) < 1 {
+            assert!(Instant::now() < deadline, "re-warm never resolved as a hit");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(warm_computed(&server), 1, "a cached spec must not recompute");
+        server.begin_drain(); // stop the warmer thread
+    }
+
+    #[test]
+    fn refusals_do_not_deflate_hit_rate() {
+        let server = server("hit-rate", ServerOptions::default());
+        server.handle_line(&run_line_seeded(9, 51)); // miss
+        server.handle_line(&run_line_seeded(9, 51)); // hit
+        let body = |server: &Server| {
+            let stats = server.handle_line(r#"{"op": "stats"}"#);
+            match stats.doc.get("stats").unwrap() {
+                Value::Object(m) => m.clone(),
+                _ => unreachable!(),
+            }
+        };
+        let before = body(&server);
+        assert_eq!(before.get("runs"), Some(&(2u64).to_json()));
+        assert_eq!(before.get("hits"), Some(&(1u64).to_json()));
+        assert_eq!(before.get("hit_rate"), Some(&(0.5f64).to_json()));
+
+        // An accept-queue overload refusal and a drain refusal: neither is
+        // a served run, so neither may move the hit-rate denominator.
+        let _ = server.overloaded_refusal_line();
+        server.begin_drain();
+        let refused = server.handle_line(&run_line_seeded(9, 52));
+        assert_eq!(kind_of(&refused), error_kind::DRAINING);
+
+        let after = body(&server);
+        assert_eq!(after.get("runs"), Some(&(2u64).to_json()));
+        assert_eq!(after.get("hits"), Some(&(1u64).to_json()));
+        assert_eq!(after.get("hit_rate"), Some(&(0.5f64).to_json()));
+        assert_eq!(after.get("overloaded"), Some(&(1u64).to_json()));
+        assert_eq!(after.get("drain_refused"), Some(&(1u64).to_json()));
+    }
+
+    #[test]
+    fn retry_hint_scales_with_depth_monotonically() {
+        for chaos_ms in [0u64, 400, 20_000] {
+            let mut prev = 0;
+            for depth in 0..100 {
+                let hint = retry_after_hint(chaos_ms, depth);
+                assert!(
+                    hint >= prev,
+                    "hint must be monotone in depth (chaos {chaos_ms}, depth {depth})"
+                );
+                assert!(hint >= 250, "the 250 ms floor holds everywhere");
+                prev = hint;
+            }
+        }
+        // An idle daemon keeps the old constant hint...
+        assert_eq!(retry_after_hint(0, 0), 250);
+        // ...a loaded one pushes clients out proportionally...
+        assert_eq!(retry_after_hint(0, 3), 1_000);
+        assert_eq!(retry_after_hint(400, 1), 800);
+        // ...capped so an extreme backlog still retries within 10 s...
+        assert_eq!(retry_after_hint(0, 1_000), 10_000);
+        // ...unless one computation alone takes longer than the cap.
+        assert_eq!(retry_after_hint(20_000, 3), 20_000);
     }
 }

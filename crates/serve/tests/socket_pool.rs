@@ -7,7 +7,7 @@
 use serde_json::Value;
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::UnixStream;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
 use std::time::Duration;
 
@@ -15,8 +15,8 @@ fn tmp(name: &str) -> PathBuf {
     std::env::temp_dir().join(format!("sfc-serve-pool-{name}-{}", std::process::id()))
 }
 
-fn spawn_daemon(socket: &PathBuf, extra: &[&str]) -> Child {
-    let daemon = Command::new(env!("CARGO_BIN_EXE_sfc-serve"))
+fn spawn_daemon(socket: &Path, extra: &[&str]) -> Child {
+    let mut daemon = Command::new(env!("CARGO_BIN_EXE_sfc-serve"))
         .args(["--socket", socket.to_str().unwrap()])
         .args(extra)
         .stderr(Stdio::null())
@@ -28,10 +28,12 @@ fn spawn_daemon(socket: &PathBuf, extra: &[&str]) -> Child {
         }
         std::thread::sleep(Duration::from_millis(20));
     }
+    let _ = daemon.kill();
+    let _ = daemon.wait();
     panic!("daemon never bound its socket");
 }
 
-fn sigterm_and_wait(mut daemon: Child, socket: &PathBuf) {
+fn sigterm_and_wait(mut daemon: Child, socket: &Path) {
     let _ = Command::new("kill")
         .args(["-TERM", &daemon.id().to_string()])
         .status();
@@ -60,7 +62,7 @@ fn ask(writer: &mut UnixStream, reader: &mut BufReader<UnixStream>, line: &str) 
     serde_json::from_str(&response).expect("one JSON response line")
 }
 
-fn connect(socket: &PathBuf) -> (UnixStream, BufReader<UnixStream>) {
+fn connect(socket: &Path) -> (UnixStream, BufReader<UnixStream>) {
     let stream = UnixStream::connect(socket).expect("connect");
     stream
         .set_read_timeout(Some(Duration::from_secs(30)))
