@@ -48,6 +48,11 @@ pub struct SweepArgs {
     /// separate from `--json`: timings are wall-clock facts about one run,
     /// while the artifact must stay byte-identical across runs.
     pub timing: Option<String>,
+    /// Write one JSONL trace record per computed sweep cell (a span per
+    /// cell plus one per timed phase, stamped with a shared per-run
+    /// request id) to this path. Like `--timing`, a side channel: the
+    /// artifact bytes are identical with tracing on or off.
+    pub trace: Option<String>,
     /// Disable the precomputed hop-distance oracle and fall back to the
     /// closed-form topology distances (ablation/verification only; output
     /// bytes are identical either way).
@@ -81,6 +86,7 @@ impl Default for SweepArgs {
             jobs: None,
             chaos_journal: None,
             timing: None,
+            trace: None,
             no_oracle: false,
             cache: None,
             cache_mem_mb: 64,
@@ -144,6 +150,12 @@ impl SweepArgs {
                             .ok_or_else(|| "--timing needs a path".to_string())?,
                     )
                 }
+                "--trace" => {
+                    out.trace = Some(
+                        it.next()
+                            .ok_or_else(|| "--trace needs a path".to_string())?,
+                    )
+                }
                 "--no-oracle" => out.no_oracle = true,
                 "--cache" => {
                     out.cache = Some(
@@ -197,7 +209,7 @@ fn next_num<I: Iterator<Item = String>>(it: &mut I, flag: &str) -> Result<u64, S
 }
 
 fn usage() -> String {
-    "usage: <bin> [--scale S] [--trials T] [--seed X] [--jobs N] [--markdown] [--json PATH] [--timing PATH] [--no-oracle] [--emit-specs]\n\
+    "usage: <bin> [--scale S] [--trials T] [--seed X] [--jobs N] [--markdown] [--json PATH] [--timing PATH] [--trace PATH] [--no-oracle] [--emit-specs]\n\
      \u{20}          [--cache DIR] [--cache-mem-mb N] [--journal PATH] [--time-budget SECS] [--chaos LIST] [--chaos-persistent] [--chaos-journal N]\n\
      --scale S            shrink the paper workload by 4^S (default 2; 0 = full size)\n\
      --trials T           independent trials to average (default 3)\n\
@@ -208,6 +220,8 @@ fn usage() -> String {
      --json PATH          also write the artifact as JSON\n\
      --timing PATH        write the per-cell timing envelope (wall-clock and\n\
      \u{20}                    sample/assign/nfi/ffi phase breakdown) as JSON\n\
+     --trace PATH         write one JSONL span per computed cell and phase,\n\
+     \u{20}                    stamped with a shared per-run request id\n\
      --no-oracle          skip the precomputed hop-distance oracle and use\n\
      \u{20}                    closed-form distances (output bytes identical)\n\
      --cache DIR          content-addressed result cache: replay an already\n\
@@ -250,6 +264,7 @@ mod tests {
         assert_eq!(a.jobs, None);
         assert_eq!(a.chaos_journal, None);
         assert_eq!(a.timing, None);
+        assert_eq!(a.trace, None);
         assert!(!a.no_oracle);
         assert_eq!(a.cache, None);
         assert_eq!(a.cache_mem_mb, 64);
@@ -281,6 +296,8 @@ mod tests {
             "2",
             "--timing",
             "/tmp/x.timing.json",
+            "--trace",
+            "/tmp/x.trace.jsonl",
             "--no-oracle",
             "--cache",
             "/tmp/cache",
@@ -301,6 +318,7 @@ mod tests {
         assert_eq!(a.jobs, Some(4));
         assert_eq!(a.chaos_journal, Some(2));
         assert_eq!(a.timing.as_deref(), Some("/tmp/x.timing.json"));
+        assert_eq!(a.trace.as_deref(), Some("/tmp/x.trace.jsonl"));
         assert!(a.no_oracle);
         assert_eq!(a.cache.as_deref(), Some("/tmp/cache"));
         assert_eq!(a.cache_mem_mb, 16);
@@ -330,6 +348,7 @@ mod tests {
         assert!(parse(&["--jobs", "0"]).is_err());
         assert!(parse(&["--chaos-journal", "many"]).is_err());
         assert!(parse(&["--timing"]).is_err());
+        assert!(parse(&["--trace"]).is_err());
         assert!(parse(&["--cache"]).is_err());
         assert!(parse(&["--cache-mem-mb", "lots"]).is_err());
     }

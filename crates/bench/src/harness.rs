@@ -11,9 +11,9 @@
 
 use crate::args::SweepArgs;
 use crate::artifact::{compute, ArtifactOutput, ComputeOpts};
-use serde_json::{json, Value};
+use serde_json::{json, ToJson, Value};
 use sfc_core::runner::{ChaosInjector, RunnerOptions, SweepRunner, SweepSummary};
-use sfc_core::{ArtifactKind, CachedArtifact, ExperimentSpec, Machine, ResultCache};
+use sfc_core::{ArtifactKind, CachedArtifact, ExperimentSpec, Machine, ResultCache, TraceSink};
 use sfc_curves::CurveKind;
 use sfc_topology::TopologyKind;
 use std::path::PathBuf;
@@ -122,6 +122,46 @@ pub fn write_timing(artifact: &str, args: &SweepArgs, summary: &SweepSummary) {
     }
 }
 
+/// Write the sweep's trace to `--trace PATH` when set: one `cell` span per
+/// computed cell (wall time plus the cell name), one `phase` span per
+/// [`CellTiming`](sfc_core::CellTiming) phase inside it, and a final
+/// `sweep_done` event with the run accounting. Every record is stamped
+/// with one per-run request id (`<artifact>-<pid>`), so traces from
+/// concurrent runs appending to a shared file stay separable. Like
+/// `--timing`, a pure side channel: the artifact bytes are identical with
+/// tracing on or off.
+pub fn write_trace(artifact: &str, args: &SweepArgs, summary: &SweepSummary) {
+    let Some(path) = &args.trace else { return };
+    let sink = TraceSink::to_path(path).expect("open trace file");
+    let rid = format!("{artifact}-{:x}", std::process::id());
+    for (cell, timing) in &summary.timings {
+        for (phase, ms) in &timing.phases {
+            sink.span(
+                "phase",
+                &rid,
+                Duration::from_secs_f64(ms / 1e3),
+                &[("cell", cell.as_str().to_json()), ("phase", phase.as_str().to_json())],
+            );
+        }
+        sink.span(
+            "cell",
+            &rid,
+            Duration::from_secs_f64(timing.wall_ms / 1e3),
+            &[("cell", cell.as_str().to_json())],
+        );
+    }
+    sink.event(
+        "sweep_done",
+        &rid,
+        &[
+            ("artifact", artifact.to_json()),
+            ("computed", (summary.computed as u64).to_json()),
+            ("replayed", (summary.replayed as u64).to_json()),
+            ("failed", (summary.failed.len() as u64).to_json()),
+        ],
+    );
+}
+
 /// Report the sweep accounting on stderr: computed/replayed counts, every
 /// failed cell with its error, and the cells a spent time budget left
 /// uncomputed (so a follow-up run with `--journal` knows what remains).
@@ -207,6 +247,7 @@ pub fn run_artifact_with(kind: ArtifactKind, args: &SweepArgs) {
     let summary = runner.finish();
     report(kind.sweep_name(), &summary);
     write_timing(kind.name(), args, &summary);
+    write_trace(kind.name(), args, &summary);
     let doc = crate::results::envelope(kind.name(), &spec, &summary, out.data.clone());
     let json_text = serde_json::to_string_pretty(&doc).expect("serialize artifact");
     if let Some(path) = &args.json {
@@ -242,6 +283,7 @@ fn replay(kind: ArtifactKind, args: &SweepArgs, hit: &CachedArtifact) {
         std::fs::write(path, &hit.artifact_json).expect("write JSON");
     }
     write_timing(kind.name(), args, &SweepSummary::default());
+    write_trace(kind.name(), args, &SweepSummary::default());
     eprintln!(
         "# cache {}: hit — 0 cell(s) computed, artifact replayed from cache",
         kind.name()
@@ -321,6 +363,60 @@ mod tests {
         assert!(!is_retryable(DEADLINE_EXCEEDED));
         assert!(!is_retryable(DRAINING));
         assert!(!is_retryable("anything_else"));
+    }
+
+    #[test]
+    fn write_trace_emits_cell_and_phase_spans_under_one_request_id() {
+        let path = std::env::temp_dir().join(format!(
+            "sfc-bench-trace-{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let args = SweepArgs {
+            trace: Some(path.to_string_lossy().into_owned()),
+            ..SweepArgs::default()
+        };
+        let summary = SweepSummary {
+            computed: 1,
+            timings: vec![(
+                "uniform/t0".to_string(),
+                sfc_core::CellTiming {
+                    wall_ms: 12.5,
+                    phases: vec![("sample".to_string(), 2.0), ("nfi".to_string(), 9.0)],
+                },
+            )],
+            ..SweepSummary::default()
+        };
+        write_trace("table1", &args, &summary);
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let records: Vec<Value> = text
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect();
+        // Two phase spans, one cell span, one sweep_done event.
+        assert_eq!(records.len(), 4);
+        let rids: Vec<&str> = records
+            .iter()
+            .map(|r| r.get("request_id").and_then(Value::as_str).unwrap())
+            .collect();
+        assert!(rids.iter().all(|r| *r == rids[0] && r.starts_with("table1-")));
+        let names: Vec<&str> = records
+            .iter()
+            .map(|r| r.get("name").and_then(Value::as_str).unwrap())
+            .collect();
+        assert_eq!(names, ["phase", "phase", "cell", "sweep_done"]);
+        assert_eq!(records[0].get("phase"), Some(&"sample".to_json()));
+        assert_eq!(records[0].get("dur_us"), Some(&2_000u64.to_json()));
+        assert_eq!(records[2].get("cell"), Some(&"uniform/t0".to_json()));
+        assert_eq!(records[2].get("dur_us"), Some(&12_500u64.to_json()));
+        assert_eq!(records[3].get("kind"), Some(&"event".to_json()));
+        assert_eq!(records[3].get("computed"), Some(&1u64.to_json()));
+        let _ = std::fs::remove_file(&path);
+
+        // Without the flag, nothing is written.
+        write_trace("table1", &SweepArgs::default(), &summary);
+        assert!(!path.exists());
     }
 
     #[test]

@@ -112,36 +112,6 @@ pub fn anns(curve: CurveKind, order: u32) -> Result<StretchResult, SfcError> {
     anns_radius(curve, order, 1, Norm::Manhattan)
 }
 
-/// Panicking wrapper of [`anns`], kept for call sites that predate the
-/// fallible API.
-#[deprecated(note = "use `anns`, which now returns a typed Result")]
-pub fn anns_or_panic(curve: CurveKind, order: u32) -> StretchResult {
-    anns(curve, order).unwrap_or_else(|e| panic!("anns: {e}"))
-}
-
-/// Panicking wrapper of [`anns_radius`], kept for call sites that predate
-/// the fallible API.
-#[deprecated(note = "use `anns_radius`, which now returns a typed Result")]
-pub fn anns_radius_or_panic(
-    curve: CurveKind,
-    order: u32,
-    radius: u32,
-    norm: Norm,
-) -> StretchResult {
-    anns_radius(curve, order, radius, norm).unwrap_or_else(|e| panic!("anns_radius: {e}"))
-}
-
-/// Former name of [`anns_radius`], from when the fallible API was secondary.
-#[deprecated(note = "renamed to `anns_radius`")]
-pub fn try_anns_radius(
-    curve: CurveKind,
-    order: u32,
-    radius: u32,
-    norm: Norm,
-) -> Result<StretchResult, SfcError> {
-    anns_radius(curve, order, radius, norm)
-}
-
 /// Generalized stretch: all pairs within `radius` under `norm`, stretch =
 /// linear distance / spatial distance. `radius = 1, Manhattan` recovers the
 /// ANNS.
@@ -184,20 +154,6 @@ pub fn anns_radius(
         })
         .reduce(StretchResult::empty, StretchResult::merge);
     Ok(result)
-}
-
-/// Panicking wrapper of [`all_pairs_stretch`], kept for call sites that
-/// predate the fallible API.
-#[deprecated(note = "use `all_pairs_stretch`, which now returns a typed Result")]
-pub fn all_pairs_stretch_or_panic(curve: CurveKind, order: u32) -> StretchResult {
-    all_pairs_stretch(curve, order).unwrap_or_else(|e| panic!("all_pairs_stretch: {e}"))
-}
-
-/// Former name of [`all_pairs_stretch`], from when the fallible API was
-/// secondary.
-#[deprecated(note = "renamed to `all_pairs_stretch`")]
-pub fn try_all_pairs_stretch(curve: CurveKind, order: u32) -> Result<StretchResult, SfcError> {
-    all_pairs_stretch(curve, order)
 }
 
 /// The all-pairs stretch of Xu & Tirthapura: mean of
@@ -391,33 +347,10 @@ mod tests {
             anns_cyclic(CurveKind::Moore, 4, 0, Norm::Manhattan),
             Err(SfcError::ZeroRadius)
         );
-        // The panicking wrappers surface the same message.
+        // The typed error still renders a human-readable message.
         let err = anns_radius(CurveKind::Hilbert, 4, 0, Norm::Manhattan).unwrap_err();
         assert!(err.to_string().contains("at least 1"));
     }
-}
-
-/// Panicking wrapper of [`anns_cyclic`], kept for call sites that predate
-/// the fallible API.
-#[deprecated(note = "use `anns_cyclic`, which now returns a typed Result")]
-pub fn anns_cyclic_or_panic(
-    curve: CurveKind,
-    order: u32,
-    radius: u32,
-    norm: Norm,
-) -> StretchResult {
-    anns_cyclic(curve, order, radius, norm).unwrap_or_else(|e| panic!("anns_cyclic: {e}"))
-}
-
-/// Former name of [`anns_cyclic`], from when the fallible API was secondary.
-#[deprecated(note = "renamed to `anns_cyclic`")]
-pub fn try_anns_cyclic(
-    curve: CurveKind,
-    order: u32,
-    radius: u32,
-    norm: Norm,
-) -> Result<StretchResult, SfcError> {
-    anns_cyclic(curve, order, radius, norm)
 }
 
 /// Cyclic variant of the generalized stretch: linear distance measured

@@ -71,6 +71,7 @@
 //! (`mem_hits`/`disk_hits`/`mem_evictions`/`mem_bytes`/`mem_entries`),
 //! which `sfc-serve` surfaces through its `stats` and `health` ops.
 
+use crate::obs::{Counter, MetricsRegistry};
 use crate::spec::ExperimentSpec;
 use serde_json::{json, Value};
 use std::collections::HashMap;
@@ -125,6 +126,52 @@ pub struct MemTierStats {
     pub mem_entries: u64,
 }
 
+/// The cache's cumulative counters, as shareable [`Counter`] handles.
+///
+/// By default a cache owns standalone counters; a daemon that wants its
+/// Prometheus page to read the *same* storage the cache increments builds
+/// the set from its registry with [`CacheCounters::registered`] and passes
+/// it to [`ResultCache::with_observability`]. The counter handle **is** the
+/// registry series, so there is no render-time copy to drift out of sync —
+/// tier counts are bookkept in exactly one place.
+#[derive(Debug, Clone, Default)]
+pub struct CacheCounters {
+    /// Loads answered from the memory tier.
+    pub mem_hits: Counter,
+    /// Loads answered from (verified) disk.
+    pub disk_hits: Counter,
+    /// Entries evicted by the LRU byte budget.
+    pub mem_evictions: Counter,
+    /// Corrupt entries moved to quarantine.
+    pub quarantined: Counter,
+}
+
+impl CacheCounters {
+    /// Register the cache counter set in `registry` under `prefix`
+    /// (`<prefix>_mem_hits_total`, `<prefix>_disk_hits_total`,
+    /// `<prefix>_mem_evictions_total`, `<prefix>_quarantined_total`).
+    pub fn registered(registry: &MetricsRegistry, prefix: &str) -> CacheCounters {
+        CacheCounters {
+            mem_hits: registry.counter(
+                &format!("{prefix}_mem_hits_total"),
+                "Cache loads answered from the in-memory LRU tier.",
+            ),
+            disk_hits: registry.counter(
+                &format!("{prefix}_disk_hits_total"),
+                "Cache loads answered from checksum-verified disk.",
+            ),
+            mem_evictions: registry.counter(
+                &format!("{prefix}_mem_evictions_total"),
+                "Memory-tier entries evicted by the LRU byte budget.",
+            ),
+            quarantined: registry.counter(
+                &format!("{prefix}_quarantined_total"),
+                "Corrupt cache entries moved to quarantine.",
+            ),
+        }
+    }
+}
+
 /// One resident artifact plus its LRU bookkeeping.
 struct MemEntry {
     artifact: Arc<CachedArtifact>,
@@ -149,7 +196,7 @@ struct MemTier {
     clock: AtomicU64,
     bytes: AtomicU64,
     entries: AtomicU64,
-    evictions: AtomicU64,
+    evictions: Counter,
 }
 
 impl std::fmt::Debug for MemTier {
@@ -163,7 +210,7 @@ impl std::fmt::Debug for MemTier {
 }
 
 impl MemTier {
-    fn new(budget_bytes: u64, shards: usize) -> MemTier {
+    fn new(budget_bytes: u64, shards: usize, evictions: Counter) -> MemTier {
         let shards = shards.max(1);
         MemTier {
             shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
@@ -171,7 +218,7 @@ impl MemTier {
             clock: AtomicU64::new(0),
             bytes: AtomicU64::new(0),
             entries: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
+            evictions,
         }
     }
 
@@ -219,7 +266,7 @@ impl MemTier {
                         shard.bytes -= evicted.bytes;
                         self.bytes.fetch_sub(evicted.bytes, Ordering::SeqCst);
                         self.entries.fetch_sub(1, Ordering::SeqCst);
-                        self.evictions.fetch_add(1, Ordering::SeqCst);
+                        self.evictions.inc();
                     }
                 }
                 None => break,
@@ -270,23 +317,21 @@ pub const DEFAULT_MEM_SHARDS: usize = 8;
 #[derive(Debug, Clone)]
 pub struct ResultCache {
     root: PathBuf,
-    /// Entries this handle has quarantined (shared across clones so a
-    /// daemon's stats see every quarantine regardless of which worker
-    /// thread hit the corruption).
-    quarantined: Arc<AtomicU64>,
+    /// The cumulative counters (quarantines, tier hits, evictions). The
+    /// handles are shared across clones — and, when the cache was built
+    /// with [`ResultCache::with_observability`], with a metrics registry —
+    /// so a daemon's stats see every increment regardless of which worker
+    /// thread (or which view of the counters) made it.
+    counters: CacheCounters,
     /// The optional memory tier, shared across clones.
     mem: Option<Arc<MemTier>>,
-    /// Tier hit counters (kept outside `MemTier` so `disk_hits` counts
-    /// even when no memory tier is configured).
-    mem_hits: Arc<AtomicU64>,
-    disk_hits: Arc<AtomicU64>,
 }
 
 impl ResultCache {
     /// Open (and create, if needed) a cache rooted at `root`, without a
     /// memory tier: every load reads and verifies from disk.
     pub fn new(root: impl Into<PathBuf>) -> io::Result<ResultCache> {
-        Self::build(root.into(), None)
+        Self::with_observability(root, 0, DEFAULT_MEM_SHARDS, CacheCounters::default())
     }
 
     /// Open a cache whose loads are fronted by an in-memory LRU tier
@@ -307,30 +352,41 @@ impl ResultCache {
         budget_bytes: u64,
         shards: usize,
     ) -> io::Result<ResultCache> {
-        let tier = (budget_bytes > 0).then(|| Arc::new(MemTier::new(budget_bytes, shards)));
-        Self::build(root.into(), tier)
+        Self::with_observability(root, budget_bytes, shards, CacheCounters::default())
     }
 
-    fn build(root: PathBuf, mem: Option<Arc<MemTier>>) -> io::Result<ResultCache> {
+    /// [`ResultCache::with_memory_tier`] incrementing caller-supplied
+    /// [`CacheCounters`] — typically handles registered in a
+    /// [`MetricsRegistry`], making the registry the single bookkeeper of
+    /// the tier counters.
+    pub fn with_observability(
+        root: impl Into<PathBuf>,
+        budget_bytes: u64,
+        shards: usize,
+        counters: CacheCounters,
+    ) -> io::Result<ResultCache> {
+        let root = root.into();
         fs::create_dir_all(&root)?;
+        let mem = (budget_bytes > 0).then(|| {
+            Arc::new(MemTier::new(
+                budget_bytes,
+                shards,
+                counters.mem_evictions.clone(),
+            ))
+        });
         Ok(ResultCache {
             root,
-            quarantined: Arc::new(AtomicU64::new(0)),
+            counters,
             mem,
-            mem_hits: Arc::new(AtomicU64::new(0)),
-            disk_hits: Arc::new(AtomicU64::new(0)),
         })
     }
 
     /// Snapshot the tier counters.
     pub fn mem_stats(&self) -> MemTierStats {
         MemTierStats {
-            mem_hits: self.mem_hits.load(Ordering::SeqCst),
-            disk_hits: self.disk_hits.load(Ordering::SeqCst),
-            mem_evictions: self
-                .mem
-                .as_ref()
-                .map_or(0, |m| m.evictions.load(Ordering::SeqCst)),
+            mem_hits: self.counters.mem_hits.get(),
+            disk_hits: self.counters.disk_hits.get(),
+            mem_evictions: self.counters.mem_evictions.get(),
             mem_bytes: self
                 .mem
                 .as_ref()
@@ -384,7 +440,7 @@ impl ResultCache {
         let key = Self::key(spec);
         if let Some(mem) = &self.mem {
             if let Some(artifact) = mem.get(&key) {
-                self.mem_hits.fetch_add(1, Ordering::SeqCst);
+                self.counters.mem_hits.inc();
                 return Some((artifact, TierHit::Memory));
             }
         }
@@ -394,7 +450,7 @@ impl ResultCache {
         }
         match self.load_entry(&dir, spec) {
             Ok(artifact) => {
-                self.disk_hits.fetch_add(1, Ordering::SeqCst);
+                self.counters.disk_hits.inc();
                 let artifact = Arc::new(artifact);
                 if let Some(mem) = &self.mem {
                     mem.insert(&key, Arc::clone(&artifact));
@@ -467,7 +523,7 @@ impl ResultCache {
         if let Err(e) = fs::create_dir_all(&qroot) {
             eprintln!("# cache: cannot create quarantine dir: {e}");
             let _ = fs::remove_dir_all(dir);
-            self.quarantined.fetch_add(1, Ordering::SeqCst);
+            self.counters.quarantined.inc();
             return;
         }
         for n in 0u32.. {
@@ -481,7 +537,7 @@ impl ResultCache {
                         "# cache: quarantined corrupt entry {key} -> {}: {reason}",
                         target.display()
                     );
-                    self.quarantined.fetch_add(1, Ordering::SeqCst);
+                    self.counters.quarantined.inc();
                     return;
                 }
                 Err(_) if !dir.exists() => {
@@ -497,7 +553,7 @@ impl ResultCache {
                         "# cache: cannot quarantine {key} ({reason}); removing instead: {e}"
                     );
                     let _ = fs::remove_dir_all(dir);
-                    self.quarantined.fetch_add(1, Ordering::SeqCst);
+                    self.counters.quarantined.inc();
                     return;
                 }
             }
@@ -506,7 +562,7 @@ impl ResultCache {
 
     /// Entries this handle (and its clones) have quarantined.
     pub fn quarantined(&self) -> u64 {
-        self.quarantined.load(Ordering::SeqCst)
+        self.counters.quarantined.get()
     }
 
     /// Persist `artifact` as the entry for `spec`.
@@ -887,6 +943,25 @@ mod tests {
         assert_eq!(tier, TierHit::Disk);
         let stats = cache.mem_stats();
         assert_eq!((stats.mem_hits, stats.disk_hits, stats.mem_bytes), (0, 1, 0));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn registered_counters_are_the_registry_series() {
+        let root = temp_root("registered-counters");
+        let registry = MetricsRegistry::new();
+        let counters = CacheCounters::registered(&registry, "sfc_serve");
+        let cache =
+            ResultCache::with_observability(&root, 1 << 20, 1, counters).unwrap();
+        let spec = ExperimentSpec::table1(5, 1, 7);
+        cache.store(&spec, &sample_artifact()).unwrap();
+        let _ = cache.load(&spec); // memory hit
+        // The registry sees the increment with no copy step: the cache's
+        // counter handle IS the registered series.
+        let page = registry.render_prometheus();
+        assert!(page.contains("sfc_serve_mem_hits_total 1"), "{page}");
+        assert!(page.contains("sfc_serve_disk_hits_total 0"), "{page}");
+        assert_eq!(cache.mem_stats().mem_hits, 1);
         let _ = fs::remove_dir_all(&root);
     }
 

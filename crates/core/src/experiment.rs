@@ -131,14 +131,6 @@ impl AcdExperiment {
         })
     }
 
-    /// Panicking wrapper of [`AcdExperiment::run`], kept for call sites that
-    /// predate the fallible API.
-    #[deprecated(note = "use `run`, which now returns a typed Result")]
-    pub fn run_or_panic(&self) -> AcdMeasurement {
-        self.run()
-            .unwrap_or_else(|e| panic!("invalid experiment: {e}"))
-    }
-
     /// Build the machine for this experiment.
     pub fn machine(&self) -> Machine {
         Machine::new(self.topology, self.num_processors, self.processor_curve)
@@ -296,15 +288,6 @@ mod tests {
             e.run(),
             Err(SfcError::NonPowerOfFourProcessors { num_processors: 48 })
         ));
-    }
-
-    #[test]
-    #[should_panic(expected = "invalid experiment")]
-    #[allow(deprecated)]
-    fn run_or_panic_rejects_invalid_configuration() {
-        let mut e = small_experiment(CurveKind::Hilbert, CurveKind::Hilbert, TopologyKind::Torus);
-        e.num_processors = 48;
-        let _ = e.run_or_panic();
     }
 
     #[test]

@@ -146,41 +146,6 @@ pub fn ffi_acd(asg: &Assignment, machine: &Machine) -> Result<FfiResult, SfcErro
     ffi_acd_with_tree(asg, machine, &tree)
 }
 
-/// Panicking wrapper of [`ffi_acd`], kept for call sites that predate the
-/// fallible API.
-#[deprecated(note = "use `ffi_acd`, which now returns a typed Result")]
-pub fn ffi_acd_or_panic(asg: &Assignment, machine: &Machine) -> FfiResult {
-    ffi_acd(asg, machine).unwrap_or_else(|e| panic!("ffi_acd: {e}"))
-}
-
-/// Former name of [`ffi_acd`], from when the fallible API was secondary.
-#[deprecated(note = "renamed to `ffi_acd`")]
-pub fn try_ffi_acd(asg: &Assignment, machine: &Machine) -> Result<FfiResult, SfcError> {
-    ffi_acd(asg, machine)
-}
-
-/// Panicking wrapper of [`ffi_acd_with_tree`], kept for call sites that
-/// predate the fallible API.
-#[deprecated(note = "use `ffi_acd_with_tree`, which now returns a typed Result")]
-pub fn ffi_acd_with_tree_or_panic(
-    asg: &Assignment,
-    machine: &Machine,
-    tree: &OwnerTree,
-) -> FfiResult {
-    ffi_acd_with_tree(asg, machine, tree).unwrap_or_else(|e| panic!("ffi_acd: {e}"))
-}
-
-/// Former name of [`ffi_acd_with_tree`], from when the fallible API was
-/// secondary.
-#[deprecated(note = "renamed to `ffi_acd_with_tree`")]
-pub fn try_ffi_acd_with_tree(
-    asg: &Assignment,
-    machine: &Machine,
-    tree: &OwnerTree,
-) -> Result<FfiResult, SfcError> {
-    ffi_acd_with_tree(asg, machine, tree)
-}
-
 /// Compute the far-field ACD with a prebuilt [`OwnerTree`] (for callers that
 /// evaluate several machines against one assignment).
 ///

@@ -61,6 +61,7 @@ pub mod load;
 pub mod machine;
 pub mod model3d;
 pub mod nfi;
+pub mod obs;
 pub mod oracle;
 pub mod pattern;
 pub mod report;
@@ -72,10 +73,11 @@ pub mod timing;
 
 pub use anns::{anns_radius, StretchResult};
 pub use assignment::Assignment;
-pub use cache::{CachedArtifact, MemTierStats, ResultCache, TierHit, KERNEL_VERSION};
+pub use cache::{CacheCounters, CachedArtifact, MemTierStats, ResultCache, TierHit, KERNEL_VERSION};
 pub use error::SfcError;
 pub use experiment::{AcdExperiment, AcdMeasurement};
 pub use machine::Machine;
+pub use obs::{Counter, Gauge, Histogram, MetricsRegistry, TraceSink};
 pub use oracle::DistanceOracle;
 pub use runner::{BatchCell, CellResult, ChaosInjector, RunnerOptions, SweepRunner, SweepSummary};
 pub use spec::{ArtifactKind, ExperimentSpec};

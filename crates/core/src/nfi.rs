@@ -64,24 +64,6 @@ impl NfiResult {
     }
 }
 
-/// Panicking wrapper of [`nfi_acd`], kept for call sites that predate the
-/// fallible API.
-#[deprecated(note = "use `nfi_acd`, which now returns a typed Result")]
-pub fn nfi_acd_or_panic(asg: &Assignment, machine: &Machine, radius: u32, norm: Norm) -> NfiResult {
-    nfi_acd(asg, machine, radius, norm).unwrap_or_else(|e| panic!("nfi_acd: {e}"))
-}
-
-/// Former name of [`nfi_acd`], from when the fallible API was secondary.
-#[deprecated(note = "renamed to `nfi_acd`")]
-pub fn try_nfi_acd(
-    asg: &Assignment,
-    machine: &Machine,
-    radius: u32,
-    norm: Norm,
-) -> Result<NfiResult, SfcError> {
-    nfi_acd(asg, machine, radius, norm)
-}
-
 /// Compute the near-field ACD for an assignment on a machine, with
 /// neighborhood radius `radius` under `norm`.
 ///
@@ -267,18 +249,14 @@ mod tests {
         let particles = pts(&[(0, 0)]);
         let asg = Assignment::new(&particles, 2, CurveKind::Hilbert, 1);
         let machine = Machine::grid(TopologyKind::Mesh, 16, CurveKind::Hilbert);
-        assert_eq!(
-            nfi_acd(&asg, &machine, 0, Norm::Chebyshev),
-            Err(crate::error::SfcError::ZeroRadius)
+        let err = nfi_acd(&asg, &machine, 0, Norm::Chebyshev).unwrap_err();
+        assert_eq!(err, crate::error::SfcError::ZeroRadius);
+        // The typed error still renders the human-readable message callers
+        // used to get from the (since removed) panicking shim.
+        assert!(
+            err.to_string().contains("radius must be at least 1"),
+            "{err}"
         );
-        // The deprecated panicking shim surfaces the human-readable message.
-        #[allow(deprecated)]
-        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            nfi_acd_or_panic(&asg, &machine, 0, Norm::Chebyshev)
-        }))
-        .unwrap_err();
-        let msg = err.downcast_ref::<String>().unwrap();
-        assert!(msg.contains("radius must be at least 1"), "{msg}");
     }
 
     #[test]

@@ -89,6 +89,7 @@ pub fn phase<T>(name: &str, f: impl FnOnce() -> T) -> T {
 pub struct LatencyHistogram {
     counts: [u64; Self::BUCKETS],
     total: u64,
+    sum_micros: u64,
 }
 
 impl Default for LatencyHistogram {
@@ -96,6 +97,7 @@ impl Default for LatencyHistogram {
         LatencyHistogram {
             counts: [0; Self::BUCKETS],
             total: 0,
+            sum_micros: 0,
         }
     }
 }
@@ -115,6 +117,7 @@ impl LatencyHistogram {
         let idx = (63 - micros.max(1).leading_zeros() as usize).min(Self::BUCKETS - 1);
         self.counts[idx] += 1;
         self.total += 1;
+        self.sum_micros = self.sum_micros.saturating_add(micros);
     }
 
     /// Record one observed duration.
@@ -125,6 +128,12 @@ impl LatencyHistogram {
     /// Total observations recorded.
     pub fn count(&self) -> u64 {
         self.total
+    }
+
+    /// Sum of all recorded observations in µs (saturating), the
+    /// `_sum` companion of the Prometheus histogram exposition.
+    pub fn sum_micros(&self) -> u64 {
+        self.sum_micros
     }
 
     /// Whether nothing has been recorded yet.

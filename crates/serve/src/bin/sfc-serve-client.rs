@@ -41,6 +41,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde_json::{Map, ToJson, Value};
 use sfc_bench::harness::error_kind;
+use sfc_serve::response::{HealthResponse, StatsResponse, SCHEMA_VERSION};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::os::unix::net::UnixStream;
 use std::time::Duration;
@@ -287,6 +288,40 @@ fn retry_delay(hint_ms: Option<u64>, jitter: Duration) -> Duration {
     }
 }
 
+/// Cross-check any `stats`/`health` body in a response line against the
+/// versioned wire structs the daemon serializes ([`sfc_serve::response`]).
+/// Returns a warning when the daemon speaks a different `schema_version`
+/// than this client was built for, or when the body no longer parses as
+/// the struct at all (renamed or missing fields). The response line is
+/// printed verbatim either way — the warning goes to stderr so scripted
+/// consumers of stdout are unaffected.
+fn schema_drift_warning(line: &str) -> Option<String> {
+    let doc: Value = serde_json::from_str(line).ok()?;
+    if let Some(body) = doc.get("stats") {
+        return match StatsResponse::from_json(body) {
+            Ok(stats) if stats.schema_version != SCHEMA_VERSION => Some(format!(
+                "daemon stats are schema v{}, this client expects v{SCHEMA_VERSION}",
+                stats.schema_version
+            )),
+            Ok(_) => None,
+            Err(e) => Some(format!(
+                "stats body does not match schema v{SCHEMA_VERSION}: {e}"
+            )),
+        };
+    }
+    let body = doc.get("health")?;
+    match HealthResponse::from_json(body) {
+        Ok(health) if health.schema_version != SCHEMA_VERSION => Some(format!(
+            "daemon health is schema v{}, this client expects v{SCHEMA_VERSION}",
+            health.schema_version
+        )),
+        Ok(_) => None,
+        Err(e) => Some(format!(
+            "health body does not match schema v{SCHEMA_VERSION}: {e}"
+        )),
+    }
+}
+
 /// Synthesize the one-line transport failure printed when the daemon never
 /// produced a (complete) response, echoing the request's `id` when it has
 /// one so callers can still correlate.
@@ -430,6 +465,9 @@ fn main() {
     for request in &flags.requests {
         let (line, answered) = run_request(&mut conn, &flags, &mut backoff, request);
         println!("{line}");
+        if let Some(warning) = schema_drift_warning(&line) {
+            eprintln!("# client: {warning}");
+        }
         if !answered {
             transport_failures += 1;
         }
@@ -479,5 +517,45 @@ mod tests {
         );
         assert_eq!(response_failure(r#"{"id":3,"ok":true}"#), None);
         assert_eq!(response_failure("not json"), None);
+    }
+
+    #[test]
+    fn schema_drift_is_flagged_but_matching_bodies_pass_silently() {
+        // A current-version body round-tripped through the struct passes.
+        let stats = StatsResponse {
+            schema_version: SCHEMA_VERSION,
+            ..StatsResponse::default()
+        };
+        let mut doc = Map::new();
+        doc.insert("id", Value::Null);
+        doc.insert("ok", Value::Bool(true));
+        doc.insert("stats", stats.to_json());
+        let line = serde_json::to_string(&Value::Object(doc)).unwrap();
+        assert_eq!(schema_drift_warning(&line), None);
+
+        // A future daemon bumping the version draws a warning naming both
+        // versions.
+        let future = StatsResponse {
+            schema_version: SCHEMA_VERSION + 1,
+            ..StatsResponse::default()
+        };
+        let mut doc = Map::new();
+        doc.insert("stats", future.to_json());
+        let line = serde_json::to_string(&Value::Object(doc)).unwrap();
+        let warning = schema_drift_warning(&line).expect("version bump warns");
+        assert!(warning.contains(&format!("v{}", SCHEMA_VERSION + 1)), "{warning}");
+
+        // A body that no longer parses (renamed field) warns too.
+        let mut body = Map::new();
+        body.insert("schema_version", SCHEMA_VERSION.to_json());
+        let mut doc = Map::new();
+        doc.insert("health", Value::Object(body));
+        let line = serde_json::to_string(&Value::Object(doc)).unwrap();
+        let warning = schema_drift_warning(&line).expect("missing fields warn");
+        assert!(warning.contains("health body"), "{warning}");
+
+        // Lines without a stats/health body are not the client's business.
+        assert_eq!(schema_drift_warning(r#"{"id":1,"ok":true}"#), None);
+        assert_eq!(schema_drift_warning("not json"), None);
     }
 }

@@ -169,6 +169,7 @@ struct Flags {
     chaos_disconnect: Option<u64>,
     deadline_ms: Option<u64>,
     max_inflight: Option<usize>,
+    trace: Option<String>,
 }
 
 fn default_workers() -> usize {
@@ -190,6 +191,8 @@ fn usage() -> String {
                             `warm_queue_full`)\n\
      --deadline-ms N        bound each request to N ms (expiry: error_kind deadline_exceeded)\n\
      --max-inflight N       refuse work beyond N concurrent computations (error_kind overloaded)\n\
+     --trace PATH           write one JSONL span/event record per line to PATH, each stamped\n\
+                            with the request_id echoed on the response it belongs to\n\
      --chaos-compute-ms N   sleep N ms before each computation (test hook)\n\
      --chaos-panic K        panic every K-th computation (test hook; contained)\n\
      --chaos-disconnect K   drop every K-th response mid-write, socket mode (test hook)\n"
@@ -211,6 +214,7 @@ fn parse_flags() -> Result<Flags, String> {
         chaos_disconnect: None,
         deadline_ms: None,
         max_inflight: None,
+        trace: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -255,6 +259,9 @@ fn parse_flags() -> Result<Flags, String> {
             "--chaos-disconnect" => flags.chaos_disconnect = Some(num("--chaos-disconnect")?),
             "--deadline-ms" => flags.deadline_ms = Some(num("--deadline-ms")?),
             "--max-inflight" => flags.max_inflight = Some(num("--max-inflight")? as usize),
+            "--trace" => {
+                flags.trace = Some(it.next().ok_or("--trace needs a path")?);
+            }
             "--help" | "-h" => {
                 print!("{}", usage());
                 std::process::exit(0);
@@ -609,11 +616,15 @@ fn main() {
         cache_mem_bytes: flags.cache_mem_mb.saturating_mul(1024 * 1024),
         batch_workers: flags.batch_workers,
         warm_queue_cap: flags.warm_queue,
+        trace_path: flags.trace.clone(),
     };
     let server = match Server::new(&flags.cache, opts) {
         Ok(s) => Arc::new(s),
         Err(e) => {
-            eprintln!("error: cannot open cache `{}`: {e}", flags.cache);
+            eprintln!(
+                "error: cannot open cache `{}` (or the trace file): {e}",
+                flags.cache
+            );
             std::process::exit(2);
         }
     };

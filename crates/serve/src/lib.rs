@@ -27,7 +27,23 @@
 //! {"id": 5, "op": "batch", "defaults": {"artifact": "table1", "trials": 1},
 //!  "items": [{"scale": 5}, {"scale": 6, "format": "json"}]}
 //! {"id": 6, "op": "warm", "items": [{"artifact": "fig7", "scale": 5, "trials": 1}]}
+//! {"id": 8, "op": "metrics"}
 //! ```
+//!
+//! ## Observability
+//!
+//! Every response line carries a `request_id`: the client's own (echoed
+//! verbatim when the request object names one) or a daemon-generated
+//! identifier, with `batch` item lines tagged `<request_id>.<index>`. The
+//! same identifier is stamped on every trace record the request produced,
+//! so one grep of the trace file (`--trace PATH`, JSONL, one span or event
+//! per line with monotonic `ts_us` timestamps) reconstructs a request's
+//! timeline.
+//!
+//! All counters live in one [`MetricsRegistry`]; the `metrics` op renders
+//! it as a Prometheus text-exposition page (in the `metrics` field of the
+//! response), and the `stats`/`health` bodies are views of the same
+//! registry shaped as the versioned structs in [`response`].
 //!
 //! A `run` response carries the requested payload stream (`format` is
 //! `plain`, `markdown` or `json`) plus provenance: the cache `key`, whether
@@ -78,13 +94,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod response;
+
+use response::{HealthResponse, LatencyEntry, StatsResponse, SCHEMA_VERSION};
 use serde_json::{Map, ToJson, Value};
 use sfc_bench::artifact::{compute, ComputeOpts};
 use sfc_bench::harness::error_kind;
 use sfc_bench::SweepArgs;
+use sfc_core::cache::DEFAULT_MEM_SHARDS;
+use sfc_core::obs::SampleValue;
 use sfc_core::runner::{SweepRunner, SweepSummary};
 use sfc_core::{
-    ArtifactKind, CachedArtifact, ExperimentSpec, LatencyHistogram, ResultCache, SfcError, TierHit,
+    ArtifactKind, CacheCounters, CachedArtifact, Counter, ExperimentSpec, Gauge, MetricsRegistry,
+    ResultCache, SfcError, TierHit, TraceSink,
 };
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -195,6 +217,9 @@ pub enum Request {
     Stats,
     /// Report daemon liveness (uptime, drain state, in-flight counts).
     Health,
+    /// Render every registered metric as a Prometheus text-exposition
+    /// page.
+    Metrics,
     /// Stop accepting requests, answer what is in flight, and exit.
     Shutdown,
 }
@@ -285,11 +310,21 @@ fn parse_items(op: &str, obj: &Map) -> Result<Vec<(Box<ExperimentSpec>, Format)>
 impl Request {
     /// Parse one JSON request line. `scale`/`trials`/`seed` default to the
     /// binaries' flag defaults, so a request describes the same experiment
-    /// the equivalent command line would.
-    pub fn parse(line: &str) -> Result<(Value, Request), String> {
+    /// the equivalent command line would. The middle tuple element is the
+    /// client-supplied `request_id`, if the request object names one — the
+    /// daemon echoes it instead of generating its own.
+    pub fn parse(line: &str) -> Result<(Value, Option<String>, Request), String> {
         let doc: Value = serde_json::from_str(line).map_err(|e| format!("bad JSON: {e}"))?;
         let obj = doc.as_object().ok_or("request must be a JSON object")?;
         let id = obj.get("id").cloned().unwrap_or(Value::Null);
+        let request_id = match obj.get("request_id") {
+            None => None,
+            Some(v) => Some(
+                v.as_str()
+                    .ok_or("`request_id` must be a string")?
+                    .to_string(),
+            ),
+        };
         let op = obj
             .get("op")
             .and_then(Value::as_str)
@@ -297,6 +332,7 @@ impl Request {
         let req = match op {
             "stats" => Request::Stats,
             "health" => Request::Health,
+            "metrics" => Request::Metrics,
             "shutdown" => Request::Shutdown,
             "run" => {
                 let (spec, format) = parse_run_fields(obj).map_err(|e| format!("run: {e}"))?;
@@ -316,7 +352,7 @@ impl Request {
             },
             other => return Err(format!("unknown op `{other}`")),
         };
-        Ok((id, req))
+        Ok((id, request_id, req))
     }
 }
 
@@ -400,61 +436,147 @@ enum RunOutcome {
     },
 }
 
-/// Daemon counters, reported by the `stats` op.
-#[derive(Debug, Default)]
-struct Stats {
-    requests: u64,
-    runs: u64,
-    hits: u64,
-    computations: u64,
-    deduped: u64,
-    errors: u64,
-    /// Computations that panicked and were contained.
-    panics: u64,
-    /// Requests whose deadline expired before an answer was ready.
-    deadline_exceeded: u64,
-    /// Requests refused by `max_inflight` admission control.
-    overloaded: u64,
-    /// Run requests refused because the daemon was draining.
-    drain_refused: u64,
-    /// Warm items accepted into the background queue.
-    warm_queued: u64,
-    /// Warm items whose computation completed (and populated the cache).
-    warm_computed: u64,
-    /// Warm items discarded: refused at enqueue (queue full) or dropped by
-    /// a drain before a warmer got to them.
-    warm_dropped: u64,
-    /// Accumulated kernel-phase milliseconds of every cell this daemon
-    /// computed, in first-use order.
-    phase_ms: Vec<(String, f64)>,
-    /// Per-op latency histograms (power-of-two µs buckets), in first-use
-    /// order: `run_mem_hit` / `run_disk_hit` / `run_compute` / `run_dedup`
-    /// / `run_refused` plus `stats` / `health` / `shutdown` /
-    /// `bad_request`.
-    op_latency: Vec<(String, LatencyHistogram)>,
+/// Accumulated kernel-phase time of every cell this daemon computed, in
+/// microseconds, one series per phase name.
+const PHASE_US: &str = "sfc_serve_phase_us_total";
+const PHASE_US_HELP: &str = "Accumulated kernel-phase time of computed cells, in microseconds.";
+
+/// Per-op request latency histograms (power-of-two µs buckets), one
+/// series per label: `run_mem_hit` / `run_disk_hit` / `run_compute` /
+/// `run_dedup` / `run_refused` plus `batch` / `warm` / `warm_refused` /
+/// `stats` / `health` / `metrics` / `shutdown` / `bad_request`, and the
+/// warmer-internal `warm_hit` / `warm_dedup` / `warm_compute`.
+const OP_LATENCY_US: &str = "sfc_serve_op_latency_us";
+const OP_LATENCY_US_HELP: &str = "Per-op request latency, in microseconds.";
+
+/// The daemon's counter handles, registered once in the shared
+/// [`MetricsRegistry`] at server construction. The handles *are* the
+/// registry's storage (see [`sfc_core::obs`]), so the `stats` body, the
+/// Prometheus page and the derived hit rate all read the same atomics —
+/// there is no second copy to fall out of sync.
+#[derive(Debug)]
+struct ServeMetrics {
+    requests: Counter,
+    runs: Counter,
+    hits: Counter,
+    computations: Counter,
+    deduped: Counter,
+    errors: Counter,
+    panics: Counter,
+    deadline_exceeded: Counter,
+    overloaded: Counter,
+    drain_refused: Counter,
+    warm_queued: Counter,
+    warm_computed: Counter,
+    warm_dropped: Counter,
+    mem_bytes: Gauge,
+    mem_entries: Gauge,
+    inflight: Gauge,
+    active_requests: Gauge,
+    warm_queue_depth: Gauge,
+    draining: Gauge,
+    uptime_ms: Gauge,
 }
 
-impl Stats {
-    fn record_latency(&mut self, op: &str, elapsed: Duration) {
-        match self.op_latency.iter_mut().find(|(n, _)| n == op) {
-            Some((_, hist)) => hist.record(elapsed),
-            None => {
-                let mut hist = LatencyHistogram::new();
-                hist.record(elapsed);
-                self.op_latency.push((op.to_string(), hist));
-            }
-        }
+impl ServeMetrics {
+    fn registered(registry: &MetricsRegistry) -> ServeMetrics {
+        let m = ServeMetrics {
+            requests: registry.counter(
+                "sfc_serve_requests_total",
+                "Request lines handled, including malformed ones.",
+            ),
+            runs: registry.counter(
+                "sfc_serve_runs_total",
+                "Run requests admitted and served (the hit-rate denominator).",
+            ),
+            hits: registry.counter(
+                "sfc_serve_hits_total",
+                "Run requests answered from a cache tier.",
+            ),
+            computations: registry.counter(
+                "sfc_serve_computations_total",
+                "Leader computations that ran (complete or not).",
+            ),
+            deduped: registry.counter(
+                "sfc_serve_deduped_total",
+                "Run requests deduplicated into an in-flight computation.",
+            ),
+            errors: registry.counter(
+                "sfc_serve_errors_total",
+                "Failed computations (panicked or incomplete sweep).",
+            ),
+            panics: registry.counter(
+                "sfc_serve_panics_total",
+                "Computations that panicked and were contained.",
+            ),
+            deadline_exceeded: registry.counter(
+                "sfc_serve_deadline_exceeded_total",
+                "Requests whose deadline expired before an answer was ready.",
+            ),
+            overloaded: registry.counter(
+                "sfc_serve_overloaded_total",
+                "Requests refused by admission control.",
+            ),
+            drain_refused: registry.counter(
+                "sfc_serve_drain_refused_total",
+                "Requests refused because the daemon was draining.",
+            ),
+            warm_queued: registry.counter(
+                "sfc_serve_warm_queued_total",
+                "Warm items accepted into the background queue.",
+            ),
+            warm_computed: registry.counter(
+                "sfc_serve_warm_computed_total",
+                "Warm items whose computation completed.",
+            ),
+            warm_dropped: registry.counter(
+                "sfc_serve_warm_dropped_total",
+                "Warm items refused at enqueue or dropped by a drain.",
+            ),
+            mem_bytes: registry.gauge(
+                "sfc_serve_mem_bytes",
+                "Bytes held by the in-memory cache tier.",
+            ),
+            mem_entries: registry.gauge(
+                "sfc_serve_mem_entries",
+                "Entries held by the in-memory cache tier.",
+            ),
+            inflight: registry.gauge(
+                "sfc_serve_inflight",
+                "Computations currently in flight.",
+            ),
+            active_requests: registry.gauge(
+                "sfc_serve_active_requests",
+                "Requests currently being handled.",
+            ),
+            warm_queue_depth: registry.gauge(
+                "sfc_serve_warm_queue_depth",
+                "Warm items waiting in the background queue.",
+            ),
+            draining: registry.gauge("sfc_serve_draining", "1 while draining, else 0."),
+            uptime_ms: registry.gauge(
+                "sfc_serve_uptime_ms",
+                "Milliseconds since the daemon started.",
+            ),
+        };
+        // `hit_rate` is never stored: it is derived from the two counters
+        // at render time, so it cannot drift from them.
+        let (hits, runs) = (m.hits.clone(), m.runs.clone());
+        registry.derived_gauge(
+            "sfc_serve_hit_rate",
+            "Cache hits per admitted run (hits_total / runs_total).",
+            move || hit_rate(hits.get(), runs.get()),
+        );
+        m
     }
+}
 
-    fn absorb_phases(&mut self, summary: &SweepSummary) {
-        for (_cell, timing) in &summary.timings {
-            for (name, ms) in &timing.phases {
-                match self.phase_ms.iter_mut().find(|(n, _)| n == name) {
-                    Some((_, total)) => *total += ms,
-                    None => self.phase_ms.push((name.clone(), *ms)),
-                }
-            }
-        }
+/// `hits / runs`, defined as 0.0 before the first admitted run.
+fn hit_rate(hits: u64, runs: u64) -> f64 {
+    if runs == 0 {
+        0.0
+    } else {
+        hits as f64 / runs as f64
     }
 }
 
@@ -488,6 +610,10 @@ pub struct ServerOptions {
     /// Capacity of the background warm queue (`--warm-queue`). `warm`
     /// items past it are refused with `error_kind: "warm_queue_full"`.
     pub warm_queue_cap: usize,
+    /// Structured trace output (`--trace PATH`): one JSONL span or event
+    /// record per line, each stamped with the `request_id` of the request
+    /// that produced it. `None` disables tracing at zero cost.
+    pub trace_path: Option<String>,
 }
 
 impl Default for ServerOptions {
@@ -502,6 +628,7 @@ impl Default for ServerOptions {
             // A drained queue costs nothing, so the default is generous
             // enough for every artifact's full sweep grid.
             warm_queue_cap: 256,
+            trace_path: None,
         }
     }
 }
@@ -524,8 +651,10 @@ impl Drop for ActiveRequest<'_> {
 /// they like.
 pub struct Server {
     cache: ResultCache,
+    registry: Arc<MetricsRegistry>,
+    m: ServeMetrics,
+    trace: TraceSink,
     inflight: Mutex<HashMap<String, Arc<Slot>>>,
-    stats: Mutex<Stats>,
     /// Background warm backlog, drained by [`Server::start_warmers`]
     /// threads when no interactive work is active.
     warm_queue: Mutex<VecDeque<ExperimentSpec>>,
@@ -540,26 +669,67 @@ pub struct Server {
     active: AtomicU64,
     /// Computations started (for `--chaos-panic` determinism).
     computations_started: AtomicU64,
+    /// Source of generated request identifiers.
+    rid_counter: AtomicU64,
+    /// Distinguishes this server's generated request identifiers from
+    /// other servers' (and other processes').
+    rid_prefix: String,
     started: Instant,
 }
+
+/// Distinguishes servers within one process in [`Server::next_request_id`]
+/// prefixes.
+static SERVER_SEQ: AtomicU64 = AtomicU64::new(0);
 
 impl Server {
     /// Open (or create) the cache directory and build a server around it.
     /// With a non-zero [`ServerOptions::cache_mem_bytes`] the cache gets
-    /// an in-memory LRU tier in front of the disk entries.
+    /// an in-memory LRU tier in front of the disk entries. With
+    /// [`ServerOptions::trace_path`] set, the trace file is created (or
+    /// truncated) here.
     pub fn new(cache_dir: &str, opts: ServerOptions) -> std::io::Result<Server> {
+        let registry = Arc::new(MetricsRegistry::new());
+        let cache_counters = CacheCounters::registered(&registry, "sfc_serve");
+        let m = ServeMetrics::registered(&registry);
+        let trace = match &opts.trace_path {
+            Some(path) => TraceSink::to_path(path)?,
+            None => TraceSink::disabled(),
+        };
         Ok(Server {
-            cache: ResultCache::with_memory_budget(cache_dir, opts.cache_mem_bytes)?,
+            cache: ResultCache::with_observability(
+                cache_dir,
+                opts.cache_mem_bytes,
+                DEFAULT_MEM_SHARDS,
+                cache_counters,
+            )?,
+            registry,
+            m,
+            trace,
             inflight: Mutex::new(HashMap::new()),
-            stats: Mutex::new(Stats::default()),
             warm_queue: Mutex::new(VecDeque::new()),
             warm_ready: Condvar::new(),
             opts,
             draining: AtomicBool::new(false),
             active: AtomicU64::new(0),
             computations_started: AtomicU64::new(0),
+            rid_counter: AtomicU64::new(0),
+            rid_prefix: format!(
+                "r{:x}-{:x}",
+                std::process::id(),
+                SERVER_SEQ.fetch_add(1, Ordering::SeqCst)
+            ),
             started: Instant::now(),
         })
+    }
+
+    /// A fresh daemon-generated request identifier, unique within this
+    /// process.
+    fn next_request_id(&self) -> String {
+        format!(
+            "{}-{}",
+            self.rid_prefix,
+            self.rid_counter.fetch_add(1, Ordering::SeqCst) + 1
+        )
     }
 
     /// Stop accepting new `run` work. Idempotent. In-flight computations
@@ -571,7 +741,7 @@ impl Server {
         self.draining.store(true, Ordering::SeqCst);
         let dropped = lock_recover(&self.warm_queue).drain(..).count() as u64;
         if dropped > 0 {
-            lock_recover(&self.stats).warm_dropped += dropped;
+            self.m.warm_dropped.add(dropped);
         }
         self.warm_ready.notify_all();
     }
@@ -629,30 +799,51 @@ impl Server {
     /// JSON line, in emission order, before the returned response.
     pub fn handle_line_with(&self, line: &str, emit: &mut dyn FnMut(&Value)) -> Response {
         let started = Instant::now();
-        lock_recover(&self.stats).requests += 1;
-        let (resp, op) = self.dispatch(line, emit);
-        lock_recover(&self.stats).record_latency(op, started.elapsed());
+        self.m.requests.inc();
+        let (mut resp, op, rid) = self.dispatch(line, emit);
+        let ok = resp.doc.get("ok") == Some(&Value::Bool(true));
+        if let Value::Object(doc) = &mut resp.doc {
+            doc.insert("request_id", rid.as_str().to_json());
+        }
+        self.record_latency(op, started.elapsed());
+        self.trace
+            .span(op, &rid, started.elapsed(), &[("ok", Value::Bool(ok))]);
         resp
     }
 
+    /// Record one observation in the per-op latency histogram family.
+    fn record_latency(&self, op: &str, elapsed: Duration) {
+        self.registry
+            .histogram(OP_LATENCY_US, OP_LATENCY_US_HELP, &[("op", op)])
+            .record(elapsed);
+    }
+
     /// Parse and answer one line, naming the latency-histogram label its
-    /// wall time belongs to.
-    fn dispatch(&self, line: &str, emit: &mut dyn FnMut(&Value)) -> (Response, &'static str) {
-        let (id, req) = match Request::parse(line) {
+    /// wall time belongs to and the `request_id` stamped on the response
+    /// and its trace records.
+    fn dispatch(
+        &self,
+        line: &str,
+        emit: &mut dyn FnMut(&Value),
+    ) -> (Response, &'static str, String) {
+        let (id, client_rid, req) = match Request::parse(line) {
             Ok(parsed) => parsed,
             Err(e) => {
                 return (
                     typed_error(Value::Null, error_kind::BAD_REQUEST, &e, None),
                     "bad_request",
+                    self.next_request_id(),
                 )
             }
         };
-        match req {
-            Request::Run { spec, format } => self.run(id, &spec, format),
-            Request::Batch { items } => self.run_batch(id, items, emit),
+        let rid = client_rid.unwrap_or_else(|| self.next_request_id());
+        let (resp, op) = match req {
+            Request::Run { spec, format } => self.run(id, &spec, format, &rid),
+            Request::Batch { items } => self.run_batch(id, items, emit, &rid),
             Request::Warm { specs } => self.warm(id, specs),
             Request::Stats => (self.report_stats(id), "stats"),
             Request::Health => (self.report_health(id), "health"),
+            Request::Metrics => (self.report_metrics(id), "metrics"),
             Request::Shutdown => {
                 self.begin_drain();
                 let mut doc = Map::new();
@@ -667,7 +858,8 @@ impl Server {
                     "shutdown",
                 )
             }
-        }
+        };
+        (resp, op, rid)
     }
 
     /// Answer a `run` request: memory-tier hit, verified disk hit, dedup
@@ -679,9 +871,15 @@ impl Server {
     /// actually *served* — drain and overload refusals increment their own
     /// counters and nothing else, so a burst of refused traffic cannot
     /// deflate the hit rate.
-    fn run(&self, id: Value, spec: &ExperimentSpec, format: Format) -> (Response, &'static str) {
+    fn run(
+        &self,
+        id: Value,
+        spec: &ExperimentSpec,
+        format: Format,
+        rid: &str,
+    ) -> (Response, &'static str) {
         if self.draining() {
-            lock_recover(&self.stats).drain_refused += 1;
+            self.m.drain_refused.inc();
             return (
                 typed_error(
                     id,
@@ -696,11 +894,8 @@ impl Server {
         let key = ResultCache::key(spec);
 
         if let Some((hit, tier)) = self.cache.load_tiered(spec) {
-            {
-                let mut stats = lock_recover(&self.stats);
-                stats.runs += 1;
-                stats.hits += 1;
-            }
+            self.m.runs.inc();
+            self.m.hits.inc();
             let label = match tier {
                 TierHit::Memory => "run_mem_hit",
                 TierHit::Disk => "run_disk_hit",
@@ -719,7 +914,7 @@ impl Server {
                     if let Some(max) = self.opts.max_inflight {
                         if inflight.len() >= max {
                             drop(inflight);
-                            lock_recover(&self.stats).overloaded += 1;
+                            self.m.overloaded.inc();
                             return (
                                 typed_error(
                                     id,
@@ -741,13 +936,13 @@ impl Server {
         };
         // Admitted (as leader or follower): this request will be served,
         // so it joins the hit-rate denominator.
-        lock_recover(&self.stats).runs += 1;
+        self.m.runs.inc();
 
         if !leader {
-            lock_recover(&self.stats).deduped += 1;
+            self.m.deduped.inc();
             let resp = match slot.wait_deadline(deadline) {
                 None => {
-                    lock_recover(&self.stats).deadline_exceeded += 1;
+                    self.m.deadline_exceeded.inc();
                     typed_error(
                         id,
                         error_kind::DEADLINE_EXCEEDED,
@@ -765,7 +960,7 @@ impl Server {
             return (resp, "run_dedup");
         }
 
-        let outcome = self.compute_as_leader(spec, deadline);
+        let outcome = self.compute_as_leader(spec, deadline, rid);
         // Publish before unregistering: a request landing in between joins
         // as a follower and reads the published outcome immediately, while
         // one landing after becomes a fresh leader (so a request arriving
@@ -789,11 +984,15 @@ impl Server {
     /// in-flight dedup slots, same per-item deadline, same counters — so
     /// its `payload` is byte-identical to the standalone response and two
     /// batches (or a batch racing single runs) dedup against each other.
+    /// Each item line carries `request_id` `<rid>.<index>` — the batch's
+    /// identifier suffixed with the item's submission index — and a trace
+    /// span under that child identifier.
     fn run_batch(
         &self,
         id: Value,
         items: Vec<BatchItem>,
         emit: &mut dyn FnMut(&Value),
+        rid: &str,
     ) -> (Response, &'static str) {
         let workers = match self.opts.batch_workers {
             0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
@@ -820,7 +1019,8 @@ impl Server {
                     }
                     let item = &items[i];
                     let started = Instant::now();
-                    let (resp, label) = self.run(id.clone(), &item.spec, item.format);
+                    let child_rid = format!("{rid}.{i}");
+                    let (resp, label) = self.run(id.clone(), &item.spec, item.format, &child_rid);
                     if tx.send((i, resp, label, started.elapsed())).is_err() {
                         return;
                     }
@@ -830,8 +1030,9 @@ impl Server {
             // Stream each finished item as its own line the moment it
             // completes; a slow item never blocks a fast sibling's line.
             for (i, resp, label, elapsed) in rx {
-                lock_recover(&self.stats).record_latency(label, elapsed);
-                if resp.doc.get("ok") == Some(&Value::Bool(true)) {
+                self.record_latency(label, elapsed);
+                let ok = resp.doc.get("ok") == Some(&Value::Bool(true));
+                if ok {
                     ok_items += 1;
                 } else {
                     failed_items += 1;
@@ -850,6 +1051,10 @@ impl Server {
                     }
                 };
                 doc.insert("index", (i as u64).to_json());
+                let child_rid = format!("{rid}.{i}");
+                doc.insert("request_id", child_rid.as_str().to_json());
+                self.trace
+                    .span(label, &child_rid, elapsed, &[("ok", Value::Bool(ok))]);
                 emit(&Value::Object(doc));
             }
         });
@@ -877,7 +1082,7 @@ impl Server {
     /// `warm_dropped`; a draining daemon refuses the whole request.
     fn warm(&self, id: Value, specs: Vec<ExperimentSpec>) -> (Response, &'static str) {
         if self.draining() {
-            lock_recover(&self.stats).drain_refused += 1;
+            self.m.drain_refused.inc();
             return (
                 typed_error(
                     id,
@@ -906,11 +1111,8 @@ impl Server {
         if queued > 0 {
             self.warm_ready.notify_all();
         }
-        {
-            let mut stats = lock_recover(&self.stats);
-            stats.warm_queued += queued;
-            stats.warm_dropped += refused;
-        }
+        self.m.warm_queued.add(queued);
+        self.m.warm_dropped.add(refused);
         if refused > 0 {
             let mut resp = typed_error(
                 id,
@@ -984,7 +1186,7 @@ impl Server {
             if self.draining() {
                 // Popped but never computed: account it with the backlog
                 // the drain discarded.
-                lock_recover(&self.stats).warm_dropped += 1;
+                self.m.warm_dropped.inc();
                 continue;
             }
             self.warm_one(&spec);
@@ -1001,8 +1203,12 @@ impl Server {
     fn warm_one(&self, spec: &ExperimentSpec) {
         let started = Instant::now();
         let key = ResultCache::key(spec);
+        // Background computations answer no request line, so they get
+        // their own generated request identifiers for the trace.
+        let rid = self.next_request_id();
         if self.cache.load_tiered(spec).is_some() {
-            lock_recover(&self.stats).record_latency("warm_hit", started.elapsed());
+            self.record_latency("warm_hit", started.elapsed());
+            self.trace.span("warm_hit", &rid, started.elapsed(), &[]);
             return;
         }
         let slot = {
@@ -1016,26 +1222,34 @@ impl Server {
             }
         };
         let Some(slot) = slot else {
-            lock_recover(&self.stats).record_latency("warm_dedup", started.elapsed());
+            self.record_latency("warm_dedup", started.elapsed());
+            self.trace.span("warm_dedup", &rid, started.elapsed(), &[]);
             return;
         };
-        let outcome = self.compute_as_leader(spec, None);
+        let outcome = self.compute_as_leader(spec, None, &rid);
         // Same publish-before-unregister ordering as `run`: followers that
         // joined mid-warm read the published outcome.
         slot.publish(outcome.clone());
         lock_recover(&self.inflight).remove(&key);
         if matches!(outcome, RunOutcome::Ok { .. }) {
-            lock_recover(&self.stats).warm_computed += 1;
+            self.m.warm_computed.inc();
         }
-        lock_recover(&self.stats).record_latency("warm_compute", started.elapsed());
+        self.record_latency("warm_compute", started.elapsed());
+        self.trace.span("warm_compute", &rid, started.elapsed(), &[]);
     }
 
     /// Run one leader computation under `catch_unwind`, so a panicking
     /// kernel produces a typed outcome for the slot instead of killing this
     /// thread and stranding every follower on the condvar.
-    fn compute_as_leader(&self, spec: &ExperimentSpec, deadline: Option<Instant>) -> RunOutcome {
+    fn compute_as_leader(
+        &self,
+        spec: &ExperimentSpec,
+        deadline: Option<Instant>,
+        rid: &str,
+    ) -> RunOutcome {
         let n = self.computations_started.fetch_add(1, Ordering::SeqCst) + 1;
         let chaos_panic = self.opts.chaos_panic.is_some_and(|k| k > 0 && n.is_multiple_of(k));
+        let started = Instant::now();
         let result = catch_unwind(AssertUnwindSafe(|| {
             if self.opts.chaos_compute_ms > 0 {
                 std::thread::sleep(Duration::from_millis(self.opts.chaos_compute_ms));
@@ -1048,20 +1262,27 @@ impl Server {
         match result {
             Ok((artifact, summary)) => {
                 let complete = summary.complete();
-                {
-                    let mut stats = lock_recover(&self.stats);
-                    stats.computations += 1;
-                    if !complete {
-                        stats.errors += 1;
-                    }
-                    stats.absorb_phases(&summary);
+                self.m.computations.inc();
+                if !complete {
+                    self.m.errors.inc();
                 }
+                self.absorb_phases(&summary);
+                self.trace.span(
+                    "compute",
+                    rid,
+                    started.elapsed(),
+                    &[
+                        ("artifact", spec.artifact.name().to_json()),
+                        ("complete", Value::Bool(complete)),
+                    ],
+                );
                 if deadline.is_some_and(|d| Instant::now() >= d) {
                     // The computation outlived the request that asked for
                     // it. Per the purity contract a deadline-expired
                     // request leaves no cache entry, so the late result is
                     // discarded rather than stored.
-                    lock_recover(&self.stats).deadline_exceeded += 1;
+                    self.m.deadline_exceeded.inc();
+                    self.trace.event("late_result_discarded", rid, &[]);
                     return RunOutcome::Failed {
                         kind: error_kind::DEADLINE_EXCEEDED,
                         message: "computation finished after the request deadline; result discarded"
@@ -1085,13 +1306,34 @@ impl Server {
                 let error = SfcError::ComputePanicked {
                     message: panic_message(payload.as_ref()),
                 };
-                let mut stats = lock_recover(&self.stats);
-                stats.panics += 1;
-                stats.errors += 1;
+                self.m.panics.inc();
+                self.m.errors.inc();
+                self.trace.span(
+                    "compute",
+                    rid,
+                    started.elapsed(),
+                    &[
+                        ("artifact", spec.artifact.name().to_json()),
+                        ("panicked", Value::Bool(true)),
+                    ],
+                );
                 RunOutcome::Failed {
                     kind: error_kind::COMPUTE_PANIC,
                     message: error.to_string(),
                 }
+            }
+        }
+    }
+
+    /// Fold one sweep's per-cell phase timings into the labeled
+    /// [`PHASE_US`] counter family.
+    fn absorb_phases(&self, summary: &SweepSummary) {
+        for (_cell, timing) in &summary.timings {
+            for (name, ms) in &timing.phases {
+                let us = (ms * 1000.0).round() as u64;
+                self.registry
+                    .counter_labeled(PHASE_US, PHASE_US_HELP, &[("phase", name)])
+                    .add(us);
             }
         }
     }
@@ -1107,7 +1349,7 @@ impl Server {
     /// `retry_after_ms` hint) as a `--max-inflight` refusal, and counted
     /// in the same `overloaded` stat.
     pub fn overloaded_refusal_line(&self) -> String {
-        lock_recover(&self.stats).overloaded += 1;
+        self.m.overloaded.inc();
         let resp = typed_error(
             Value::Null,
             error_kind::OVERLOADED,
@@ -1117,62 +1359,76 @@ impl Server {
         serde_json::to_string(&resp.doc).expect("serialize refusal")
     }
 
+    /// The typed `stats` body, read straight from the registry handles —
+    /// the same atomics the Prometheus page renders.
+    pub fn stats_response(&self) -> StatsResponse {
+        let mem = self.cache.mem_stats();
+        let m = &self.m;
+        let mut phases_ms = Vec::new();
+        if let Some(fam) = self.registry.family_snapshot(PHASE_US) {
+            for series in &fam.series {
+                if let (Some(name), SampleValue::Uint(us)) = (series.label("phase"), &series.value)
+                {
+                    phases_ms.push((name.to_string(), *us as f64 / 1000.0));
+                }
+            }
+        }
+        let mut latency_us = Vec::new();
+        if let Some(fam) = self.registry.family_snapshot(OP_LATENCY_US) {
+            for series in &fam.series {
+                if let (Some(op), SampleValue::Histo(hist)) = (series.label("op"), &series.value) {
+                    let le_us = hist
+                        .nonzero_buckets()
+                        .into_iter()
+                        .map(|(bound, count)| {
+                            let label = if bound == u64::MAX {
+                                "inf".to_string()
+                            } else {
+                                bound.to_string()
+                            };
+                            (label, count)
+                        })
+                        .collect();
+                    latency_us.push(LatencyEntry {
+                        op: op.to_string(),
+                        count: hist.count(),
+                        le_us,
+                    });
+                }
+            }
+        }
+        StatsResponse {
+            schema_version: SCHEMA_VERSION,
+            requests: m.requests.get(),
+            runs: m.runs.get(),
+            hits: m.hits.get(),
+            computations: m.computations.get(),
+            deduped: m.deduped.get(),
+            errors: m.errors.get(),
+            panics: m.panics.get(),
+            deadline_exceeded: m.deadline_exceeded.get(),
+            overloaded: m.overloaded.get(),
+            drain_refused: m.drain_refused.get(),
+            warm_queued: m.warm_queued.get(),
+            warm_computed: m.warm_computed.get(),
+            warm_dropped: m.warm_dropped.get(),
+            quarantined: self.cache.quarantined(),
+            mem_hits: mem.mem_hits,
+            disk_hits: mem.disk_hits,
+            mem_evictions: mem.mem_evictions,
+            mem_bytes: mem.mem_bytes,
+            mem_entries: mem.mem_entries,
+            hit_rate: hit_rate(m.hits.get(), m.runs.get()),
+            inflight: self.inflight_len() as u64,
+            draining: self.draining(),
+            phases_ms,
+            latency_us,
+        }
+    }
+
     /// The counters shared by the `stats` op and the final drain flush.
     fn stats_body(&self) -> Map {
-        let inflight = self.inflight_len();
-        let stats = lock_recover(&self.stats);
-        let hit_rate = if stats.runs == 0 {
-            0.0
-        } else {
-            stats.hits as f64 / stats.runs as f64
-        };
-        let mut phases = Map::new();
-        for (name, ms) in &stats.phase_ms {
-            phases.insert(name.clone(), (*ms).to_json());
-        }
-        let mut latency = Map::new();
-        for (op, hist) in &stats.op_latency {
-            let mut buckets = Map::new();
-            for (bound, count) in hist.nonzero_buckets() {
-                let label = if bound == u64::MAX {
-                    "inf".to_string()
-                } else {
-                    bound.to_string()
-                };
-                buckets.insert(label, count.to_json());
-            }
-            let mut entry = Map::new();
-            entry.insert("count", hist.count().to_json());
-            entry.insert("le_us", Value::Object(buckets));
-            latency.insert(op.clone(), Value::Object(entry));
-        }
-        let mem = self.cache.mem_stats();
-        let mut body = Map::new();
-        body.insert("requests", (stats.requests).to_json());
-        body.insert("runs", (stats.runs).to_json());
-        body.insert("hits", (stats.hits).to_json());
-        body.insert("computations", (stats.computations).to_json());
-        body.insert("deduped", (stats.deduped).to_json());
-        body.insert("errors", (stats.errors).to_json());
-        body.insert("panics", (stats.panics).to_json());
-        body.insert("deadline_exceeded", (stats.deadline_exceeded).to_json());
-        body.insert("overloaded", (stats.overloaded).to_json());
-        body.insert("drain_refused", (stats.drain_refused).to_json());
-        body.insert("warm_queued", (stats.warm_queued).to_json());
-        body.insert("warm_computed", (stats.warm_computed).to_json());
-        body.insert("warm_dropped", (stats.warm_dropped).to_json());
-        body.insert("quarantined", (self.cache.quarantined()).to_json());
-        body.insert("mem_hits", (mem.mem_hits).to_json());
-        body.insert("disk_hits", (mem.disk_hits).to_json());
-        body.insert("mem_evictions", (mem.mem_evictions).to_json());
-        body.insert("mem_bytes", (mem.mem_bytes).to_json());
-        body.insert("mem_entries", (mem.mem_entries).to_json());
-        body.insert("hit_rate", (hit_rate).to_json());
-        body.insert("inflight", (inflight as u64).to_json());
-        body.insert("draining", Value::Bool(self.draining()));
-        body.insert("phases_ms", Value::Object(phases));
-        body.insert("latency_us", Value::Object(latency));
-        body
+        self.stats_response().to_map()
     }
 
     /// Answer a `stats` request from the counters.
@@ -1180,54 +1436,74 @@ impl Server {
         let mut doc = Map::new();
         doc.insert("id", id);
         doc.insert("ok", Value::Bool(true));
-        doc.insert("stats", Value::Object(self.stats_body()));
+        doc.insert("stats", self.stats_response().to_json());
         Response {
             doc: Value::Object(doc),
             shutdown: false,
         }
     }
 
-    /// Answer a `health` request: liveness, drain state and load.
-    fn report_health(&self, id: Value) -> Response {
-        let mut body = Map::new();
-        body.insert("draining", Value::Bool(self.draining()));
-        body.insert("inflight", (self.inflight_len() as u64).to_json());
-        body.insert("active_requests", (self.active_requests()).to_json());
-        body.insert(
-            "uptime_ms",
-            ((self.started.elapsed().as_secs_f64() * 1e3) as u64).to_json(),
-        );
-        body.insert("quarantined", (self.cache.quarantined()).to_json());
-        body.insert("warm_queue_depth", (self.warm_queue_len() as u64).to_json());
-        {
-            let stats = lock_recover(&self.stats);
-            body.insert("warm_queued", (stats.warm_queued).to_json());
-            body.insert("warm_computed", (stats.warm_computed).to_json());
-            body.insert("warm_dropped", (stats.warm_dropped).to_json());
-        }
+    /// The typed `health` body: liveness, drain state and load.
+    pub fn health_response(&self) -> HealthResponse {
         let mem = self.cache.mem_stats();
-        body.insert("mem_hits", (mem.mem_hits).to_json());
-        body.insert("disk_hits", (mem.disk_hits).to_json());
-        body.insert("mem_evictions", (mem.mem_evictions).to_json());
-        body.insert("mem_bytes", (mem.mem_bytes).to_json());
-        body.insert(
-            "deadline_ms",
-            match self.opts.deadline {
-                Some(d) => (d.as_millis() as u64).to_json(),
-                None => Value::Null,
-            },
-        );
-        body.insert(
-            "max_inflight",
-            match self.opts.max_inflight {
-                Some(n) => (n as u64).to_json(),
-                None => Value::Null,
-            },
-        );
+        HealthResponse {
+            schema_version: SCHEMA_VERSION,
+            draining: self.draining(),
+            inflight: self.inflight_len() as u64,
+            active_requests: self.active_requests(),
+            uptime_ms: (self.started.elapsed().as_secs_f64() * 1e3) as u64,
+            quarantined: self.cache.quarantined(),
+            warm_queue_depth: self.warm_queue_len() as u64,
+            warm_queued: self.m.warm_queued.get(),
+            warm_computed: self.m.warm_computed.get(),
+            warm_dropped: self.m.warm_dropped.get(),
+            mem_hits: mem.mem_hits,
+            disk_hits: mem.disk_hits,
+            mem_evictions: mem.mem_evictions,
+            mem_bytes: mem.mem_bytes,
+            deadline_ms: self.opts.deadline.map(|d| d.as_millis() as u64),
+            max_inflight: self.opts.max_inflight.map(|n| n as u64),
+        }
+    }
+
+    /// Answer a `health` request.
+    fn report_health(&self, id: Value) -> Response {
         let mut doc = Map::new();
         doc.insert("id", id);
         doc.insert("ok", Value::Bool(true));
-        doc.insert("health", Value::Object(body));
+        doc.insert("health", self.health_response().to_json());
+        Response {
+            doc: Value::Object(doc),
+            shutdown: false,
+        }
+    }
+
+    /// Refresh the point-in-time gauges, then render every registered
+    /// metric as a Prometheus text-exposition page (version 0.0.4).
+    pub fn metrics_text(&self) -> String {
+        let mem = self.cache.mem_stats();
+        self.m.mem_bytes.set(mem.mem_bytes);
+        self.m.mem_entries.set(mem.mem_entries);
+        self.m.inflight.set(self.inflight_len() as u64);
+        self.m.active_requests.set(self.active_requests());
+        self.m.warm_queue_depth.set(self.warm_queue_len() as u64);
+        self.m.draining.set(u64::from(self.draining()));
+        self.m
+            .uptime_ms
+            .set((self.started.elapsed().as_secs_f64() * 1e3) as u64);
+        self.registry.render_prometheus()
+    }
+
+    /// Answer a `metrics` request: the Prometheus page as one string
+    /// field (the JSON-lines protocol frames it; an HTTP scraper bridge
+    /// only has to unwrap `metrics` and serve it with the advertised
+    /// `content_type`).
+    fn report_metrics(&self, id: Value) -> Response {
+        let mut doc = Map::new();
+        doc.insert("id", id);
+        doc.insert("ok", Value::Bool(true));
+        doc.insert("content_type", "text/plain; version=0.0.4".to_json());
+        doc.insert("metrics", self.metrics_text().to_json());
         Response {
             doc: Value::Object(doc),
             shutdown: false,
@@ -2170,5 +2446,257 @@ mod tests {
         assert_eq!(retry_after_hint(0, 1_000), 10_000);
         // ...unless one computation alone takes longer than the cap.
         assert_eq!(retry_after_hint(20_000, 3), 20_000);
+    }
+
+    /// Split a Prometheus exposition page into (name, labels, value)
+    /// sample triples, asserting every non-comment line is well-formed.
+    fn parse_exposition(page: &str) -> Vec<(String, String, String)> {
+        let mut samples = Vec::new();
+        for line in page.lines() {
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (series, value) = line.rsplit_once(' ').unwrap_or_else(|| {
+                panic!("sample line has no value: {line:?}");
+            });
+            let (name, labels) = match series.split_once('{') {
+                Some((name, rest)) => {
+                    let labels = rest.strip_suffix('}').unwrap_or_else(|| {
+                        panic!("unterminated label set: {line:?}");
+                    });
+                    for pair in labels.split("\",") {
+                        let (key, val) = pair
+                            .split_once("=\"")
+                            .unwrap_or_else(|| panic!("malformed label `{pair}`: {line:?}"));
+                        assert!(
+                            !key.is_empty() && key.chars().all(|c| c.is_alphanumeric() || c == '_'),
+                            "bad label key in {line:?}"
+                        );
+                        let _ = val;
+                    }
+                    (name, labels)
+                }
+                None => (series, ""),
+            };
+            assert!(
+                name.chars().all(|c| c.is_alphanumeric() || c == '_'),
+                "bad metric name in {line:?}"
+            );
+            assert!(
+                value.parse::<f64>().is_ok() || value == "+Inf",
+                "unparseable value in {line:?}"
+            );
+            samples.push((name.to_string(), labels.to_string(), value.to_string()));
+        }
+        samples
+    }
+
+    #[test]
+    fn metrics_op_renders_every_registered_counter_once() {
+        let server = server(
+            "metrics-op",
+            ServerOptions {
+                cache_mem_bytes: 64 << 20,
+                ..ServerOptions::default()
+            },
+        );
+        server.handle_line(&run_line_seeded(9, 61)); // miss -> computation
+        server.handle_line(&run_line_seeded(9, 61)); // memory-tier hit
+
+        let resp = server.handle_line(r#"{"id": 9, "op": "metrics"}"#);
+        assert_eq!(resp.doc.get("ok"), Some(&Value::Bool(true)));
+        assert_eq!(
+            resp.doc.get("content_type"),
+            Some(&"text/plain; version=0.0.4".to_json())
+        );
+        let page = resp.doc.get("metrics").and_then(Value::as_str).unwrap();
+        let samples = parse_exposition(page);
+        let value_of = |name: &str| -> f64 {
+            let hits: Vec<_> = samples.iter().filter(|(n, _, _)| n == name).collect();
+            assert_eq!(hits.len(), 1, "expected exactly one `{name}` sample");
+            hits[0].2.parse().unwrap()
+        };
+
+        // Every former bespoke counter is a single registry-backed sample.
+        // (The metrics request itself is the third request counted.)
+        for (name, want) in [
+            ("sfc_serve_requests_total", 3.0),
+            ("sfc_serve_runs_total", 2.0),
+            ("sfc_serve_hits_total", 1.0),
+            ("sfc_serve_computations_total", 1.0),
+            ("sfc_serve_mem_hits_total", 1.0),
+            ("sfc_serve_disk_hits_total", 0.0),
+            ("sfc_serve_deduped_total", 0.0),
+            ("sfc_serve_errors_total", 0.0),
+            ("sfc_serve_panics_total", 0.0),
+            ("sfc_serve_deadline_exceeded_total", 0.0),
+            ("sfc_serve_overloaded_total", 0.0),
+            ("sfc_serve_drain_refused_total", 0.0),
+            ("sfc_serve_warm_queued_total", 0.0),
+            ("sfc_serve_warm_computed_total", 0.0),
+            ("sfc_serve_warm_dropped_total", 0.0),
+            ("sfc_serve_quarantined_total", 0.0),
+            ("sfc_serve_mem_evictions_total", 0.0),
+            // hit_rate is derived from the registry counters at render
+            // time, never stored (satellite: no double bookkeeping).
+            ("sfc_serve_hit_rate", 0.5),
+        ] {
+            assert_eq!(value_of(name), want, "{name}");
+        }
+        // The per-op latency histogram and phase counters carry labels.
+        assert!(samples
+            .iter()
+            .any(|(n, l, _)| n == "sfc_serve_op_latency_us_count" && l.contains("op=\"")));
+        assert!(samples
+            .iter()
+            .any(|(n, l, _)| n == "sfc_serve_phase_us_total" && l.contains("phase=\"")));
+        // Exactly one HELP/TYPE header pair per family.
+        for name in ["sfc_serve_runs_total", "sfc_serve_op_latency_us"] {
+            let help = format!("# HELP {name} ");
+            assert_eq!(
+                page.lines().filter(|l| l.starts_with(&help)).count(),
+                1,
+                "{name} HELP"
+            );
+        }
+    }
+
+    #[test]
+    fn request_id_round_trips_from_response_into_the_trace() {
+        let dir = tmpdir("trace-rid");
+        let trace_path = format!("{dir}-trace.jsonl");
+        let _ = std::fs::remove_file(&trace_path);
+        let server = Server::new(
+            &dir,
+            ServerOptions {
+                trace_path: Some(trace_path.clone()),
+                ..ServerOptions::default()
+            },
+        )
+        .unwrap();
+
+        let resp = server.handle_line(&run_line_seeded(9, 71));
+        let rid = resp
+            .doc
+            .get("request_id")
+            .and_then(Value::as_str)
+            .expect("every response line carries a request_id")
+            .to_string();
+        assert!(!rid.is_empty());
+
+        let text = std::fs::read_to_string(&trace_path).unwrap();
+        let records: Vec<Value> = text
+            .lines()
+            .map(|l| serde_json::from_str(l).expect("trace lines are JSON"))
+            .collect();
+        assert!(!records.is_empty());
+        for rec in &records {
+            assert!(rec.get("ts_us").and_then(Value::as_u64).is_some());
+            assert!(rec.get("kind").and_then(Value::as_str).is_some());
+            assert!(rec.get("name").and_then(Value::as_str).is_some());
+            assert!(rec.get("request_id").and_then(Value::as_str).is_some());
+        }
+        let spans_for_rid: Vec<&Value> = records
+            .iter()
+            .filter(|r| r.get("request_id") == Some(&rid.as_str().to_json()))
+            .collect();
+        let names: Vec<&str> = spans_for_rid
+            .iter()
+            .filter_map(|r| r.get("name").and_then(Value::as_str))
+            .collect();
+        assert!(
+            names.contains(&"compute") && names.contains(&"run_compute"),
+            "the response request_id must appear on its compute and op spans, got {names:?}"
+        );
+        // Timestamps are monotone within the file.
+        let stamps: Vec<u64> = records
+            .iter()
+            .map(|r| r.get("ts_us").and_then(Value::as_u64).unwrap())
+            .collect();
+        assert!(stamps.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn client_request_ids_are_echoed_and_batch_items_indexed() {
+        let server = server("client-rid", ServerOptions::default());
+        let line = r#"{"id": 1, "op": "run", "artifact": "table1", "scale": 9, "trials": 1, "seed": 81, "format": "plain", "request_id": "my-rid"}"#;
+        let resp = server.handle_line(line);
+        assert_eq!(resp.doc.get("request_id"), Some(&"my-rid".to_json()));
+
+        let batch = r#"{"id": 2, "op": "batch", "request_id": "b-1", "defaults": {"artifact": "table1", "scale": 9, "trials": 1, "format": "plain"}, "items": [{"seed": 82}, {"seed": 83}]}"#;
+        let (done, items) = handle_collect(&server, batch);
+        assert_eq!(done.doc.get("request_id"), Some(&"b-1".to_json()));
+        let mut item_rids: Vec<String> = items
+            .iter()
+            .map(|doc| {
+                doc.get("request_id")
+                    .and_then(Value::as_str)
+                    .expect("every batch item line carries a request_id")
+                    .to_string()
+            })
+            .collect();
+        item_rids.sort();
+        assert_eq!(item_rids, ["b-1.0", "b-1.1"]);
+
+        // A request without a client id still gets a daemon-generated one.
+        let anon = server.handle_line(r#"{"op": "stats"}"#);
+        let rid = anon.doc.get("request_id").and_then(Value::as_str).unwrap();
+        assert!(!rid.is_empty());
+
+        // A non-string request_id is refused, not silently replaced.
+        let bad = server.handle_line(r#"{"op": "stats", "request_id": 7}"#);
+        assert_eq!(kind_of(&bad), "bad_request");
+    }
+
+    #[test]
+    fn stats_and_health_bodies_parse_as_the_versioned_structs() {
+        let server = server("versioned", ServerOptions::default());
+        server.handle_line(&run_line_seeded(9, 91));
+        server.handle_line(&run_line_seeded(9, 91));
+
+        let stats = server.handle_line(r#"{"op": "stats"}"#);
+        let body = stats.doc.get("stats").unwrap();
+        let parsed = StatsResponse::from_json(body).unwrap();
+        assert_eq!(parsed.schema_version, SCHEMA_VERSION);
+        assert_eq!(parsed.runs, 2);
+        assert_eq!(parsed.hits, 1);
+        assert_eq!(parsed.hit_rate, 0.5);
+        // Round-trip is byte-identical: the daemon and the typed structs
+        // agree on the wire form exactly.
+        assert_eq!(
+            serde_json::to_string(&parsed.to_json()).unwrap(),
+            serde_json::to_string(body).unwrap()
+        );
+
+        let health = server.handle_line(r#"{"op": "health"}"#);
+        let body = health.doc.get("health").unwrap();
+        let parsed = HealthResponse::from_json(body).unwrap();
+        assert_eq!(parsed.schema_version, SCHEMA_VERSION);
+        assert!(!parsed.draining);
+        assert_eq!(
+            serde_json::to_string(&parsed.to_json()).unwrap(),
+            serde_json::to_string(body).unwrap()
+        );
+    }
+
+    #[test]
+    fn artifacts_are_byte_identical_with_tracing_on_and_off() {
+        let dir_traced = tmpdir("traced");
+        let trace_path = format!("{dir_traced}-trace.jsonl");
+        let traced = Server::new(
+            &dir_traced,
+            ServerOptions {
+                trace_path: Some(trace_path.clone()),
+                ..ServerOptions::default()
+            },
+        )
+        .unwrap();
+        let plain = server("untraced", ServerOptions::default());
+        let line = run_line_seeded(9, 95);
+        let a = traced.handle_line(&line);
+        let b = plain.handle_line(&line);
+        assert_eq!(a.doc.get("payload"), b.doc.get("payload"));
+        assert_eq!(a.doc.get("key"), b.doc.get("key"));
+        assert!(std::fs::metadata(&trace_path).unwrap().len() > 0);
     }
 }

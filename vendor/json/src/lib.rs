@@ -127,6 +127,13 @@ impl Map {
     pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
         self.entries.iter().map(|(k, v)| (k, v))
     }
+
+    /// Remove a key, returning its value if it was present. Later entries
+    /// keep their relative order.
+    pub fn remove(&mut self, key: &str) -> Option<Value> {
+        let i = self.entries.iter().position(|(k, _)| k == key)?;
+        Some(self.entries.remove(i).1)
+    }
 }
 
 impl FromIterator<(String, Value)> for Map {
