@@ -25,6 +25,9 @@ pub struct ComputeOpts {
     /// Skip the precomputed hop-distance oracle (ablation; output bytes are
     /// identical either way).
     pub no_oracle: bool,
+    /// Skip the dense occupancy grid and probe the sparse cell index per
+    /// neighborhood cell (ablation; output bytes are identical either way).
+    pub no_dense_grid: bool,
 }
 
 /// The rendered artifact: everything below the banner line.
@@ -237,15 +240,42 @@ mod tests {
     fn no_oracle_is_byte_identical() {
         let fast = compute(
             &spec(ArtifactKind::Figure7),
-            &ComputeOpts { no_oracle: false },
+            &ComputeOpts::default(),
             &mut SweepRunner::ephemeral(),
         );
         let slow = compute(
             &spec(ArtifactKind::Figure7),
-            &ComputeOpts { no_oracle: true },
+            &ComputeOpts {
+                no_oracle: true,
+                ..ComputeOpts::default()
+            },
             &mut SweepRunner::ephemeral(),
         );
         assert_eq!(fast.body_plain, slow.body_plain);
         assert_eq!(fast.data, slow.data);
+    }
+
+    #[test]
+    fn no_dense_grid_is_byte_identical() {
+        // The dense occupancy index is a pure fast path: every artifact
+        // that consumes assignments must render identical bytes without it.
+        for artifact in [ArtifactKind::Table1, ArtifactKind::Figure6] {
+            let dense = compute(
+                &spec(artifact),
+                &ComputeOpts::default(),
+                &mut SweepRunner::ephemeral(),
+            );
+            let sparse = compute(
+                &spec(artifact),
+                &ComputeOpts {
+                    no_dense_grid: true,
+                    ..ComputeOpts::default()
+                },
+                &mut SweepRunner::ephemeral(),
+            );
+            assert_eq!(dense.body_plain, sparse.body_plain, "{artifact}");
+            assert_eq!(dense.body_markdown, sparse.body_markdown, "{artifact}");
+            assert_eq!(dense.data, sparse.data, "{artifact}");
+        }
     }
 }

@@ -32,7 +32,7 @@ use sfc_core::nfi::nfi_acd;
 use sfc_core::report::Table;
 use sfc_core::runner::{BatchCell, SweepRunner};
 use sfc_core::timing;
-use sfc_core::{Assignment, ExperimentSpec};
+use sfc_core::ExperimentSpec;
 use sfc_curves::curve3d::Curve3dKind;
 use sfc_curves::point::Norm;
 use sfc_curves::CurveKind;
@@ -105,7 +105,7 @@ pub fn run_extensions(
                 let particles =
                     timing::phase("sample", || particles.get_or_init(|| workload.particles(0)));
                 let asg = timing::phase("assign", || {
-                    Assignment::new(particles, workload.grid_order, curve, procs)
+                    crate::harness::assignment(opts, particles, workload.grid_order, curve, procs)
                 });
                 let machine = crate::harness::machine(opts, TopologyKind::Torus, procs, curve);
                 let load =
@@ -246,7 +246,7 @@ pub fn run_extensions(
                 let particles =
                     timing::phase("sample", || particles.get_or_init(|| workload.particles(1)));
                 let asg = timing::phase("assign", || {
-                    Assignment::new(particles, workload.grid_order, curve, procs)
+                    crate::harness::assignment(opts, particles, workload.grid_order, curve, procs)
                 });
                 let machine = crate::harness::machine(opts, TopologyKind::Torus, procs, curve);
                 vec![

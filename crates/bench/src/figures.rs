@@ -14,7 +14,7 @@ use sfc_core::nfi::nfi_acd;
 use sfc_core::report::Table;
 use sfc_core::runner::{BatchCell, CellResult, SweepRunner};
 use sfc_core::timing;
-use sfc_core::{Assignment, ExperimentSpec, Stats};
+use sfc_core::{ExperimentSpec, Stats};
 use sfc_curves::point::Norm;
 use sfc_curves::{CurveKind, Point2};
 use sfc_particles::Workload;
@@ -153,11 +153,10 @@ pub fn run_topology_sweep(
             cells.push(BatchCell::new(name, move || {
                 let particles =
                     timing::phase("sample", || particles.get_or_init(|| workload.particles(t)));
-                let (asg, tree) = timing::phase("assign", || {
-                    let asg = Assignment::new(particles, workload.grid_order, curve, num_procs);
-                    let tree = OwnerTree::build(&asg);
-                    (asg, tree)
+                let asg = timing::phase("assign", || {
+                    crate::harness::assignment(opts, particles, workload.grid_order, curve, num_procs)
                 });
+                let tree = timing::phase("index", || OwnerTree::build(&asg));
                 let mut values = Vec::with_capacity(2 * nt);
                 for &topo in topologies {
                     let machine = crate::harness::machine(opts, topo, num_procs, curve);
@@ -271,12 +270,10 @@ pub fn run_processor_sweep(
                     let particles = timing::phase("sample", || {
                         particles.get_or_init(|| workload.particles(t))
                     });
-                    let (asg, tree) = timing::phase("assign", || {
-                        let asg =
-                            Assignment::new(particles, workload.grid_order, curve, procs);
-                        let tree = OwnerTree::build(&asg);
-                        (asg, tree)
+                    let asg = timing::phase("assign", || {
+                        crate::harness::assignment(opts, particles, workload.grid_order, curve, procs)
                     });
+                    let tree = timing::phase("index", || OwnerTree::build(&asg));
                     let machine = crate::harness::machine(opts, topology, procs, curve);
                     vec![
                         timing::phase("nfi", || {
@@ -383,7 +380,7 @@ pub fn run_radius_sweep(
                 cells.push(BatchCell::new(name, move || {
                     let particles = timing::phase("sample", || cache.get(t));
                     let asg = timing::phase("assign", || {
-                        Assignment::new(particles, workload.grid_order, curve, num_procs)
+                        crate::harness::assignment(opts, particles, workload.grid_order, curve, num_procs)
                     });
                     let machine =
                         crate::harness::machine(opts, TopologyKind::Torus, num_procs, curve);
@@ -460,12 +457,10 @@ pub fn run_input_size_sweep(
                 let workload = &workloads[si];
                 cells.push(BatchCell::new(name, move || {
                     let particles = timing::phase("sample", || cache.get(t));
-                    let (asg, tree) = timing::phase("assign", || {
-                        let asg =
-                            Assignment::new(particles, workload.grid_order, curve, num_procs);
-                        let tree = OwnerTree::build(&asg);
-                        (asg, tree)
+                    let asg = timing::phase("assign", || {
+                        crate::harness::assignment(opts, particles, workload.grid_order, curve, num_procs)
                     });
+                    let tree = timing::phase("index", || OwnerTree::build(&asg));
                     let machine =
                         crate::harness::machine(opts, TopologyKind::Torus, num_procs, curve);
                     vec![
@@ -544,12 +539,10 @@ pub fn run_distribution_comparison(
                 let workload = &workloads[di];
                 cells.push(BatchCell::new(name, move || {
                     let particles = timing::phase("sample", || cache.get(t));
-                    let (asg, tree) = timing::phase("assign", || {
-                        let asg =
-                            Assignment::new(particles, workload.grid_order, curve, num_procs);
-                        let tree = OwnerTree::build(&asg);
-                        (asg, tree)
+                    let asg = timing::phase("assign", || {
+                        crate::harness::assignment(opts, particles, workload.grid_order, curve, num_procs)
                     });
+                    let tree = timing::phase("index", || OwnerTree::build(&asg));
                     let machine =
                         crate::harness::machine(opts, TopologyKind::Torus, num_procs, curve);
                     vec![

@@ -13,8 +13,10 @@ use crate::args::SweepArgs;
 use crate::artifact::{compute, ArtifactOutput, ComputeOpts};
 use serde_json::{json, ToJson, Value};
 use sfc_core::runner::{ChaosInjector, RunnerOptions, SweepRunner, SweepSummary};
-use sfc_core::{ArtifactKind, CachedArtifact, ExperimentSpec, Machine, ResultCache, TraceSink};
-use sfc_curves::CurveKind;
+use sfc_core::{
+    ArtifactKind, Assignment, CachedArtifact, ExperimentSpec, Machine, ResultCache, TraceSink,
+};
+use sfc_curves::{CurveKind, Point2};
 use sfc_topology::TopologyKind;
 use std::path::PathBuf;
 use std::time::Duration;
@@ -57,10 +59,11 @@ pub mod error_kind {
 
 /// The configuration fingerprint stored in a journal header: a journal can
 /// only resume a sweep with the same scale, trials and seed. Chaos, budget,
-/// jobs, timing and oracle flags are deliberately excluded — interrupting a
-/// run with a different budget or thread count (or sabotaging it in a test)
-/// must not orphan the journal, and `--timing`/`--no-oracle` do not change
-/// any computed value.
+/// jobs, timing, oracle and dense-grid flags are deliberately excluded —
+/// interrupting a run with a different budget or thread count (or
+/// sabotaging it in a test) must not orphan the journal, and
+/// `--timing`/`--no-oracle`/`--no-dense-grid` do not change any computed
+/// value.
 pub fn fingerprint(args: &SweepArgs) -> Value {
     json!({
         "scale": args.scale,
@@ -111,6 +114,21 @@ pub fn machine(opts: &ComputeOpts, topo: TopologyKind, num_procs: u64, curve: Cu
     } else {
         m
     }
+}
+
+/// Build an assignment for a sweep cell, honoring `--no-dense-grid`: the
+/// default assignment carries the dense occupancy index, the flag keeps
+/// only the sparse cell map. Both produce identical values — the flag
+/// exists for ablation and byte-identity verification, mirroring
+/// [`machine`].
+pub fn assignment(
+    opts: &ComputeOpts,
+    particles: &[Point2],
+    grid_order: u32,
+    curve: CurveKind,
+    num_ranks: u64,
+) -> Assignment {
+    Assignment::with_dense_grid(particles, grid_order, curve, num_ranks, !opts.no_dense_grid)
 }
 
 /// Write the per-cell timing envelope to `--timing PATH` when set. Called
@@ -242,6 +260,7 @@ pub fn run_artifact_with(kind: ArtifactKind, args: &SweepArgs) {
     let mut runner = runner(kind.sweep_name(), args);
     let opts = ComputeOpts {
         no_oracle: args.no_oracle,
+        no_dense_grid: args.no_dense_grid,
     };
     let out = compute(&spec, &opts, &mut runner);
     let summary = runner.finish();

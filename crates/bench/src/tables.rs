@@ -20,7 +20,7 @@ use sfc_core::nfi::nfi_acd;
 use sfc_core::report::Table;
 use sfc_core::runner::{BatchCell, SweepRunner};
 use sfc_core::timing;
-use sfc_core::{Assignment, ExperimentSpec, Machine, Stats};
+use sfc_core::{ExperimentSpec, Machine, Stats};
 use sfc_curves::CurveKind;
 use sfc_particles::{Distribution, DistributionKind};
 use std::sync::OnceLock;
@@ -91,16 +91,16 @@ pub fn run_distribution(
                 // hit the OnceLock).
                 let particles =
                     timing::phase("sample", || particles.get_or_init(|| workload.particles(t)));
-                let (asg, tree) = timing::phase("assign", || {
-                    let asg = Assignment::new(
+                let asg = timing::phase("assign", || {
+                    crate::harness::assignment(
+                        opts,
                         particles,
                         workload.grid_order,
                         particle_curve,
                         num_procs,
-                    );
-                    let tree = OwnerTree::build(&asg);
-                    (asg, tree)
+                    )
                 });
+                let tree = timing::phase("index", || OwnerTree::build(&asg));
                 let mut values = Vec::with_capacity(8);
                 timing::phase("nfi", || {
                     for machine in machines {

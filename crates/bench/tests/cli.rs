@@ -116,6 +116,36 @@ fn no_oracle_artifact_is_byte_identical() {
 }
 
 #[test]
+fn no_dense_grid_artifact_is_byte_identical_at_every_job_count() {
+    // Like the oracle, the dense occupancy index is a pure accelerator:
+    // ablating it must not change a single byte of stdout or the JSON
+    // artifact, at any worker count.
+    let dir = std::env::temp_dir();
+    let mut outputs = Vec::new();
+    for (tag, extra) in [
+        ("dense_j1", vec!["--jobs", "1"]),
+        ("dense_j4", vec!["--jobs", "4"]),
+        ("sparse_j1", vec!["--jobs", "1", "--no-dense-grid"]),
+        ("sparse_j4", vec!["--jobs", "4", "--no-dense-grid"]),
+    ] {
+        let path = dir.join(format!("sfc_cli_grid_{tag}.json"));
+        let mut args = TINY.to_vec();
+        args.extend(["--json", path.to_str().unwrap()]);
+        args.extend(extra);
+        let (stdout, _, ok) = run("table1", &args);
+        assert!(ok, "{tag} run failed");
+        let json = std::fs::read(&path).unwrap();
+        std::fs::remove_file(path).ok();
+        outputs.push((tag, stdout, json));
+    }
+    let (_, stdout0, json0) = &outputs[0];
+    for (tag, stdout, json) in &outputs[1..] {
+        assert_eq!(stdout, stdout0, "{tag} stdout differs");
+        assert_eq!(json, json0, "{tag} artifact differs");
+    }
+}
+
+#[test]
 fn timing_flag_writes_phase_envelope_and_leaves_artifact_alone() {
     let dir = std::env::temp_dir();
     let artifact = dir.join("sfc_cli_timed_artifact.json");
@@ -140,6 +170,9 @@ fn timing_flag_writes_phase_envelope_and_leaves_artifact_alone() {
     let v: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
     assert_eq!(v["artifact"], "table1-timing");
     assert_eq!(v["oracle"], true);
+    assert_eq!(v["dense_grid"], true);
+    assert!(v["grid_index"]["dense_builds"].as_u64().unwrap() >= 12);
+    assert_eq!(v["grid_index"]["cellmap_fallbacks"].as_u64().unwrap(), 0);
     let cells = v["cells"].as_array().unwrap();
     assert_eq!(cells.len(), 12); // 3 distributions x 1 trial x 4 curves
     for cell in cells {
@@ -150,7 +183,7 @@ fn timing_flag_writes_phase_envelope_and_leaves_artifact_alone() {
             .iter()
             .map(|p| p["phase"].as_str().unwrap())
             .collect();
-        assert_eq!(phases, ["sample", "assign", "nfi", "ffi"]);
+        assert_eq!(phases, ["sample", "assign", "index", "nfi", "ffi"]);
         assert!(cell["phases"]
             .as_array()
             .unwrap()

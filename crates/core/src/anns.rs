@@ -53,6 +53,74 @@ fn forward_offsets(radius: u32, norm: Norm) -> Vec<(i64, i64, u64)> {
     offsets
 }
 
+/// Shared kernel for the linear and cyclic generalized-stretch sweeps.
+///
+/// Instead of probing `table.index` once per `(cell, offset)` pair, the scan
+/// walks each row of the grid and visits every dy-group of
+/// [`forward_offsets`] as one *clipped contiguous slice* over the
+/// precomputed index rows ([`CurveTable::index_row`]) — the same
+/// row-segment shape the NFI kernel uses over the dense occupancy grid.
+///
+/// Stretch sums are floating point, so the accumulation order is part of
+/// the observable result: the scan visits pairs in exactly the per-cell
+/// offset order of the naive loop (x ascending outer, offsets in
+/// `forward_offsets` order inner), which keeps artifacts byte-identical.
+fn stretch_scan<const CYCLIC: bool>(table: &CurveTable, radius: u32, norm: Norm) -> StretchResult {
+    let side = table.side() as i64;
+    let n = table.len();
+    let offsets = forward_offsets(radius, norm);
+    // Contiguous runs of `offsets`: each run is one dy with consecutive
+    // ascending dx values, recorded as (dy, first dx, start index, len).
+    let mut groups: Vec<(i64, i64, usize, usize)> = Vec::new();
+    for (i, &(dx, dy, _)) in offsets.iter().enumerate() {
+        match groups.last_mut() {
+            Some(g) if g.0 == dy && g.1 + g.3 as i64 == dx => g.3 += 1,
+            _ => groups.push((dy, dx, i, 1)),
+        }
+    }
+
+    (0..side)
+        .into_par_iter()
+        .fold(StretchResult::empty, |mut acc, y| {
+            let row = table.index_row(y as u32);
+            // Bind the target row for every group that stays on the grid at
+            // this y (dy >= 0 always, so only the top edge clips).
+            let active: Vec<(&[u64], i64, usize, usize)> = groups
+                .iter()
+                .filter(|&&(dy, ..)| y + dy < side)
+                .map(|&(dy, dx_first, start, len)| {
+                    (table.index_row((y + dy) as u32), dx_first, start, len)
+                })
+                .collect();
+            for x in 0..side {
+                let here = row[x as usize];
+                for &(nrow, dx_first, start, len) in &active {
+                    let dx_last = dx_first + len as i64 - 1;
+                    let lo = dx_first.max(-x);
+                    let hi = dx_last.min(side - 1 - x);
+                    if lo > hi {
+                        continue;
+                    }
+                    let s = start + (lo - dx_first) as usize;
+                    let e = start + (hi - dx_first) as usize;
+                    for &(dx, _, dist) in &offsets[s..=e] {
+                        let there = nrow[(x + dx) as usize];
+                        let linear = here.abs_diff(there);
+                        let measured = if CYCLIC { linear.min(n - linear) } else { linear };
+                        let stretch = measured as f64 / dist as f64;
+                        acc.total_stretch += stretch;
+                        acc.num_pairs += 1;
+                        if stretch > acc.max_stretch {
+                            acc.max_stretch = stretch;
+                        }
+                    }
+                }
+            }
+            acc
+        })
+        .reduce(StretchResult::empty, StretchResult::merge)
+}
+
 /// Validate the shared stretch-sweep preconditions.
 fn check_stretch_params(order: u32, radius: u32, max_order: u32) -> Result<(), SfcError> {
     if radius < 1 {
@@ -126,34 +194,7 @@ pub fn anns_radius(
 ) -> Result<StretchResult, SfcError> {
     check_stretch_params(order, radius, MAX_STRETCH_ORDER)?;
     let table = CurveTable::new(curve, order);
-    let side = table.side() as i64;
-    let offsets = forward_offsets(radius, norm);
-
-    let result = (0..side)
-        .into_par_iter()
-        .fold(StretchResult::empty, |acc, y| {
-            let mut acc = acc;
-            for x in 0..side {
-                let here = table.index(Point2::new(x as u32, y as u32));
-                for &(dx, dy, dist) in &offsets {
-                    let nx = x + dx;
-                    let ny = y + dy;
-                    if nx < 0 || ny < 0 || nx >= side || ny >= side {
-                        continue;
-                    }
-                    let there = table.index(Point2::new(nx as u32, ny as u32));
-                    let stretch = here.abs_diff(there) as f64 / dist as f64;
-                    acc.total_stretch += stretch;
-                    acc.num_pairs += 1;
-                    if stretch > acc.max_stretch {
-                        acc.max_stretch = stretch;
-                    }
-                }
-            }
-            acc
-        })
-        .reduce(StretchResult::empty, StretchResult::merge);
-    Ok(result)
+    Ok(stretch_scan::<false>(&table, radius, norm))
 }
 
 /// The all-pairs stretch of Xu & Tirthapura: mean of
@@ -315,6 +356,65 @@ mod tests {
         assert!(res.max_stretch >= res.average());
     }
 
+    /// The naive per-offset probe loop the row-segment scan replaced,
+    /// kept as a reference oracle. Stretch sums are floating point, so the
+    /// scans must agree *bitwise*, not just approximately.
+    fn naive_scan(table: &CurveTable, radius: u32, norm: Norm, cyclic: bool) -> StretchResult {
+        let side = table.side() as i64;
+        let n = table.len();
+        let offsets = forward_offsets(radius, norm);
+        (0..side)
+            .into_par_iter()
+            .fold(StretchResult::empty, |mut acc, y| {
+                for x in 0..side {
+                    let here = table.index(Point2::new(x as u32, y as u32));
+                    for &(dx, dy, dist) in &offsets {
+                        let (nx, ny) = (x + dx, y + dy);
+                        if nx < 0 || ny < 0 || nx >= side || ny >= side {
+                            continue;
+                        }
+                        let there = table.index(Point2::new(nx as u32, ny as u32));
+                        let linear = here.abs_diff(there);
+                        let measured = if cyclic { linear.min(n - linear) } else { linear };
+                        let stretch = measured as f64 / dist as f64;
+                        acc.total_stretch += stretch;
+                        acc.num_pairs += 1;
+                        if stretch > acc.max_stretch {
+                            acc.max_stretch = stretch;
+                        }
+                    }
+                }
+                acc
+            })
+            .reduce(StretchResult::empty, StretchResult::merge)
+    }
+
+    #[test]
+    fn row_segment_scan_is_bit_identical_to_naive_probes() {
+        for curve in [CurveKind::Hilbert, CurveKind::ZCurve, CurveKind::RowMajor] {
+            let table = CurveTable::new(curve, 4);
+            for norm in [Norm::Manhattan, Norm::Chebyshev] {
+                for radius in [1, 3, 7] {
+                    for cyclic in [false, true] {
+                        let want = naive_scan(&table, radius, norm, cyclic);
+                        let got = if cyclic {
+                            stretch_scan::<true>(&table, radius, norm)
+                        } else {
+                            stretch_scan::<false>(&table, radius, norm)
+                        };
+                        assert_eq!(want.num_pairs, got.num_pairs, "{curve} r={radius}");
+                        assert_eq!(
+                            want.total_stretch.to_bits(),
+                            got.total_stretch.to_bits(),
+                            "{curve} r={radius} {norm:?} cyclic={cyclic}"
+                        );
+                        assert_eq!(want.max_stretch.to_bits(), got.max_stretch.to_bits());
+                    }
+                }
+            }
+        }
+    }
+
     #[test]
     fn anns_is_deterministic_and_parallel_safe() {
         let a = anns(CurveKind::Gray, 6).unwrap();
@@ -371,35 +471,7 @@ pub fn anns_cyclic(
 ) -> Result<StretchResult, SfcError> {
     check_stretch_params(order, radius, MAX_STRETCH_ORDER)?;
     let table = CurveTable::new(curve, order);
-    let side = table.side() as i64;
-    let n = table.len();
-    let offsets = forward_offsets(radius, norm);
-    let result = (0..side)
-        .into_par_iter()
-        .fold(StretchResult::empty, |mut acc, y| {
-            for x in 0..side {
-                let here = table.index(Point2::new(x as u32, y as u32));
-                for &(dx, dy, dist) in &offsets {
-                    let nx = x + dx;
-                    let ny = y + dy;
-                    if nx < 0 || ny < 0 || nx >= side || ny >= side {
-                        continue;
-                    }
-                    let there = table.index(Point2::new(nx as u32, ny as u32));
-                    let linear = here.abs_diff(there);
-                    let cyclic = linear.min(n - linear);
-                    let stretch = cyclic as f64 / dist as f64;
-                    acc.total_stretch += stretch;
-                    acc.num_pairs += 1;
-                    if stretch > acc.max_stretch {
-                        acc.max_stretch = stretch;
-                    }
-                }
-            }
-            acc
-        })
-        .reduce(StretchResult::empty, StretchResult::merge);
-    Ok(result)
+    Ok(stretch_scan::<true>(&table, radius, norm))
 }
 
 #[cfg(test)]

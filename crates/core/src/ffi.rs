@@ -91,31 +91,67 @@ impl FfiResult {
 pub struct OwnerTree {
     /// `levels[l]` maps level-`l` Morton codes to owner ranks.
     levels: Vec<CellMap>,
+    /// `entries[l]` holds the same mapping as `(code, rank)` pairs sorted by
+    /// code — built once here so sweeps can borrow a slice per level instead
+    /// of re-collecting the hash table into a fresh `Vec` per call.
+    entries: Vec<Vec<(u64, u32)>>,
 }
 
 impl OwnerTree {
     /// Build the tree for an assignment.
     pub fn build(asg: &Assignment) -> Self {
+        let mut tree = OwnerTree {
+            levels: Vec::new(),
+            entries: Vec::new(),
+        };
+        tree.rebuild(asg);
+        tree
+    }
+
+    /// Rebuild the tree for a new assignment *in place*, reusing every
+    /// allocation (entry vectors and hash tables) from the previous build.
+    /// Sweeps that index one assignment per trial use this as scratch
+    /// instead of constructing a tree per trial.
+    pub fn rebuild(&mut self, asg: &Assignment) {
         let k = asg.grid_order() as usize;
         let n = asg.particles().len();
-        let mut levels: Vec<CellMap> = Vec::with_capacity(k + 1);
-        // Finest level.
-        let mut finest = CellMap::with_capacity(n);
+        self.levels.resize_with(k + 1, || CellMap::with_capacity(0));
+        self.entries.resize_with(k + 1, Vec::new);
+        // Finest level: one entry per particle, min rank per cell. Sorting
+        // by (code, rank) makes the first entry of each code run the owner.
+        let finest = &mut self.entries[k];
+        finest.clear();
+        finest.reserve(n);
         for (i, p) in asg.particles().iter().enumerate() {
-            finest.insert_min(morton::encode(p.x, p.y), asg.rank_of_index(i));
+            finest.push((morton::encode(p.x, p.y), asg.rank_of_index(i)));
         }
-        levels.push(finest);
-        // Coarser levels, reducing by parent code.
-        for _ in 0..k {
-            let prev = levels.last().unwrap();
-            let mut coarser = CellMap::with_capacity(prev.len());
-            for (code, rank) in prev.iter() {
-                coarser.insert_min(code >> 2, rank);
+        finest.sort_unstable();
+        finest.dedup_by(|a, b| a.0 == b.0);
+        // Coarser levels, reducing by parent code. Parent codes of a sorted
+        // code sequence are themselves sorted, so each level is one linear
+        // min-rank fold over runs — no hashing and no re-sorting.
+        for level in (0..k).rev() {
+            let (dst_part, src_part) = self.entries.split_at_mut(level + 1);
+            let dst = &mut dst_part[level];
+            let src = &src_part[0];
+            dst.clear();
+            for &(code, rank) in src.iter() {
+                let parent = code >> 2;
+                match dst.last_mut() {
+                    Some(last) if last.0 == parent => last.1 = last.1.min(rank),
+                    _ => dst.push((parent, rank)),
+                }
             }
-            levels.push(coarser);
         }
-        levels.reverse(); // levels[l] now holds level l (0 = root).
-        OwnerTree { levels }
+        // Mirror each level into its hash table for point lookups
+        // (`owner`), clearing and reusing the previous tables.
+        for level in 0..=k {
+            let map = &mut self.levels[level];
+            map.reset(self.entries[level].len());
+            for &(code, rank) in &self.entries[level] {
+                map.insert_first(code, rank);
+            }
+        }
     }
 
     /// Number of levels (grid order + 1).
@@ -128,14 +164,16 @@ impl OwnerTree {
         self.levels[cell.level as usize].get(cell.code())
     }
 
-    /// Occupied cells at a level, as `(morton code, owner rank)` pairs.
-    pub fn level_entries(&self, level: u32) -> Vec<(u64, u32)> {
-        self.levels[level as usize].iter().collect()
+    /// Occupied cells at a level, as `(morton code, owner rank)` pairs
+    /// sorted by code. Borrowed from the tree — enumerating a level
+    /// allocates nothing.
+    pub fn level_entries(&self, level: u32) -> &[(u64, u32)] {
+        &self.entries[level as usize]
     }
 
     /// Number of occupied cells at a level.
     pub fn level_len(&self, level: u32) -> usize {
-        self.levels[level as usize].len()
+        self.entries[level as usize].len()
     }
 }
 
@@ -166,10 +204,11 @@ pub fn ffi_acd_with_tree(
     // single lookups still ride the dense table via `Machine::distance`.
     for level in 1..=k {
         let entries = tree.level_entries(level);
+        let parents = &tree.levels[(level - 1) as usize];
         let (dist, count): (u64, u64) = entries
             .par_iter()
             .map(|&(code, rank)| {
-                let parent_owner = tree.levels[(level - 1) as usize]
+                let parent_owner = parents
                     .get(code >> 2)
                     .expect("parent of an occupied cell is occupied");
                 (machine.distance(rank, parent_owner), 1u64)
@@ -354,5 +393,51 @@ mod tests {
         let cached = Machine::grid(TopologyKind::Torus, 16, CurveKind::Hilbert);
         let plain = Machine::grid(TopologyKind::Torus, 16, CurveKind::Hilbert).without_oracle();
         assert_eq!(ffi_acd(&asg, &cached), ffi_acd(&asg, &plain));
+    }
+
+    #[test]
+    fn dense_grid_on_and_off_agree() {
+        let particles = pts(&[(0, 0), (3, 3), (5, 5), (7, 0), (2, 6), (6, 2), (1, 7)]);
+        let dense = Assignment::new(&particles, 3, CurveKind::Gray, 16);
+        let sparse = dense.clone().without_dense_grid();
+        let machine = Machine::grid(TopologyKind::Mesh, 16, CurveKind::Gray);
+        assert_eq!(ffi_acd(&dense, &machine), ffi_acd(&sparse, &machine));
+    }
+
+    #[test]
+    fn level_entries_are_sorted_borrowed_slices() {
+        let particles = pts(&[(5, 5), (0, 0), (7, 1), (2, 6), (3, 3)]);
+        let asg = Assignment::new(&particles, 3, CurveKind::Hilbert, 4);
+        let tree = OwnerTree::build(&asg);
+        for level in 0..=3 {
+            let entries = tree.level_entries(level);
+            assert_eq!(entries.len(), tree.level_len(level));
+            assert!(entries.windows(2).all(|w| w[0].0 < w[1].0), "level {level}");
+            for &(code, rank) in entries {
+                assert_eq!(tree.owner(Cell::from_code(level, code)), Some(rank));
+            }
+            // Borrowed, not re-collected: repeated calls hand out the same
+            // memory.
+            assert_eq!(entries.as_ptr(), tree.level_entries(level).as_ptr());
+        }
+    }
+
+    #[test]
+    fn rebuild_reuses_scratch_allocations() {
+        let particles = pts(&[(0, 0), (2, 5), (7, 1), (4, 4)]);
+        let asg = Assignment::new(&particles, 3, CurveKind::ZCurve, 4);
+        let mut tree = OwnerTree::build(&asg);
+        let reference = ffi_acd(
+            &asg,
+            &Machine::grid(TopologyKind::Mesh, 64, CurveKind::ZCurve),
+        );
+        let before: Vec<*const (u64, u32)> =
+            (0..=3).map(|l| tree.level_entries(l).as_ptr()).collect();
+        tree.rebuild(&asg);
+        let after: Vec<*const (u64, u32)> =
+            (0..=3).map(|l| tree.level_entries(l).as_ptr()).collect();
+        assert_eq!(before, after, "rebuild must reuse the entry buffers");
+        let machine = Machine::grid(TopologyKind::Mesh, 64, CurveKind::ZCurve);
+        assert_eq!(reference, ffi_acd_with_tree(&asg, &machine, &tree));
     }
 }

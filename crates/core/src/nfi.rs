@@ -21,6 +21,7 @@ use crate::error::SfcError;
 use crate::machine::Machine;
 use rayon::prelude::*;
 use sfc_curves::point::Norm;
+use sfc_particles::GridIndex;
 
 /// Outcome of a near-field ACD computation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -82,22 +83,6 @@ pub fn nfi_acd(
     machine.check_assignment(asg)?;
     let side = 1i64 << asg.grid_order();
     let r = radius as i64;
-    // Precompute the neighborhood offsets once.
-    let mut offsets: Vec<(i64, i64)> = Vec::new();
-    for dy in -r..=r {
-        for dx in -r..=r {
-            if dx == 0 && dy == 0 {
-                continue;
-            }
-            let inside = match norm {
-                Norm::Manhattan => dx.abs() + dy.abs() <= r,
-                Norm::Chebyshev => dx.abs().max(dy.abs()) <= r,
-            };
-            if inside {
-                offsets.push((dx, dy));
-            }
-        }
-    }
 
     let result = asg
         .particles()
@@ -106,25 +91,61 @@ pub fn nfi_acd(
         .fold(NfiResult::default, |mut acc, (i, p)| {
             // Hoist the per-particle invariants: the particle's rank and —
             // when the machine carries the dense oracle — its whole
-            // distance row, so the neighborhood scan pays one indexed u16
-            // load per exchange instead of a virtual distance call.
+            // distance row, so an exchange costs one indexed u16 load
+            // instead of a virtual distance call.
             let rank = asg.rank_of_index(i);
             let row = machine.distance_row(rank);
-            for &(dx, dy) in &offsets {
-                let nx = p.x as i64 + dx;
+            let x = p.x as i64;
+            // The neighborhood is a stack of contiguous row segments: per
+            // `dy`, `dx` spans `±r` (Chebyshev) or `±(r − |dy|)`
+            // (Manhattan). Clip each segment against the grid edge once,
+            // then scan it with no per-cell bounds checks.
+            for dy in -r..=r {
                 let ny = p.y as i64 + dy;
-                if nx < 0 || ny < 0 || nx >= side || ny >= side {
+                if ny < 0 || ny >= side {
                     continue;
                 }
-                if let Some(other) = asg.rank_of_cell(nx as u32, ny as u32) {
-                    acc.num_comms += 1;
-                    if other == rank {
-                        acc.local_comms += 1;
-                    } else {
-                        acc.total_distance += match row {
-                            Some(row) => u64::from(row[other as usize]),
-                            None => machine.distance(rank, other),
-                        };
+                let w = match norm {
+                    Norm::Chebyshev => r,
+                    Norm::Manhattan => r - dy.abs(),
+                };
+                let lo = (x - w).max(0);
+                let hi = (x + w).min(side - 1);
+                if lo > hi {
+                    continue;
+                }
+                match asg.rank_row(ny as u32) {
+                    Some(ranks) => {
+                        // Dense fast path: two indexed loads (rank slot +
+                        // oracle row) per occupied cell. `dy == 0` splits
+                        // around the particle's own cell.
+                        if dy == 0 {
+                            scan_segment(&ranks[lo as usize..x as usize], rank, row, machine, &mut acc);
+                            scan_segment(&ranks[(x + 1) as usize..=hi as usize], rank, row, machine, &mut acc);
+                        } else {
+                            scan_segment(&ranks[lo as usize..=hi as usize], rank, row, machine, &mut acc);
+                        }
+                    }
+                    None => {
+                        // Fallback (over-cap grid or `--no-dense-grid`):
+                        // probe the CellMap per cell of the same clipped
+                        // segment. Identical visit set, identical sums.
+                        for nx in lo..=hi {
+                            if dy == 0 && nx == x {
+                                continue;
+                            }
+                            if let Some(other) = asg.rank_of_cell(nx as u32, ny as u32) {
+                                acc.num_comms += 1;
+                                if other == rank {
+                                    acc.local_comms += 1;
+                                } else {
+                                    acc.total_distance += match row {
+                                        Some(row) => u64::from(row[other as usize]),
+                                        None => machine.distance(rank, other),
+                                    };
+                                }
+                            }
+                        }
                     }
                 }
             }
@@ -132,6 +153,45 @@ pub fn nfi_acd(
         })
         .reduce(NfiResult::default, NfiResult::merge);
     Ok(result)
+}
+
+/// Accumulate one clipped row segment of the dense rank table into `acc`:
+/// every occupied slot is one directed exchange. With the oracle row in
+/// hand the accumulate is branchless past the occupancy test — the oracle's
+/// zero self-distance makes rank-local exchanges add nothing.
+#[inline]
+fn scan_segment(
+    seg: &[u32],
+    rank: u32,
+    row: Option<&[u16]>,
+    machine: &Machine,
+    acc: &mut NfiResult,
+) {
+    match row {
+        Some(row) => {
+            for &other in seg {
+                if other == GridIndex::EMPTY {
+                    continue;
+                }
+                acc.num_comms += 1;
+                acc.local_comms += u64::from(other == rank);
+                acc.total_distance += u64::from(row[other as usize]);
+            }
+        }
+        None => {
+            for &other in seg {
+                if other == GridIndex::EMPTY {
+                    continue;
+                }
+                acc.num_comms += 1;
+                if other == rank {
+                    acc.local_comms += 1;
+                } else {
+                    acc.total_distance += machine.distance(rank, other);
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -278,6 +338,40 @@ mod tests {
                 assignment_ranks: 64,
             }) => {}
             other => panic!("expected MachineTooSmall, got {other:?}"),
+        }
+    }
+
+    /// The dense row-segment scan and the CellMap probe fallback produce
+    /// bit-identical results, with and without the distance oracle.
+    #[test]
+    fn dense_grid_on_and_off_agree() {
+        let mut coords = Vec::new();
+        // An irregular blob so boundary clipping, empty cells and both
+        // scan paths are all exercised.
+        for x in 0..8u32 {
+            for y in 0..8u32 {
+                if (x * 7 + y * 3) % 5 != 0 {
+                    coords.push((x, y));
+                }
+            }
+        }
+        let particles = pts(&coords);
+        for curve in [CurveKind::Hilbert, CurveKind::ZCurve, CurveKind::RowMajor] {
+            let dense = Assignment::new(&particles, 3, curve, 16);
+            let sparse = dense.clone().without_dense_grid();
+            assert!(dense.has_dense_grid() && !sparse.has_dense_grid());
+            for topo in [TopologyKind::Mesh, TopologyKind::Torus] {
+                let cached = Machine::grid(topo, 16, curve);
+                let plain = Machine::grid(topo, 16, curve).without_oracle();
+                for norm in [Norm::Chebyshev, Norm::Manhattan] {
+                    for radius in 1..=4 {
+                        let want = nfi_acd(&dense, &cached, radius, norm);
+                        assert_eq!(want, nfi_acd(&sparse, &cached, radius, norm));
+                        assert_eq!(want, nfi_acd(&dense, &plain, radius, norm));
+                        assert_eq!(want, nfi_acd(&sparse, &plain, radius, norm));
+                    }
+                }
+            }
         }
     }
 

@@ -1,0 +1,97 @@
+//! Allocation regression tests for the far-field enumeration path.
+//!
+//! The far-field sweep enumerates one interaction list per occupied cell per
+//! level per trial; before the inline-buffer rewrite those lists were
+//! heap-backed `Vec`s and `level_entries` re-collected each level's hash
+//! table into a fresh `Vec` per call, making the allocator the hottest
+//! symbol in the loop. These tests pin the fix: once the `OwnerTree` is
+//! built, a full `ffi_acd_with_tree` evaluation performs **zero** heap
+//! allocations.
+//!
+//! The lib crates `forbid(unsafe_code)`; the counting allocator below needs
+//! the (inherently unsafe) `GlobalAlloc` trait, which is why this lives in
+//! an integration test with its own crate root.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAllocator;
+
+// SAFETY: delegates directly to the system allocator; the counter is a
+// side effect only.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations_during<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let out = f();
+    (ALLOCS.load(Ordering::Relaxed) - before, out)
+}
+
+use sfc_core::assignment::Assignment;
+use sfc_core::ffi::{ffi_acd_with_tree, OwnerTree};
+use sfc_core::machine::Machine;
+use sfc_core::nfi::nfi_acd;
+use sfc_curves::point::Norm;
+use sfc_curves::{CurveKind, Point2};
+use sfc_topology::TopologyKind;
+
+fn workload() -> Vec<Point2> {
+    // A deterministic scatter over a 16x16 grid, dense enough that every
+    // level of the tree and many interaction lists are populated.
+    let mut pts = Vec::new();
+    for x in 0..16u32 {
+        for y in 0..16u32 {
+            if (x * 13 + y * 7) % 3 != 0 {
+                pts.push(Point2::new(x, y));
+            }
+        }
+    }
+    pts
+}
+
+/// The workspace pins a sequential rayon stand-in, so every kernel below
+/// runs on this thread and the process-wide counter observes exactly the
+/// kernel's own allocations (tests in this file run in one binary, but only
+/// measured sections matter — each measurement is deltas around a closure).
+#[test]
+fn ffi_sweep_allocates_nothing_after_tree_build() {
+    let particles = workload();
+    let asg = Assignment::new(&particles, 4, CurveKind::Hilbert, 16);
+    let machine = Machine::grid(TopologyKind::Torus, 16, CurveKind::Hilbert);
+    let tree = OwnerTree::build(&asg);
+    // Warm-up call so lazily initialized state (oracle rows etc.) is built.
+    let expected = ffi_acd_with_tree(&asg, &machine, &tree).unwrap();
+    let (allocs, got) = allocations_during(|| ffi_acd_with_tree(&asg, &machine, &tree).unwrap());
+    assert_eq!(got, expected);
+    assert_eq!(allocs, 0, "ffi_acd_with_tree must not allocate per call");
+}
+
+#[test]
+fn nfi_row_scan_allocates_nothing() {
+    let particles = workload();
+    let asg = Assignment::new(&particles, 4, CurveKind::Hilbert, 16);
+    let machine = Machine::grid(TopologyKind::Torus, 16, CurveKind::Hilbert);
+    let expected = nfi_acd(&asg, &machine, 2, Norm::Chebyshev).unwrap();
+    let (allocs, got) = allocations_during(|| nfi_acd(&asg, &machine, 2, Norm::Chebyshev).unwrap());
+    assert_eq!(got, expected);
+    assert_eq!(allocs, 0, "the dense row-segment NFI scan must not allocate");
+}

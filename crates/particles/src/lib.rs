@@ -32,11 +32,13 @@
 
 pub mod cellmap;
 pub mod distributions;
+pub mod grid_index;
 pub mod sampler;
 pub mod sampler3d;
 pub mod workload;
 
 pub use cellmap::CellMap;
 pub use distributions::{Distribution, DistributionKind};
+pub use grid_index::{GridIndex, MAX_GRID_CELLS};
 pub use sampler::{sample, sample_with, Sampler};
 pub use workload::{Workload, WorkloadError};

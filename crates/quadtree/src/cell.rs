@@ -119,9 +119,10 @@ impl Cell {
 
     /// The same-level cells sharing an edge or corner with this cell — at
     /// most 8, fewer at the domain boundary (the paper's Section III bound).
-    pub fn neighbors(&self) -> Vec<Cell> {
+    /// Returned inline: enumerating a neighborhood allocates nothing.
+    pub fn neighbors(&self) -> NeighborList {
         let side = self.level_side() as i64;
-        let mut out = Vec::with_capacity(8);
+        let mut out = NeighborList::new();
         for dy in -1i64..=1 {
             for dx in -1i64..=1 {
                 if dx == 0 && dy == 0 {
@@ -159,6 +160,66 @@ impl Cell {
             x: self.x >> shift,
             y: self.y >> shift,
         }
+    }
+}
+
+/// A cell's same-level neighbors held inline: a fixed `[Cell; 8]` buffer
+/// plus a length, so [`Cell::neighbors`] allocates nothing. Dereferences to
+/// `&[Cell]`, so slice idioms (`len`, `contains`, `for n in &list`) work
+/// unchanged.
+#[derive(Debug, Clone, Copy)]
+pub struct NeighborList {
+    cells: [Cell; 8],
+    len: usize,
+}
+
+impl NeighborList {
+    const fn new() -> Self {
+        NeighborList {
+            cells: [Cell::ROOT; 8],
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, cell: Cell) {
+        self.cells[self.len] = cell;
+        self.len += 1;
+    }
+
+    /// The neighbors as a slice, in `(dy, dx)` enumeration order.
+    #[inline]
+    pub fn as_slice(&self) -> &[Cell] {
+        &self.cells[..self.len]
+    }
+}
+
+impl std::ops::Deref for NeighborList {
+    type Target = [Cell];
+
+    #[inline]
+    fn deref(&self) -> &[Cell] {
+        self.as_slice()
+    }
+}
+
+impl IntoIterator for NeighborList {
+    type Item = Cell;
+    type IntoIter = std::iter::Take<std::array::IntoIter<Cell, 8>>;
+
+    #[inline]
+    fn into_iter(self) -> Self::IntoIter {
+        self.cells.into_iter().take(self.len)
+    }
+}
+
+impl<'a> IntoIterator for &'a NeighborList {
+    type Item = &'a Cell;
+    type IntoIter = std::slice::Iter<'a, Cell>;
+
+    #[inline]
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
     }
 }
 

@@ -22,12 +22,75 @@ use crate::cell::Cell;
 /// around the cell itself — `36 − 9 = 27`.
 pub const MAX_INTERACTION_LIST_2D: usize = 27;
 
+/// An interaction list held inline: a fixed `[Cell; 27]` buffer plus a
+/// length, so enumerating a list allocates nothing. The far-field ACD sweep
+/// enumerates one list per occupied cell per level per trial — heap-backed
+/// `Vec`s made the allocator the hottest symbol in that loop.
+///
+/// Dereferences to `&[Cell]`, so slice idioms (`len`, `contains`,
+/// indexing, `for c in &list`) work unchanged.
+#[derive(Debug, Clone, Copy)]
+pub struct InteractionList {
+    cells: [Cell; MAX_INTERACTION_LIST_2D],
+    len: usize,
+}
+
+impl InteractionList {
+    const fn new() -> Self {
+        InteractionList {
+            cells: [Cell::ROOT; MAX_INTERACTION_LIST_2D],
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, cell: Cell) {
+        self.cells[self.len] = cell;
+        self.len += 1;
+    }
+
+    /// The list as a slice, in sorted `(level, y, x)` cell order.
+    #[inline]
+    pub fn as_slice(&self) -> &[Cell] {
+        &self.cells[..self.len]
+    }
+}
+
+impl std::ops::Deref for InteractionList {
+    type Target = [Cell];
+
+    #[inline]
+    fn deref(&self) -> &[Cell] {
+        self.as_slice()
+    }
+}
+
+impl IntoIterator for InteractionList {
+    type Item = Cell;
+    type IntoIter = std::iter::Take<std::array::IntoIter<Cell, MAX_INTERACTION_LIST_2D>>;
+
+    #[inline]
+    fn into_iter(self) -> Self::IntoIter {
+        self.cells.into_iter().take(self.len)
+    }
+}
+
+impl<'a> IntoIterator for &'a InteractionList {
+    type Item = &'a Cell;
+    type IntoIter = std::slice::Iter<'a, Cell>;
+
+    #[inline]
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
 /// The interaction list of `cell`: same-level children of the parent's
 /// neighbors (and of the parent itself) that are not equal or adjacent to
 /// `cell`. Returns an empty list for the root and for level 1 (the root has
 /// no neighbors, and level-1 siblings are all adjacent).
-pub fn interaction_list(cell: Cell) -> Vec<Cell> {
-    let mut out = Vec::with_capacity(MAX_INTERACTION_LIST_2D);
+pub fn interaction_list(cell: Cell) -> InteractionList {
+    let mut out = InteractionList::new();
     let parent = match cell.parent() {
         Some(p) => p,
         None => return out,
@@ -43,7 +106,7 @@ pub fn interaction_list(cell: Cell) -> Vec<Cell> {
     for pn in parent.neighbors() {
         push_children_of(pn);
     }
-    out.sort_unstable();
+    out.cells[..out.len].sort_unstable();
     out
 }
 

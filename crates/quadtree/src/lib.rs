@@ -27,6 +27,6 @@ pub mod compressed;
 pub mod interaction;
 
 pub use balance::LinearQuadtree;
-pub use cell::{regions_touch, Cell};
+pub use cell::{regions_touch, Cell, NeighborList};
 pub use compressed::CompressedQuadtree;
-pub use interaction::interaction_list;
+pub use interaction::{interaction_list, InteractionList};
